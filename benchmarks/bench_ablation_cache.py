@@ -1,0 +1,42 @@
+"""Cache-policy ablation — R/Q reuse vs always-recompute vs never-expire.
+
+DESIGN.md calls out the dynamic-cache policy as the design choice behind
+EcoCharge's speedup.  Three policies over the same trip:
+
+* ``rq-cache``     — the paper's policy (Q = 5 km, TTL = 1 h);
+* ``no-cache``     — Q effectively zero: every segment recomputes (this is
+  the upper cost bound, EcoCharge degenerating to radius-bounded brute
+  force);
+* ``never-expire`` — Q and TTL effectively infinite: everything after the
+  first segment adapts (lower cost bound, maximal drift).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ecocharge import EcoChargeConfig, EcoChargeRanker
+from repro.core.ranking import run_over_trip
+
+POLICIES = {
+    "rq-cache": dict(range_km=5.0, cache_ttl_h=1.0),
+    "no-cache": dict(range_km=1e-6, cache_ttl_h=1.0),
+    "never-expire": dict(range_km=1e6, cache_ttl_h=1e6),
+    "rq-pool-limit": dict(range_km=5.0, cache_ttl_h=1.0, cache_pool_limit=40),
+}
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_cache_policy(benchmark, oldenburg, policy):
+    environment = oldenburg.environment
+    trip = oldenburg.trips[0]
+    ranker = EcoChargeRanker(
+        environment,
+        EcoChargeConfig(k=5, radius_km=50.0, **POLICIES[policy]),
+    )
+    result = benchmark.pedantic(
+        lambda: run_over_trip(ranker, environment, trip), rounds=3, iterations=1
+    )
+    benchmark.extra_info["policy"] = policy
+    benchmark.extra_info["adapted"] = result.adapted_count
+    benchmark.extra_info["segments"] = len(result.tables)

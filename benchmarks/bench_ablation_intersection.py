@@ -1,0 +1,45 @@
+"""Ranking-rule ablation — Eq. 6 top-k intersection vs midpoint ranking.
+
+DESIGN.md calls out the two-scenario intersection (Eq. 6) as a design
+choice: it needs two sorts plus a set intersection where a naive midpoint
+ranking needs one partial sort.  This bench quantifies that overhead at
+realistic pool sizes so the quality benefit (tested in
+tests/test_scoring.py) can be priced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import ScScore, intersect_top_k, rank_by_midpoint
+
+POOL_SIZES = (100, 1000, 5000)
+K = 5
+
+
+def _scores(n: int):
+    rng = np.random.default_rng(31)
+    lows = rng.uniform(0.0, 1.0, n)
+    highs = rng.uniform(0.0, 1.0, n)
+    return [ScScore(i, float(lo), float(hi)) for i, (lo, hi) in enumerate(zip(lows, highs))]
+
+
+@pytest.mark.parametrize("pool_size", POOL_SIZES)
+def test_intersection_ranking(benchmark, pool_size):
+    scores = _scores(pool_size)
+    benchmark.pedantic(
+        lambda: intersect_top_k(scores, K), rounds=5, iterations=20
+    )
+    benchmark.extra_info["rule"] = "eq6-intersection"
+    benchmark.extra_info["pool"] = pool_size
+
+
+@pytest.mark.parametrize("pool_size", POOL_SIZES)
+def test_midpoint_ranking(benchmark, pool_size):
+    scores = _scores(pool_size)
+    benchmark.pedantic(
+        lambda: rank_by_midpoint(scores, K), rounds=5, iterations=20
+    )
+    benchmark.extra_info["rule"] = "midpoint"
+    benchmark.extra_info["pool"] = pool_size

@@ -1,0 +1,55 @@
+"""Routing ablation — Dijkstra vs A* vs bidirectional vs ALT.
+
+Derouting cost estimation is where EcoCharge's CPU time goes; this bench
+prices the point-to-point routing alternatives on a city network so the
+choice of algorithm in the derouting estimator (batched Dijkstra, see
+DESIGN.md) can be defended with numbers, and shows what ALT preprocessing
+buys for the repeated-query workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.builders import NetworkSpec, build_city_network
+from repro.network.landmarks import alt_astar, select_landmarks
+from repro.network.shortest_path import astar, bidirectional_dijkstra, dijkstra
+
+N_QUERIES = 40
+
+
+def _setup():
+    network = build_city_network(NetworkSpec(width_km=40, height_km=35, block_km=1.0, seed=88))
+    rng = np.random.default_rng(89)
+    nodes = list(network.node_ids())
+    pairs = [
+        tuple(int(x) for x in rng.choice(nodes, size=2, replace=False))
+        for __ in range(N_QUERIES)
+    ]
+    return network, pairs
+
+
+NETWORK, PAIRS = _setup()
+LANDMARKS = select_landmarks(NETWORK, count=6)
+
+ALGORITHMS = {
+    "dijkstra": lambda s, t: dijkstra(NETWORK, s, t),
+    "astar-euclid": lambda s, t: astar(NETWORK, s, t),
+    "bidirectional": lambda s, t: bidirectional_dijkstra(NETWORK, s, t),
+    "alt-6-landmarks": lambda s, t: alt_astar(NETWORK, s, t, LANDMARKS),
+}
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_point_to_point_routing(benchmark, algorithm):
+    run_query = ALGORITHMS[algorithm]
+
+    def run():
+        for s, t in PAIRS:
+            run_query(s, t)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["nodes"] = NETWORK.node_count
+    benchmark.extra_info["queries"] = N_QUERIES

@@ -1,0 +1,33 @@
+"""Segmentation ablation — the paper's "approximately 3-5 km" segments.
+
+Shorter segments mean more tables per trip (finer continuous answer, more
+ranking calls); longer segments mean coarser answers computed less often.
+This bench prices the whole admissible range plus the extremes, with the
+table count in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ecocharge import EcoChargeConfig, EcoChargeRanker
+from repro.core.ranking import run_over_trip
+
+SEGMENT_LENGTHS_KM = (2.0, 3.0, 4.0, 5.0, 8.0)
+
+
+@pytest.mark.parametrize("segment_km", SEGMENT_LENGTHS_KM)
+def test_segment_length(benchmark, oldenburg, segment_km):
+    environment = oldenburg.environment
+    trip = oldenburg.trips[0]
+    ranker = EcoChargeRanker(
+        environment,
+        EcoChargeConfig(k=5, radius_km=50.0, range_km=5.0, segment_km=segment_km),
+    )
+    result = benchmark.pedantic(
+        lambda: run_over_trip(ranker, environment, trip, segment_km=segment_km),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["segment_km"] = segment_km
+    benchmark.extra_info["tables"] = len(result.tables)

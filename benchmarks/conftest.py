@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Workloads are materialised once per session at a reduced scale so the full
+bench suite finishes in minutes; `python -m repro.experiments all` runs
+the figure drivers at full scale and is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trajectories.datasets import DATASET_ORDER, load_workload
+
+#: Scale per dataset — the large GPS workloads are trimmed harder.
+BENCH_SCALES = {
+    "oldenburg": 0.5,
+    "california": 0.4,
+    "tdrive": 0.3,
+    "geolife": 0.25,
+}
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    return {
+        name: load_workload(name, scale=BENCH_SCALES[name]) for name in DATASET_ORDER
+    }
+
+
+@pytest.fixture(scope="session", params=DATASET_ORDER)
+def workload(request, workloads):
+    return workloads[request.param]
+
+
+@pytest.fixture(scope="session")
+def oldenburg(workloads):
+    return workloads["oldenburg"]

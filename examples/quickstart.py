@@ -1,0 +1,72 @@
+"""Quickstart: plan sustainable charging along one trip.
+
+Builds a small synthetic city, a PlugShare-style charger catalog, wires up
+the Estimated Component services, and runs EcoCharge over a scheduled trip
+— printing one Offering Table per path segment and writing an HTML map.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import (
+    CatalogSpec,
+    ChargingEnvironment,
+    EcoCharge,
+    EcoChargeConfig,
+    NetworkSpec,
+    Trip,
+    Weights,
+    build_city_network,
+    generate_catalog,
+)
+from repro.ui import render_run_summary, render_offering_table, write_offering_map
+
+
+def main() -> None:
+    # 1. The world: a 20x15 km city with 150 solar-backed chargers.
+    network = build_city_network(
+        NetworkSpec(width_km=20.0, height_km=15.0, block_km=1.2, seed=4)
+    )
+    registry = generate_catalog(
+        network, CatalogSpec(charger_count=150, hotspots=4, seed=9)
+    )
+    environment = ChargingEnvironment(network, registry, seed=1)
+    print(
+        f"Built city: {network.node_count} intersections, "
+        f"{network.edge_count} road edges, {len(registry)} chargers."
+    )
+
+    # 2. A scheduled trip across town, departing 10:30 on a weekday.
+    nodes = sorted(network.node_ids())
+    trip = Trip.route(network, nodes[0], nodes[-1], departure_time_h=10.5)
+    print(f"Trip: {trip.length_km:.1f} km, {len(trip.segments())} segments.\n")
+
+    # 3. EcoCharge with the paper's best configuration (R=50, Q=5) scaled
+    #    to this city, equal objective weights, top-3 tables.
+    framework = EcoCharge(
+        environment,
+        EcoChargeConfig(k=3, radius_km=12.0, range_km=5.0, weights=Weights.equal()),
+    )
+    run = framework.plan(trip)
+
+    # 4. Show the driver what they would see.
+    print(render_run_summary(run.tables))
+    print()
+    print(render_offering_table(run.tables[0], title="First segment in detail"))
+    stats = framework.cache_stats
+    print(
+        f"\nDynamic caching: {stats.hits} adapted, {stats.misses} recomputed "
+        f"(hit rate {stats.hit_rate:.0%})."
+    )
+
+    # 5. Write the map (open in any browser — no external assets).
+    out = Path(__file__).parent / "quickstart_map.html"
+    write_offering_map(out, network, trip, run.tables, title="EcoCharge quickstart")
+    print(f"Map written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Shopping-trip what-if: how objective weights change the offering.
+
+The paper's scenario (iii): an EV user drives to the shops and wants to
+charge during the errand.  We plan the same trip under the four weight
+configurations of the Figure-9 ablation (AWE/OSC/OA/ODC) plus a custom
+"hurried shopper" mix, and show how the recommended charger shifts — the
+solar gem far away under OSC, the quiet site under OA, the closest plug
+under ODC.
+
+Run:  python examples/shopping_trip_weights.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ABLATION_CONFIGS,
+    CatalogSpec,
+    ChargingEnvironment,
+    EcoCharge,
+    EcoChargeConfig,
+    NetworkSpec,
+    Trip,
+    Weights,
+    build_city_network,
+    generate_catalog,
+)
+
+
+def main() -> None:
+    network = build_city_network(
+        NetworkSpec(width_km=18.0, height_km=14.0, block_km=1.3, seed=21)
+    )
+    registry = generate_catalog(
+        network, CatalogSpec(charger_count=120, hotspots=3, seed=22)
+    )
+    environment = ChargingEnvironment(network, registry, seed=3)
+
+    nodes = sorted(network.node_ids())
+    # Saturday 11:00 errand across town.
+    saturday_11 = 5 * 24 + 11.0
+    trip = Trip.route(network, nodes[2], nodes[-3], departure_time_h=saturday_11)
+    segment = trip.segments()[1]  # the stretch with the shopping centre
+
+    configs: dict[str, Weights] = dict(ABLATION_CONFIGS)
+    configs["hurried (70% derouting)"] = Weights(0.15, 0.15, 0.70)
+
+    print(f"Trip: {trip.length_km:.1f} km, ranking segment {segment.index}\n")
+    header = f"{'configuration':26s} {'top charger':12s} {'rate':>6s} {'L':>12s} {'A':>12s} {'D':>12s}"
+    print(header)
+    print("-" * len(header))
+    for label, weights in configs.items():
+        framework = EcoCharge(
+            environment,
+            EcoChargeConfig(k=3, radius_km=10.0, range_km=5.0, weights=weights),
+        )
+        table = framework.offering_for(trip, segment)
+        best = table.best
+        assert best is not None
+        print(
+            f"{label:26s} b{best.charger_id:<11d} {best.charger.rate_kw:>4.1f}kW "
+            f"[{best.sustainable.lo:.2f},{best.sustainable.hi:.2f}] "
+            f"[{best.availability.lo:.2f},{best.availability.hi:.2f}] "
+            f"[{best.derouting.lo:.2f},{best.derouting.hi:.2f}]"
+        )
+
+    print(
+        "\nEach single-objective configuration drags the pick toward its own "
+        "component; the equal-weight default balances all three (Figure 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Electric-taxi renewable hoarding (the paper's motivating scenario i).
+
+A fleet of electric taxis on a T-drive-style metropolitan workload hoards
+renewable energy during idle windows between fares.  For each taxi we plan
+its next trip with EcoCharge, pick the best offering, and simulate the
+charging session against the ground-truth solar production — reporting how
+much clean energy the fleet hoarded and how much derouting it cost,
+compared with a random-charger policy.
+
+Run:  python examples/taxi_idle_hoarding.py
+"""
+
+from __future__ import annotations
+
+from repro import EcoChargeConfig, Vehicle, Weights
+from repro.core.baselines import RandomRanker
+from repro.core.ecocharge import EcoChargeRanker
+from repro.core.ranking import run_over_trip
+from repro.trajectories.datasets import load_workload
+
+IDLE_WINDOW_H = 1.0  # taxis wait about an hour between fare clusters
+FLEET_SIZE = 6
+
+
+def simulate_policy(workload, ranker_factory, label: str) -> None:
+    environment = workload.environment
+    hoarded_kwh = 0.0
+    derouted_h = 0.0
+    sessions = 0
+    for trip in workload.trips[:FLEET_SIZE]:
+        ranker = ranker_factory(environment)
+        run = run_over_trip(ranker, environment, trip)
+        # The taxi charges once per trip, at the best offer of the middle
+        # segment (where the idle window falls).
+        table = run.tables[len(run.tables) // 2]
+        best = table.best
+        if best is None:
+            continue
+        segments = trip.segments()
+        segment = segments[table.segment_index]
+        nxt = (
+            segments[table.segment_index + 1]
+            if table.segment_index + 1 < len(segments)
+            else None
+        )
+        # Ground truth: what the charger actually delivers during the window.
+        taxi = Vehicle(vehicle_id=0, max_ac_kw=11.0, max_dc_kw=100.0)
+        power = environment.sustainable.true_power_kw(best.charger, best.eta_h)
+        deliverable = min(
+            power, best.charger.deliverable_kw(taxi.max_ac_kw, taxi.max_dc_kw)
+        )
+        hoarded_kwh += deliverable * IDLE_WINDOW_H
+        derouted_h += environment.derouting.true_cost_h(
+            segment, best.charger, best.eta_h, nxt
+        )
+        sessions += 1
+    print(
+        f"{label:22s} {sessions} sessions | clean energy hoarded "
+        f"{hoarded_kwh:6.1f} kWh | total derouting {derouted_h * 60:6.1f} min"
+    )
+
+
+def main() -> None:
+    print("Loading T-drive-style metropolitan workload ...")
+    workload = load_workload("tdrive", scale=0.4)
+    print(f"Workload: {workload.summary()}\n")
+
+    simulate_policy(
+        workload,
+        lambda env: EcoChargeRanker(
+            env,
+            EcoChargeConfig(
+                k=3, radius_km=15.0, range_km=5.0, weights=Weights.equal()
+            ),
+        ),
+        "EcoCharge policy",
+    )
+    simulate_policy(
+        workload,
+        lambda env: RandomRanker(env, k=3, radius_km=15.0, seed=2),
+        "Random-charger policy",
+    )
+    print(
+        "\nEcoCharge hoards more solar excess per deroute minute — the gap is "
+        "the renewable-hoarding benefit of CkNN-EC ranking."
+    )
+
+
+if __name__ == "__main__":
+    main()

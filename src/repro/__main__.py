@@ -1,0 +1,118 @@
+"""Top-level CLI: a zero-setup demonstration of the framework.
+
+``python -m repro demo`` builds a workload, runs EcoCharge next to the
+baselines on one trip, and prints what the driver would see plus a
+shape summary.  ``python -m repro simulate`` runs the fleet simulator.
+Figure regeneration lives under ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.baselines import BruteForceRanker, QuadtreeRanker, RandomRanker
+from .core.ecocharge import EcoChargeConfig, EcoChargeRanker
+from .core.ranking import run_over_trip
+from .simulation.fleet import FleetSimulation, SimulationConfig
+from .trajectories.datasets import DATASET_ORDER, load_workload
+from .ui.sparkline import bar_chart
+from .ui.table_render import render_offering_table, render_run_summary
+
+
+def _demo(args: argparse.Namespace) -> int:
+    workload = load_workload(args.dataset, scale=args.scale)
+    print(f"Workload: {workload.summary()}\n")
+    environment = workload.environment
+    trip = workload.trips[args.trip % len(workload.trips)]
+    print(f"Trip: {trip.length_km:.1f} km, {len(trip.segments())} segments\n")
+
+    rankers = {
+        "ecocharge": EcoChargeRanker(
+            environment, EcoChargeConfig(k=args.k, radius_km=args.radius)
+        ),
+        "brute-force": BruteForceRanker(environment, k=args.k),
+        "index-quadtree": QuadtreeRanker(environment, k=args.k),
+        "random": RandomRanker(environment, k=args.k, radius_km=args.radius),
+    }
+    timings: dict[str, float] = {}
+    runs = {}
+    for name, ranker in rankers.items():
+        start = time.perf_counter()
+        runs[name] = run_over_trip(ranker, environment, trip)
+        timings[name] = (time.perf_counter() - start) * 1000.0 / len(runs[name].tables)
+
+    print("EcoCharge Offering Tables along the trip:")
+    print(render_run_summary(runs["ecocharge"].tables))
+    print()
+    print(render_offering_table(runs["ecocharge"].tables[0], "First segment in detail"))
+    print("\nPer-segment CPU time by method:")
+    print(bar_chart({k: round(v, 2) for k, v in timings.items()}, unit=" ms"))
+    return 0
+
+
+def _simulate(args: argparse.Namespace) -> int:
+    workload = load_workload(args.dataset, scale=args.scale)
+    print(f"Workload: {workload.summary()}\n")
+    config = SimulationConfig(
+        ecocharge=EcoChargeConfig(k=args.k, radius_km=args.radius)
+    )
+    sim = FleetSimulation(workload.environment, workload.trips[: args.vehicles], config)
+    report = sim.run()
+    print(
+        f"Simulated {len(report.outcomes)} vehicles until t={report.simulated_until_h:.2f} h: "
+        f"{report.arrived} arrived, {report.total_clean_kwh:.1f} kWh clean energy "
+        f"hoarded, {report.total_drive_kwh:.1f} kWh spent driving."
+    )
+    for outcome in report.outcomes:
+        print(
+            f"  vehicle {outcome.vehicle_id}: {outcome.phase.value:9s} "
+            f"SoC {outcome.final_soc:4.0%}  clean +{outcome.clean_kwh:.1f} kWh  "
+            f"offers {outcome.offers_generated}"
+        )
+    return 0
+
+
+def _scenarios(args: argparse.Namespace) -> int:
+    from .simulation.scenarios import SCENARIOS, run_scenario
+
+    workload = load_workload(args.dataset, scale=args.scale)
+    print(f"Workload: {workload.summary()}\n")
+    print(f"{'scenario':<16}{'arrived':>8}{'clean kWh':>11}{'drive kWh':>11}{'queued':>8}")
+    print("-" * 54)
+    from .simulation.events import EventKind
+
+    for name, scenario in SCENARIOS.items():
+        report = run_scenario(
+            scenario, workload, EcoChargeConfig(k=args.k, radius_km=args.radius)
+        )
+        print(
+            f"{name:<16}{report.arrived:>5}/{len(report.outcomes):<2}"
+            f"{report.total_clean_kwh:>11.1f}{report.total_drive_kwh:>11.1f}"
+            f"{report.events.count(EventKind.WAITING_FOR_PLUG):>8}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EcoCharge reproduction demo CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    handlers = (("demo", _demo), ("simulate", _simulate), ("scenarios", _scenarios))
+    for name, handler in handlers:
+        p = sub.add_parser(name)
+        p.add_argument("--dataset", choices=DATASET_ORDER, default="oldenburg")
+        p.add_argument("--scale", type=float, default=0.5)
+        p.add_argument("--k", type=int, default=3)
+        p.add_argument("--radius", type=float, default=25.0)
+        p.set_defaults(handler=handler)
+    sub.choices["demo"].add_argument("--trip", type=int, default=0)
+    sub.choices["simulate"].add_argument("--vehicles", type=int, default=4)
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

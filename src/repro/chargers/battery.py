@@ -1,0 +1,58 @@
+"""Battery charging-curve model (CC-CV taper).
+
+Lithium packs accept full power only up to ~80 % state of charge, then the
+battery management system tapers toward a trickle near 100 %.  The session
+simulator uses this curve so that "hoard one hour of solar" translates
+into realistic energy figures for nearly-full batteries — without it, the
+last 20 % of a pack would absorb solar at implausible rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default knee of the CC-CV curve: full power below this SoC.
+DEFAULT_TAPER_START_SOC = 0.8
+
+#: Acceptance floor at 100 % SoC as a fraction of rated power.
+DEFAULT_FLOOR_FRACTION = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class ChargingCurve:
+    """Piecewise-linear acceptance curve.
+
+    Below ``taper_start_soc`` the battery accepts full offered power
+    (constant-current region); above it, acceptance falls linearly to
+    ``floor_fraction`` of the offered power at 100 % (constant-voltage
+    approximation).
+    """
+
+    taper_start_soc: float = DEFAULT_TAPER_START_SOC
+    floor_fraction: float = DEFAULT_FLOOR_FRACTION
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.taper_start_soc < 1.0:
+            raise ValueError("taper_start_soc must be in (0, 1)")
+        if not 0.0 <= self.floor_fraction <= 1.0:
+            raise ValueError("floor_fraction must be in [0, 1]")
+
+    def acceptance_fraction(self, soc: float) -> float:
+        """Fraction of offered power the pack accepts at ``soc``."""
+        if not 0.0 <= soc <= 1.0:
+            raise ValueError("state of charge must be in [0, 1]")
+        if soc <= self.taper_start_soc:
+            return 1.0
+        span = 1.0 - self.taper_start_soc
+        progress = (soc - self.taper_start_soc) / span
+        return 1.0 - progress * (1.0 - self.floor_fraction)
+
+    def accepted_kw(self, offered_kw: float, soc: float) -> float:
+        """Power actually flowing into the pack."""
+        if offered_kw < 0:
+            raise ValueError("offered power must be non-negative")
+        return offered_kw * self.acceptance_fraction(soc)
+
+
+#: Shared default curve used when a vehicle does not specify one.
+DEFAULT_CURVE = ChargingCurve()

@@ -1,0 +1,132 @@
+"""Spatially indexed registry of the charger set ``B``."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Literal
+
+from ..spatial.bbox import BoundingBox
+from ..spatial.geometry import Point
+from ..spatial.grid import GridIndex
+from ..spatial.kdtree import KDTree
+from ..spatial.knn import SpatialIndex
+from ..spatial.quadtree import QuadTree
+from .charger import Charger
+
+IndexKind = Literal["quadtree", "kdtree", "grid"]
+
+
+class ChargerRegistry:
+    """The set ``B`` of all chargers, with pluggable spatial indexing.
+
+    The registry is the single source of truth the baselines differ over:
+    Brute-Force scans :meth:`all`, Index-Quadtree asks the quadtree, and
+    EcoCharge uses radius queries bounded by the user radius ``R``.
+    """
+
+    def __init__(self, chargers: Iterable[Charger], bounds: BoundingBox | None = None):
+        self._chargers: dict[int, Charger] = {}
+        for charger in chargers:
+            if charger.charger_id in self._chargers:
+                raise ValueError(f"duplicate charger id {charger.charger_id}")
+            self._chargers[charger.charger_id] = charger
+        if not self._chargers:
+            raise ValueError("a registry needs at least one charger")
+        if bounds is None:
+            bounds = BoundingBox.from_points(
+                c.point for c in self._chargers.values()
+            ).expanded(1.0)
+        self.bounds = bounds
+        self._indexes: dict[IndexKind, SpatialIndex[Charger]] = {}
+
+    def __len__(self) -> int:
+        return len(self._chargers)
+
+    def __iter__(self) -> Iterator[Charger]:
+        yield from self._chargers.values()
+
+    def __contains__(self, charger_id: int) -> bool:
+        return charger_id in self._chargers
+
+    def get(self, charger_id: int) -> Charger:
+        """The charger with ``charger_id`` (KeyError if absent)."""
+        return self._chargers[charger_id]
+
+    def all(self) -> list[Charger]:
+        """Every charger — the brute-force search space."""
+        return list(self._chargers.values())
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, charger: Charger) -> None:
+        """Register a new charger (e.g., a site coming online mid-day).
+
+        Spatial indexes are invalidated and rebuilt lazily; solution
+        caches held by rankers are *not* — their TTL bounds the staleness,
+        mirroring how the production system learns of new sites on the
+        next catalog refresh.
+        """
+        if charger.charger_id in self._chargers:
+            raise ValueError(f"duplicate charger id {charger.charger_id}")
+        if not self.bounds.contains(charger.point):
+            raise ValueError(
+                f"charger {charger.charger_id} at {charger.point} lies outside "
+                f"the registry bounds {self.bounds}"
+            )
+        self._chargers[charger.charger_id] = charger
+        self._indexes.clear()
+
+    def remove(self, charger_id: int) -> Charger:
+        """Deregister a charger (site offline); returns the removed entry."""
+        if len(self._chargers) <= 1:
+            raise ValueError("a registry must keep at least one charger")
+        try:
+            charger = self._chargers.pop(charger_id)
+        except KeyError:
+            raise KeyError(f"no charger with id {charger_id}") from None
+        self._indexes.clear()
+        return charger
+
+    def index(self, kind: IndexKind = "quadtree") -> SpatialIndex[Charger]:
+        """Lazily built spatial index over the registry."""
+        if kind not in self._indexes:
+            self._indexes[kind] = self._build_index(kind)
+        return self._indexes[kind]
+
+    def _build_index(self, kind: IndexKind) -> SpatialIndex[Charger]:
+        entries = [(c.point, c) for c in self._chargers.values()]
+        if kind == "quadtree":
+            tree: QuadTree[Charger] = QuadTree(self.bounds)
+            for point, charger in entries:
+                tree.insert(point, charger)
+            return tree
+        if kind == "kdtree":
+            return KDTree(entries)
+        if kind == "grid":
+            cell = max(0.5, min(self.bounds.width, self.bounds.height) / 32.0)
+            grid: GridIndex[Charger] = GridIndex(self.bounds, cell)
+            for point, charger in entries:
+                grid.insert(point, charger)
+            return grid
+        raise ValueError(f"unknown index kind: {kind!r}")
+
+    def within_radius(
+        self, center: Point, radius_km: float, kind: IndexKind = "quadtree"
+    ) -> list[Charger]:
+        """Chargers within ``radius_km`` of ``center``, nearest first."""
+        hits = self.index(kind).query_radius(center, radius_km)
+        hits.sort(key=lambda pair: pair[0].squared_distance_to(center))
+        return [charger for __, charger in hits]
+
+    def nearest(
+        self, center: Point, k: int = 1, kind: IndexKind = "quadtree"
+    ) -> list[Charger]:
+        """The ``k`` nearest chargers to ``center``."""
+        return [charger for __, __, charger in self.index(kind).nearest(center, k)]
+
+    def max_rate_kw(self) -> float:
+        """Environment maximum charging rate, used to normalise ``L``."""
+        return max(c.rate_kw for c in self._chargers.values())
+
+    def max_solar_capacity_kw(self) -> float:
+        """Largest attached solar array in the registry (kW)."""
+        return max(c.solar_capacity_kw for c in self._chargers.values())

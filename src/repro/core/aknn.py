@@ -1,0 +1,128 @@
+"""All-kNN self-join (the Spitfire-style Mode-2 operator).
+
+Section VI-B: "an AkNN query can alternatively be viewed as a kNN
+Self-Join ... such an operator could be useful shall we decide to
+implement EcoCharge in Mode 2 (cloud mode)."  A cloud EIS serving many
+vehicles benefits from precomputed charger neighborhoods: when a vehicle's
+best charger is crowded, its precomputed kNN list supplies redirection
+alternatives without a fresh spatial query.
+
+The implementation follows the distributed-main-memory recipe the paper
+cites (grid partitioning + bounded refinement), single-process here: hash
+points into a uniform grid sized ~sqrt(n) cells, then answer each point's
+kNN by ring-expansion over neighbouring cells with a distance bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+from ..spatial.bbox import BoundingBox
+from ..spatial.geometry import Point
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class AknnResult:
+    """kNN graph: ``neighbours[i]`` lists (distance, index) pairs sorted
+    ascending, excluding the point itself."""
+
+    points: tuple[Point, ...]
+    neighbours: tuple[tuple[tuple[float, int], ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def of(self, index: int) -> tuple[tuple[float, int], ...]:
+        """The kNN list of point ``index`` as (distance, index) pairs."""
+        return self.neighbours[index]
+
+    def neighbour_ids(self, index: int) -> list[int]:
+        """Just the neighbour indices of point ``index``, nearest first."""
+        return [i for __, i in self.neighbours[index]]
+
+
+def aknn_self_join(points: Sequence[Point], k: int) -> AknnResult:
+    """Compute the kNN graph of ``points`` (self excluded).
+
+    Grid-partitioned: expected near-linear on uniform-ish data, with a
+    correct worst case (rings expand until the kth distance is certified).
+    Ties are broken by index for determinism.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    n = len(points)
+    if n == 0:
+        return AknnResult((), ())
+    k = min(k, n - 1)
+    if k == 0:
+        return AknnResult(tuple(points), tuple(() for __ in points))
+
+    bounds = BoundingBox.from_points(points).expanded(1e-9)
+    # ~sqrt(n) cells per axis keeps expected occupancy O(sqrt n) total.
+    cells_per_axis = max(1, int(math.sqrt(n)))
+    cell_w = bounds.width / cells_per_axis or 1.0
+    cell_h = bounds.height / cells_per_axis or 1.0
+
+    grid: dict[tuple[int, int], list[int]] = {}
+    cell_of: list[tuple[int, int]] = []
+    for index, point in enumerate(points):
+        cx = min(cells_per_axis - 1, int((point.x - bounds.min_x) / cell_w))
+        cy = min(cells_per_axis - 1, int((point.y - bounds.min_y) / cell_h))
+        grid.setdefault((cx, cy), []).append(index)
+        cell_of.append((cx, cy))
+
+    def ring_cells(center: tuple[int, int], radius: int):
+        cx, cy = center
+        if radius == 0:
+            yield center
+            return
+        for dx in range(-radius, radius + 1):
+            for dy in (-radius, radius):
+                yield (cx + dx, cy + dy)
+        for dy in range(-radius + 1, radius):
+            for dx in (-radius, radius):
+                yield (cx + dx, cy + dy)
+
+    neighbours: list[tuple[tuple[float, int], ...]] = []
+    max_radius = cells_per_axis  # expanding past the whole grid is final
+    for index, point in enumerate(points):
+        # Max-heap of (negated distance, -index) holding the best k so far.
+        heap: list[tuple[float, int]] = []
+        radius = 0
+        while radius <= max_radius:
+            for cell in ring_cells(cell_of[index], radius):
+                for other in grid.get(cell, ()):
+                    if other == index:
+                        continue
+                    dist = point.distance_to(points[other])
+                    entry = (-dist, -other)
+                    if len(heap) < k:
+                        heapq.heappush(heap, entry)
+                    elif entry > heap[0]:
+                        heapq.heapreplace(heap, entry)
+            # Certification: every unexplored cell is at least
+            # (radius) * min(cell_w, cell_h) away from the query point's
+            # cell border; stop once the kth distance is inside that.
+            if len(heap) == k:
+                kth = -heap[0][0]
+                certified = radius * min(cell_w, cell_h)
+                if kth <= certified:
+                    break
+            radius += 1
+        result = sorted(((-d, -i) for d, i in heap), key=lambda t: (t[0], t[1]))
+        neighbours.append(tuple(result))
+    return AknnResult(tuple(points), tuple(neighbours))
+
+
+def knn_graph_edges(result: AknnResult) -> list[tuple[int, int, float]]:
+    """Flatten the kNN graph to (source, target, distance) edges."""
+    edges = []
+    for source, row in enumerate(result.neighbours):
+        for dist, target in row:
+            edges.append((source, target, dist))
+    return edges

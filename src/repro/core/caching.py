@@ -1,0 +1,110 @@
+"""Dynamic Caching (Section IV-C).
+
+EcoCharge's bottom-up reuse strategy: solved sub-problems (the scored
+candidate pool behind an Offering Table) are stored and *adapted* for
+nearby later locations instead of recomputed.  A cached solution is
+reusable when
+
+* the new query location is within the range-distance parameter ``Q`` of
+  the location the solution was computed for, and
+* the solution is still temporally valid — the ECs carry a natural expiry
+  (the caching hypothesis: ``L``, ``A``, ``D`` invalidate after some time
+  ``t``).
+
+The cache also fronts the simulated external-API responses on the server
+side (see :mod:`repro.server.cache`); this module is the client-side
+solution cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chargers.charger import Charger
+from ..spatial.geometry import Point
+from .scoring import ComponentScores
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss bookkeeping surfaced by the experiments."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    out_of_range: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CachedSolution:
+    """The raw material behind one Offering Table.
+
+    Keeping the *scored pool* (not just the top-k) is what makes
+    adaptation sound: a charger that was rank 7 at the previous location
+    can surface into the top-k at the new one.
+    """
+
+    segment_index: int
+    origin: Point
+    generated_at_h: float
+    eta_h: float
+    radius_km: float
+    pool: tuple[Charger, ...]
+    components: tuple[ComponentScores, ...]
+
+
+class DynamicCache:
+    """Single-trip solution cache with ``Q``-range and TTL validity."""
+
+    def __init__(self, range_km: float = 5.0, ttl_h: float = 1.0):
+        if range_km <= 0:
+            raise ValueError("range_km (Q) must be positive")
+        if ttl_h <= 0:
+            raise ValueError("ttl_h must be positive")
+        self.range_km = range_km
+        self.ttl_h = ttl_h
+        self.stats = CacheStats()
+        self._entry: CachedSolution | None = None
+
+    def lookup(self, origin: Point, now_h: float) -> CachedSolution | None:
+        """The cached solution if reusable for a query at ``origin``.
+
+        Misses are categorised (empty / expired / out of Q range) for the
+        Q-opt experiment's diagnostics.
+        """
+        entry = self._entry
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if now_h - entry.generated_at_h > self.ttl_h:
+            self.stats.misses += 1
+            self.stats.expirations += 1
+            self._entry = None
+            return None
+        if origin.distance_to(entry.origin) > self.range_km:
+            self.stats.misses += 1
+            self.stats.out_of_range += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def store(self, solution: CachedSolution) -> None:
+        """Replace the cached solution with ``solution``."""
+        self._entry = solution
+
+    def clear(self) -> None:
+        """Drop the cached solution and reset statistics (new trip)."""
+        self._entry = None
+        self.stats = CacheStats()
+
+    @property
+    def current(self) -> CachedSolution | None:
+        return self._entry

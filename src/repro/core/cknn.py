@@ -1,0 +1,193 @@
+"""Continuous kNN queries: split points and the CkNN-EC driver.
+
+Two layers:
+
+* The classical geometric substrate (Tao et al., VLDB'02): given a path
+  segment and a candidate set, find the *split points* ``SL`` where the
+  nearest-neighbour answer changes.  For ``k = 1`` the split points are
+  exact — along a line the difference of squared distances to two sites is
+  linear in the path parameter, so each bisector crossing has a closed
+  form.  For ``k > 1`` a sampled sweep with the same invariants is used.
+
+* The CkNN-EC driver of the paper: one SC-ranked kNN result per trip
+  segment (the segment boundaries are the split points of the continuous
+  query, Section III-A), delegating the per-segment ranking to any
+  :class:`~repro.core.ranking.SegmentRanker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+from ..spatial.geometry import Point, Segment
+
+T = TypeVar("T")
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class SplitPoint:
+    """A maximal stretch of a segment sharing one nearest-neighbour answer.
+
+    ``t_start``/``t_end`` are parametric positions in [0, 1] along the
+    queried segment; ``nn_ids`` is the (ordered, for k=1 trivially single)
+    answer valid on ``[t_start, t_end)``.
+    """
+
+    t_start: float
+    t_end: float
+    start: Point
+    end: Point
+    nn_ids: tuple[int, ...]
+
+    @property
+    def length_fraction(self) -> float:
+        return self.t_end - self.t_start
+
+
+def _bisector_crossing(
+    segment: Segment, current: Point, challenger: Point
+) -> float | None:
+    """Parametric ``t`` where ``challenger`` starts beating ``current``.
+
+    Along ``P(t) = s + t v`` the difference of squared distances
+    ``|P(t)-a|^2 - |P(t)-b|^2`` is linear in ``t``; this returns the root
+    if the challenger wins for larger ``t``, else None.
+    """
+    s, e = segment.start, segment.end
+    vx, vy = e.x - s.x, e.y - s.y
+    # f(t) = |P(t)-a|^2 - |P(t)-b|^2 = c0 + c1 * t ; challenger b wins when f > 0.
+    ax, ay = s.x - current.x, s.y - current.y
+    bx, by = s.x - challenger.x, s.y - challenger.y
+    c0 = (ax * ax + ay * ay) - (bx * bx + by * by)
+    c1 = 2.0 * (vx * (ax - bx) + vy * (ay - by))
+    if abs(c1) < _EPS:
+        return None  # parallel bisector: order never changes on this segment
+    root = -c0 / c1
+    if c1 > 0:
+        return root  # challenger ahead after the root
+    return None  # challenger ahead only before the root; irrelevant going forward
+
+
+def split_points_1nn(
+    segment: Segment, candidates: Sequence[tuple[int, Point]]
+) -> list[SplitPoint]:
+    """Exact continuous 1NN along ``segment``.
+
+    ``candidates`` are ``(id, point)`` pairs.  Returns the ordered list of
+    split-point stretches covering [0, 1]; consecutive stretches have
+    different winners by construction.
+    """
+    if not candidates:
+        raise ValueError("continuous NN needs at least one candidate")
+    t = 0.0
+    start_point = segment.start
+    winner_id, winner_point = min(
+        candidates, key=lambda c: c[1].squared_distance_to(segment.start)
+    )
+    results: list[SplitPoint] = []
+    # Guard: at most |candidates| NN changes are possible for 1NN along a
+    # line (each site can become the winner at most once).
+    for __ in range(len(candidates) + 1):
+        best_t = 1.0
+        best: tuple[int, Point] | None = None
+        for cand_id, cand_point in candidates:
+            if cand_id == winner_id:
+                continue
+            crossing = _bisector_crossing(segment, winner_point, cand_point)
+            if crossing is None:
+                continue
+            if t + _EPS < crossing < best_t - _EPS:
+                best_t = crossing
+                best = (cand_id, cand_point)
+        if best is None:
+            results.append(
+                SplitPoint(t, 1.0, start_point, segment.end, (winner_id,))
+            )
+            return results
+        split_at = segment.interpolate(best_t)
+        results.append(SplitPoint(t, best_t, start_point, split_at, (winner_id,)))
+        t = best_t
+        start_point = split_at
+        winner_id, winner_point = best
+    # Numerical pathologies only; close out the sweep.
+    results.append(SplitPoint(t, 1.0, start_point, segment.end, (winner_id,)))
+    return results
+
+
+def split_points_knn_sampled(
+    segment: Segment,
+    candidates: Sequence[tuple[int, Point]],
+    k: int,
+    step_km: float = 0.1,
+) -> list[SplitPoint]:
+    """Sampled continuous kNN: stretches where the kNN *set* is constant.
+
+    A sweep at ``step_km`` resolution with binary refinement of each
+    transition to ``step_km / 64`` precision.  Order within the set is
+    ignored (set semantics, as in the AkNN literature the paper cites).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if not candidates:
+        raise ValueError("continuous kNN needs at least one candidate")
+    k = min(k, len(candidates))
+
+    def knn_set(t: float) -> frozenset[int]:
+        point = segment.interpolate(t)
+        ranked = sorted(
+            candidates, key=lambda c: (c[1].squared_distance_to(point), c[0])
+        )
+        return frozenset(c[0] for c in ranked[:k])
+
+    def ordered(t: float) -> tuple[int, ...]:
+        point = segment.interpolate(t)
+        ranked = sorted(
+            candidates, key=lambda c: (c[1].squared_distance_to(point), c[0])
+        )
+        return tuple(c[0] for c in ranked[:k])
+
+    length = segment.length
+    samples = max(2, int(length / step_km) + 1) if length > 0 else 2
+    ts = [i / (samples - 1) for i in range(samples)]
+
+    results: list[SplitPoint] = []
+    run_start = 0.0
+    current = knn_set(0.0)
+    for prev_t, next_t in zip(ts, ts[1:]):
+        nxt = knn_set(next_t)
+        if nxt == current:
+            continue
+        # Binary-refine the transition inside (prev_t, next_t].
+        lo, hi = prev_t, next_t
+        for __ in range(6):
+            mid = (lo + hi) / 2.0
+            if knn_set(mid) == current:
+                lo = mid
+            else:
+                hi = mid
+        results.append(
+            SplitPoint(
+                run_start, hi, segment.interpolate(run_start), segment.interpolate(hi),
+                ordered(run_start),
+            )
+        )
+        run_start = hi
+        current = nxt
+    results.append(
+        SplitPoint(run_start, 1.0, segment.interpolate(run_start), segment.end, ordered(run_start))
+    )
+    return results
+
+
+def coverage_is_complete(splits: Sequence[SplitPoint], tol: float = 1e-9) -> bool:
+    """Invariant check: split stretches tile [0, 1] without gaps/overlaps."""
+    if not splits:
+        return False
+    if abs(splits[0].t_start) > tol or abs(splits[-1].t_end - 1.0) > tol:
+        return False
+    return all(
+        abs(a.t_end - b.t_start) <= tol for a, b in zip(splits, splits[1:])
+    )

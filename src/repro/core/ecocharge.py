@@ -1,0 +1,309 @@
+"""The EcoCharge algorithm (Algorithm 1) and framework facade.
+
+Per trip segment:
+
+1. **Filtering** — gather the candidate pool: chargers within the
+   user-configured radius ``R`` of the segment (via a spatial index), and
+   price their ECs as intervals (lines 3-10).
+2. **Refinement** — evaluate Eq. 6 (top-k intersection of the SC_min and
+   SC_max rankings), sort, and emit the Offering Table (lines 16-18).
+
+Dynamic caching wraps the whole pipeline: when the vehicle has moved less
+than ``Q`` since the last full computation and the solution is still
+temporally valid, the cached scored pool is *adapted* — derouting deltas
+are applied arithmetically and the pool re-ranked — with no new shortest
+path searches or estimator calls.  That skip is the source of the paper's
+speedup over the Index-Quadtree baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..chargers.charger import Charger
+from ..estimation.derouting import REFERENCE_SPEED_KMH
+from ..network.path import DEFAULT_SEGMENT_KM, Trip, TripSegment
+from .caching import CachedSolution, CacheStats, DynamicCache
+from .environment import ChargingEnvironment
+from .intervals import Interval
+from .offering import OfferingTable, build_table
+from .ranking import RankingRun, run_over_trip
+from .scoring import ComponentScores, Weights, intersect_top_k, sc_score
+
+
+@dataclass(frozen=True, slots=True)
+class EcoChargeConfig:
+    """User-facing knobs of the framework.
+
+    ``radius_km`` is the paper's ``R`` (chargers considered around the
+    vehicle), ``range_km`` the paper's ``Q`` (how far the vehicle may move
+    before a cached solution must be regenerated).  The paper's sweet spot
+    is ``R = 50 km``, ``Q = 5 km`` (Section V-B).
+    """
+
+    k: int = 5
+    radius_km: float = 50.0
+    range_km: float = 5.0
+    weights: Weights = Weights.equal()
+    segment_km: float = DEFAULT_SEGMENT_KM
+    cache_ttl_h: float = 1.0
+    index_kind: str = "quadtree"
+    pad_intersection: bool = True
+    #: Optional cap on the scored pool kept for cache adaptation.  None
+    #: stores the full filtered pool (exact adaptation over all
+    #: candidates); a value like ``8 * k`` bounds per-adaptation work at a
+    #: small quality cost (a charger outside the kept set cannot surface
+    #: later).  Measured in benchmarks/bench_ablation_cache.py.
+    cache_pool_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.radius_km <= 0:
+            raise ValueError("radius_km (R) must be positive")
+        if self.range_km <= 0:
+            raise ValueError("range_km (Q) must be positive")
+        if self.segment_km <= 0:
+            raise ValueError("segment_km must be positive")
+        if self.cache_ttl_h <= 0:
+            raise ValueError("cache_ttl_h must be positive")
+        if self.cache_pool_limit is not None and self.cache_pool_limit < self.k:
+            raise ValueError("cache_pool_limit must be at least k")
+
+
+class EcoChargeRanker:
+    """Algorithm 1 with dynamic caching, as a :class:`SegmentRanker`."""
+
+    name = "ecocharge"
+
+    def __init__(
+        self,
+        environment: ChargingEnvironment,
+        config: EcoChargeConfig | None = None,
+        constraints=None,
+    ):
+        """``constraints`` (a
+        :class:`~repro.core.feasibility.VehicleConstraints`) optionally
+        narrows the Filtering phase to chargers the specific vehicle can
+        reach and use."""
+        self._env = environment
+        self.config = config if config is not None else EcoChargeConfig()
+        self.constraints = constraints
+        self._cache = DynamicCache(
+            range_km=self.config.range_km, ttl_h=self.config.cache_ttl_h
+        )
+        # Out to the radius edge and back, at the reference speed: the
+        # shortest-path budget implied by R.
+        self._budget_h = min(
+            environment.derouting.max_derouting_h,
+            4.0 * self.config.radius_km / REFERENCE_SPEED_KMH,
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def reset(self) -> None:
+        """Drop per-trip state: clears the dynamic cache."""
+        self._cache.clear()
+
+    # -- the algorithm -------------------------------------------------------
+
+    def rank_segment(
+        self,
+        trip: Trip,
+        segment: TripSegment,
+        eta_h: float,
+        now_h: float,
+        next_segment: TripSegment | None = None,
+    ) -> OfferingTable:
+        """Algorithm 1 for one segment: adapt from cache or recompute."""
+        origin = segment.midpoint
+        cached = self._cache.lookup(origin, now_h=eta_h)
+        if cached is not None:
+            return self._adapt(cached, segment, origin, eta_h)
+        return self._compute(trip, segment, origin, eta_h, now_h, next_segment)
+
+    def _compute(
+        self,
+        trip: Trip,
+        segment: TripSegment,
+        origin,
+        eta_h: float,
+        now_h: float,
+        next_segment: TripSegment | None,
+    ) -> OfferingTable:
+        """Full Filtering + Refinement, then prime the cache."""
+        pool = self._env.registry.within_radius(
+            origin, self.config.radius_km, kind=self.config.index_kind
+        )
+        if self.constraints is not None:
+            from .feasibility import filter_feasible
+
+            pool = filter_feasible(pool, self.constraints, origin)
+        if not pool:
+            pool = self._env.registry.nearest(origin, k=self.config.k)
+        components = self._env.score_pool(
+            segment,
+            pool,
+            eta_h=eta_h,
+            now_h=now_h,
+            next_segment=next_segment,
+            search_budget_h=self._budget_h,
+        )
+        kept_pool, kept_components = self._reduce_for_cache(pool, components)
+        self._cache.store(
+            CachedSolution(
+                segment_index=segment.index,
+                origin=origin,
+                generated_at_h=eta_h,
+                eta_h=eta_h,
+                radius_km=self.config.radius_km,
+                pool=kept_pool,
+                components=kept_components,
+            )
+        )
+        return self._refine(segment.index, origin, eta_h, eta_h, pool, components)
+
+    def _reduce_for_cache(self, pool, components):
+        """Apply ``cache_pool_limit``: keep the most promising candidates
+        (by midpoint score) so adaptation work is bounded."""
+        limit = self.config.cache_pool_limit
+        if limit is None or len(pool) <= limit:
+            return tuple(pool), tuple(components)
+        scored = sorted(
+            zip(pool, components),
+            key=lambda pair: -sc_score(pair[1], self.config.weights).midpoint,
+        )[:limit]
+        return tuple(p for p, __ in scored), tuple(c for __, c in scored)
+
+    def _adapt(
+        self,
+        cached: CachedSolution,
+        segment: TripSegment,
+        origin,
+        eta_h: float,
+    ) -> OfferingTable:
+        """Adapt a cached solution to the new location (O(|pool|), no
+        shortest paths, no estimator calls).
+
+        Only the derouting component depends on the vehicle's position;
+        each charger's cached ``D`` is shifted by the straight-line
+        round-trip delta between old and new origin at the reference
+        speed, then the whole pool is re-ranked.
+
+        The adapted solution replaces the cache entry (the paper's
+        bottom-up chain: O1 is adjusted to O2 "and this carries on to the
+        next EV path segments").  Its TTL stays anchored at the original
+        full computation, so drift is bounded: once the ECs expire, a full
+        recomputation is forced regardless of how little the vehicle
+        moved.
+        """
+        max_h = self._env.derouting.max_derouting_h
+        adapted: list[ComponentScores] = []
+        for charger, comp in zip(cached.pool, cached.components):
+            old_km = cached.origin.distance_to(charger.point)
+            new_km = origin.distance_to(charger.point)
+            delta_norm = 2.0 * (new_km - old_km) / REFERENCE_SPEED_KMH / max_h
+            adapted.append(
+                replace(
+                    comp,
+                    derouting=Interval(
+                        comp.derouting.lo + delta_norm, comp.derouting.hi + delta_norm
+                    ).clamp(0.0, 1.0),
+                )
+            )
+        self._cache.store(
+            CachedSolution(
+                segment_index=segment.index,
+                origin=origin,
+                generated_at_h=cached.generated_at_h,
+                eta_h=eta_h,
+                radius_km=cached.radius_km,
+                pool=cached.pool,
+                components=tuple(adapted),
+            )
+        )
+        return self._refine(
+            segment.index,
+            origin,
+            eta_h,
+            cached.generated_at_h,
+            cached.pool,
+            adapted,
+            adapted_from=cached.segment_index,
+        )
+
+    def _refine(
+        self,
+        segment_index: int,
+        origin,
+        eta_h: float,
+        generated_at_h: float,
+        pool,
+        components,
+        adapted_from: int | None = None,
+    ) -> OfferingTable:
+        """Eq. 6 intersection + sort + table assembly (lines 16-18)."""
+        by_id: dict[int, tuple[Charger, ComponentScores]] = {
+            comp.charger_id: (charger, comp) for charger, comp in zip(pool, components)
+        }
+        scores = [sc_score(comp, self.config.weights) for comp in components]
+        chosen = intersect_top_k(scores, self.config.k, pad=self.config.pad_intersection)
+        rows = []
+        for score in chosen:
+            charger, comp = by_id[score.charger_id]
+            rows.append(
+                (score, charger, comp.sustainable, comp.availability, comp.derouting, eta_h)
+            )
+        return build_table(
+            segment_index=segment_index,
+            origin=origin,
+            generated_at_h=generated_at_h,
+            radius_km=self.config.radius_km,
+            ranked=rows,
+            adapted_from=adapted_from,
+        )
+
+
+class EcoCharge:
+    """Framework facade: plan sustainable charging along a scheduled trip.
+
+    The quickstart entry point::
+
+        framework = EcoCharge(environment, EcoChargeConfig(k=3))
+        run = framework.plan(trip)
+        for table in run.tables:
+            print(table.best.charger)
+    """
+
+    def __init__(self, environment: ChargingEnvironment, config: EcoChargeConfig | None = None):
+        self.environment = environment
+        self.config = config if config is not None else EcoChargeConfig()
+        self.ranker = EcoChargeRanker(environment, self.config)
+
+    def plan(self, trip: Trip) -> RankingRun:
+        """The CkNN-EC answer for ``trip``: one Offering Table per segment."""
+        return run_over_trip(
+            self.ranker, self.environment, trip, segment_km=self.config.segment_km
+        )
+
+    def offering_for(
+        self, trip: Trip, segment: TripSegment, eta_h: float | None = None
+    ) -> OfferingTable:
+        """One-shot Offering Table for a single segment (Mode-3 style
+        on-demand query)."""
+        if eta_h is None:
+            eta_h = self._eta_for(trip, segment)
+        return self.ranker.rank_segment(
+            trip, segment, eta_h=eta_h, now_h=trip.departure_time_h
+        )
+
+    def _eta_for(self, trip: Trip, segment: TripSegment) -> float:
+        return self.environment.eta.eta_at_segment(
+            trip, segment, segment_km=self.config.segment_km
+        ).expected_h
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.ranker.cache_stats

@@ -1,0 +1,167 @@
+"""The charging environment: everything the ranking algorithms query.
+
+Bundles the road network, the charger set ``B``, and the three Estimated
+Component services (plus ETA) behind two views:
+
+* :meth:`ChargingEnvironment.score_pool` — the *forecast* view used by the
+  ranking algorithms (interval-valued, Algorithm 1 lines 4-10);
+* :meth:`ChargingEnvironment.true_components` — the *oracle* view used by
+  the evaluation to compute the ground-truth SC every method is graded
+  against (the brute-force optimum defines 100 %, Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..chargers.charger import Charger
+from ..chargers.registry import ChargerRegistry
+from ..estimation.availability import AvailabilityEstimator
+from ..estimation.derouting import DeroutingEstimator
+from ..estimation.eta import EtaEstimator
+from ..estimation.sustainable import SustainableChargingEstimator
+from ..estimation.traffic import TrafficModel
+from ..estimation.weather import WeatherModel
+from ..network.graph import RoadNetwork
+from ..network.path import TripSegment
+from .scoring import ComponentScores
+
+
+@dataclass(frozen=True, slots=True)
+class TrueComponents:
+    """Ground-truth (point-valued) normalised components for one charger."""
+
+    charger_id: int
+    sustainable: float
+    availability: float
+    derouting: float
+
+
+class ChargingEnvironment:
+    """Road network + chargers + estimators, wired together."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        registry: ChargerRegistry,
+        weather: WeatherModel | None = None,
+        traffic: TrafficModel | None = None,
+        seed: int = 0,
+        charging_window_h: float = 1.0,
+    ):
+        self.network = network
+        self.registry = registry
+        self.weather = weather if weather is not None else WeatherModel(seed=seed)
+        self.traffic = traffic if traffic is not None else TrafficModel(seed=seed)
+        self.sustainable = SustainableChargingEstimator(registry, self.weather)
+        self.availability = AvailabilityEstimator(registry, seed=seed)
+        self.derouting = DeroutingEstimator(network, self.traffic)
+        self.eta = EtaEstimator(self.traffic)
+        if charging_window_h <= 0:
+            raise ValueError("charging window must be positive")
+        self.charging_window_h = charging_window_h
+
+    # -- forecast view (what the algorithms see) ----------------------------
+
+    def score_pool(
+        self,
+        segment: TripSegment,
+        chargers: Sequence[Charger],
+        eta_h: float,
+        now_h: float,
+        next_segment: TripSegment | None = None,
+        search_budget_h: float | None = None,
+    ) -> list[ComponentScores]:
+        """Interval L/A/D for every charger in the pool (Alg. 1 lines 4-10).
+
+        Derouting is batch-priced (four shortest-path searches for the
+        whole pool); ``search_budget_h`` bounds those searches — EcoCharge
+        passes its ``R``-derived budget, Brute Force passes None (whole
+        environment).
+        """
+        derouting = self.derouting.batch_estimate(
+            segment,
+            chargers,
+            time_h=eta_h,
+            now_h=now_h,
+            next_segment=next_segment,
+            search_budget_h=search_budget_h,
+        )
+        scores: list[ComponentScores] = []
+        for charger in chargers:
+            level = self.sustainable.estimate(
+                charger, eta_h, now_h, window_h=self.charging_window_h
+            )
+            avail = self.availability.estimate(charger, eta_h, now_h)
+            scores.append(
+                ComponentScores(
+                    charger_id=charger.charger_id,
+                    sustainable=level.normalised,
+                    availability=avail,
+                    derouting=derouting[charger.charger_id].normalised,
+                )
+            )
+        return scores
+
+    # -- oracle view (what the evaluation grades against) -------------------
+
+    def true_components(
+        self,
+        segment: TripSegment,
+        charger: Charger,
+        time_h: float,
+        next_segment: TripSegment | None = None,
+    ) -> TrueComponents:
+        """Ground-truth normalised components for one charger."""
+        power = self.sustainable.true_power_kw(charger, time_h)
+        sustainable = min(1.0, power / self.sustainable.max_power_kw)
+        availability = self.availability.true_availability(charger, time_h)
+        hours = self.derouting.true_cost_h(segment, charger, time_h, next_segment)
+        derouting = min(1.0, hours / self.derouting.max_derouting_h)
+        return TrueComponents(charger.charger_id, sustainable, availability, derouting)
+
+    def true_components_pool(
+        self,
+        segment: TripSegment,
+        chargers: Iterable[Charger],
+        time_h: float,
+        next_segment: TripSegment | None = None,
+    ) -> dict[int, TrueComponents]:
+        """Batch oracle components (one shortest-path pass for the pool)."""
+        pool = list(chargers)
+        fn = self.traffic.travel_time_fn(time_h)
+        from ..network.shortest_path import dijkstra_all, dijkstra_all_backward
+
+        max_h = self.derouting.max_derouting_h
+        out = dijkstra_all(self.network, segment.anchor_node, fn, max_cost=max_h)
+        back_same = dijkstra_all_backward(self.network, segment.node_ids[-1], fn, max_cost=max_h)
+        if next_segment is not None and next_segment.node_ids[-1] != segment.node_ids[-1]:
+            back_next = dijkstra_all_backward(
+                self.network, next_segment.node_ids[-1], fn, max_cost=max_h
+            )
+        else:
+            back_next = back_same
+
+        results: dict[int, TrueComponents] = {}
+        for charger in pool:
+            power = self.sustainable.true_power_kw(charger, time_h)
+            sustainable = min(1.0, power / self.sustainable.max_power_kw)
+            availability = self.availability.true_availability(charger, time_h)
+            cost_out = out.get(charger.node_id)
+            returns = [
+                c
+                for c in (back_same.get(charger.node_id), back_next.get(charger.node_id))
+                if c is not None
+            ]
+            if cost_out is None or not returns:
+                hours = max_h
+            else:
+                hours = min(max_h, cost_out + min(returns))
+            results[charger.charger_id] = TrueComponents(
+                charger.charger_id,
+                sustainable,
+                availability,
+                min(1.0, hours / max_h),
+            )
+        return results

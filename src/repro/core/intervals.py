@@ -1,0 +1,11 @@
+"""Interval arithmetic for Estimated Components (re-export).
+
+The implementation lives in :mod:`repro.intervals` — a top-level module so
+that the estimation subpackage can use it without importing the whole
+``repro.core`` package (which itself depends on estimation).  This module
+preserves the documented ``repro.core.intervals`` import path.
+"""
+
+from ..intervals import Interval, hull_of, weighted_sum
+
+__all__ = ["Interval", "hull_of", "weighted_sum"]

@@ -1,0 +1,169 @@
+"""Time-parameterized kNN for moving queries with uncertain velocity.
+
+The related work the paper builds on (Section VI-B: Huan et al., Kollios
+et al.) answers kNN for a query object whose *future position* is only
+known up to a velocity range.  This module provides that substrate: a
+vehicle moving along a path segment with speed in ``[v_lo, v_hi]``
+occupies, at any future instant, an *interval of path offsets*; distances
+to candidate sites are therefore intervals, and the kNN answer splits into
+
+* the **certain** set — sites in the kNN for *every* possible position, and
+* the **possible** set — sites in the kNN for *some* possible position,
+
+with certain ⊆ possible.  EcoCharge's ETA-interval machinery is the
+1-dimensional shadow of this; the full machinery is exposed for
+moving-object workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..intervals import Interval
+from ..spatial.geometry import Point, Segment
+
+
+@dataclass(frozen=True)
+class MovingQuery:
+    """A query point moving along ``segment`` with uncertain speed.
+
+    The object departs ``segment.start`` at ``start_time_h`` and moves
+    toward ``segment.end`` with a constant but unknown speed drawn from
+    ``speed_kmh``; it stops at the segment end (parking / next-segment
+    handoff is the caller's concern).
+    """
+
+    segment: Segment
+    speed_kmh: Interval
+    start_time_h: float
+
+    def __post_init__(self) -> None:
+        if self.speed_kmh.lo <= 0:
+            raise ValueError("speed range must be strictly positive")
+
+    def offset_interval_km(self, time_h: float) -> Interval:
+        """Possible along-segment offsets at ``time_h`` (clamped)."""
+        elapsed = time_h - self.start_time_h
+        if elapsed < 0:
+            raise ValueError("query time precedes departure")
+        length = self.segment.length
+        return Interval(
+            min(length, self.speed_kmh.lo * elapsed),
+            min(length, self.speed_kmh.hi * elapsed),
+        )
+
+    def uncertainty_region(self, time_h: float) -> Segment:
+        """The sub-segment the object occupies at ``time_h``."""
+        offsets = self.offset_interval_km(time_h)
+        length = self.segment.length
+        if length == 0:
+            return Segment(self.segment.start, self.segment.start)
+        return Segment(
+            self.segment.interpolate(offsets.lo / length),
+            self.segment.interpolate(offsets.hi / length),
+        )
+
+    def distance_interval(self, site: Point, time_h: float) -> Interval:
+        """Possible distances from the object to ``site`` at ``time_h``.
+
+        Minimum is the point-to-subsegment distance; maximum is attained
+        at one of the subsegment's endpoints (distance along a segment is
+        convex).
+        """
+        region = self.uncertainty_region(time_h)
+        d_min = region.distance_to_point(site)
+        d_max = max(region.start.distance_to(site), region.end.distance_to(site))
+        return Interval(d_min, d_max)
+
+    def arrival_interval_h(self) -> Interval:
+        """When the object reaches the segment end."""
+        length = self.segment.length
+        return Interval(
+            self.start_time_h + length / self.speed_kmh.hi,
+            self.start_time_h + length / self.speed_kmh.lo,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class UncertainKnnResult:
+    """Possible/certain kNN answer at one instant."""
+
+    time_h: float
+    k: int
+    certain: frozenset[int]
+    possible: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not self.certain <= self.possible:
+            raise ValueError("certain results must be a subset of possible results")
+
+
+def uncertain_knn(
+    query: MovingQuery,
+    candidates: Sequence[tuple[int, Point]],
+    time_h: float,
+    k: int,
+) -> UncertainKnnResult:
+    """Possible and certain kNN sets at ``time_h``.
+
+    Using each candidate's distance interval ``[d_min, d_max]``:
+
+    * a candidate is **possible** iff fewer than ``k`` others are
+      *certainly closer* (their ``d_max`` < this one's ``d_min``);
+    * a candidate is **certain** iff fewer than ``k`` others are
+      *possibly closer* (their ``d_min`` <= this one's ``d_max``).
+
+    These are the standard dominance criteria of the uncertain-kNN
+    literature; both sets are exact for the interval model.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    intervals = {
+        cand_id: query.distance_interval(point, time_h) for cand_id, point in candidates
+    }
+    possible: set[int] = set()
+    certain: set[int] = set()
+    for cand_id, interval in intervals.items():
+        certainly_closer = sum(
+            1
+            for other_id, other in intervals.items()
+            if other_id != cand_id and other.hi < interval.lo
+        )
+        possibly_closer = sum(
+            1
+            for other_id, other in intervals.items()
+            if other_id != cand_id and other.lo <= interval.hi
+        )
+        if certainly_closer < k:
+            possible.add(cand_id)
+        if possibly_closer < k:
+            certain.add(cand_id)
+    return UncertainKnnResult(
+        time_h=time_h, k=k, certain=frozenset(certain), possible=frozenset(possible)
+    )
+
+
+def knn_timeline(
+    query: MovingQuery,
+    candidates: Sequence[tuple[int, Point]],
+    k: int,
+    step_h: float = 1.0 / 60.0,
+) -> list[UncertainKnnResult]:
+    """Possible/certain kNN sampled over the query's whole travel window.
+
+    Runs from departure until the *latest* possible arrival, so callers
+    see the answer both while the position is uncertain and after it has
+    collapsed to the segment end.
+    """
+    if step_h <= 0:
+        raise ValueError("step_h must be positive")
+    end = query.arrival_interval_h().hi
+    results = []
+    t = query.start_time_h
+    while t <= end + 1e-12:
+        results.append(uncertain_knn(query, candidates, t, k))
+        t += step_h
+    return results

@@ -1,0 +1,145 @@
+"""Common interface of all per-segment ranking methods.
+
+Every method in the evaluation (Brute-Force, Index-Quadtree, Random, and
+EcoCharge itself) answers the same question — "rank the chargers for this
+segment" — so the harness, the CkNN-EC driver, and the tests all program
+against this protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..chargers.charger import Charger
+from ..network.path import Trip, TripSegment
+from .environment import ChargingEnvironment
+from .intervals import Interval
+from .offering import OfferingTable, build_table
+from .scoring import ComponentScores, Weights, intersect_top_k, sc_score
+
+
+@runtime_checkable
+class SegmentRanker(Protocol):
+    """A method that produces an Offering Table for one trip segment."""
+
+    name: str
+
+    def rank_segment(
+        self,
+        trip: Trip,
+        segment: TripSegment,
+        eta_h: float,
+        now_h: float,
+        next_segment: TripSegment | None = None,
+    ) -> OfferingTable:
+        """Rank chargers for ``segment`` reached at ``eta_h``, deciding at
+        ``now_h``."""
+        ...
+
+    def reset(self) -> None:
+        """Clear per-trip state (caches); called between trips."""
+        ...
+
+
+def refine_pool(
+    environment: ChargingEnvironment,
+    trip: Trip,
+    segment: TripSegment,
+    pool: Sequence[Charger],
+    eta_h: float,
+    now_h: float,
+    k: int,
+    weights: Weights,
+    next_segment: TripSegment | None = None,
+    search_budget_h: float | None = None,
+    radius_km: float | None = None,
+) -> OfferingTable:
+    """The shared Filtering + Refinement pipeline of Algorithm 1.
+
+    Scores the candidate ``pool`` (lines 4-10), applies the Eq. 6 top-k
+    intersection (line 16), sorts (line 17) and assembles the Offering
+    Table (line 18).  Every ranker except Random funnels through here.
+    """
+    scores = environment.score_pool(
+        segment,
+        pool,
+        eta_h=eta_h,
+        now_h=now_h,
+        next_segment=next_segment,
+        search_budget_h=search_budget_h,
+    )
+    by_id: dict[int, tuple[Charger, ComponentScores]] = {
+        comp.charger_id: (charger, comp) for charger, comp in zip(pool, scores)
+    }
+    sc_scores = [sc_score(comp, weights) for comp in scores]
+    chosen = intersect_top_k(sc_scores, k)
+    rows = []
+    for score in chosen:
+        charger, comp = by_id[score.charger_id]
+        rows.append(
+            (score, charger, comp.sustainable, comp.availability, comp.derouting, eta_h)
+        )
+    if radius_km is None:
+        bounds = environment.registry.bounds
+        radius_km = max(bounds.width, bounds.height)
+    return build_table(
+        segment_index=segment.index,
+        origin=segment.midpoint,
+        generated_at_h=now_h,
+        radius_km=radius_km,
+        ranked=rows,
+    )
+
+
+@dataclass
+class RankingRun:
+    """The full CkNN-EC answer for one trip: one table per segment."""
+
+    ranker_name: str
+    trip: Trip
+    tables: list[OfferingTable] = field(default_factory=list)
+
+    def table_for(self, segment_index: int) -> OfferingTable:
+        """The Offering Table of ``segment_index`` (KeyError if absent)."""
+        for table in self.tables:
+            if table.segment_index == segment_index:
+                return table
+        raise KeyError(f"no table for segment {segment_index}")
+
+    @property
+    def adapted_count(self) -> int:
+        return sum(1 for t in self.tables if t.is_adapted)
+
+
+def run_over_trip(
+    ranker: SegmentRanker,
+    environment: ChargingEnvironment,
+    trip: Trip,
+    segment_km: float | None = None,
+) -> RankingRun:
+    """Drive a ranker over every segment of a trip (the continuous query).
+
+    ETAs come from the traffic-aware estimator; the decision time ``now``
+    is the trip departure (the driver consults the app when setting off
+    and the app re-ranks each upcoming segment, Section IV-A).
+    """
+    from ..network.path import DEFAULT_SEGMENT_KM
+
+    ranker.reset()
+    resolved_km = segment_km if segment_km is not None else DEFAULT_SEGMENT_KM
+    segments = trip.segments(resolved_km)
+    etas = environment.eta.segment_etas(trip, segment_km=resolved_km)
+    run = RankingRun(ranker_name=ranker.name, trip=trip)
+    for i, segment in enumerate(segments):
+        next_segment = segments[i + 1] if i + 1 < len(segments) else None
+        run.tables.append(
+            ranker.rank_segment(
+                trip,
+                segment,
+                eta_h=etas[i].expected_h,
+                now_h=trip.departure_time_h,
+                next_segment=next_segment,
+            )
+        )
+    return run

@@ -1,0 +1,178 @@
+"""Sustainability Score ``SC`` (Eq. 4-6) and weight configurations.
+
+``SC`` blends the three Estimated Components with user-configurable
+weights:
+
+    SC_min = L_min * w1 + A_min * w2 + (1 - D_min) * w3     (Eq. 4)
+    SC_max = L_max * w1 + A_max * w2 + (1 - D_max) * w3     (Eq. 5)
+    SC(B)  = sort(top-k by SC_max  intersect  top-k by SC_min)   (Eq. 6)
+
+Note the paper's convention: ``SC_min`` plugs in each component's *lower*
+estimate and ``SC_max`` each component's *upper* estimate.  Because the
+derouting term enters as ``1 - D``, the two values are *not* ordered
+endpoints of an interval — they are two coherent scenarios ("all lower
+estimates" vs "all upper estimates"), and the ranking intersects the two
+scenario top-k sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .intervals import Interval
+
+
+@dataclass(frozen=True, slots=True)
+class Weights:
+    """Objective weights ``(w1, w2, w3)`` for ``(L, A, D)``.
+
+    Must be non-negative and sum to 1 (the paper's evaluation always uses
+    normalised weights).
+    """
+
+    sustainable: float
+    availability: float
+    derouting: float
+
+    def __post_init__(self) -> None:
+        values = (self.sustainable, self.availability, self.derouting)
+        if any(w < 0 for w in values):
+            raise ValueError("weights must be non-negative")
+        if abs(sum(values) - 1.0) > 1e-9:
+            raise ValueError(f"weights must sum to 1, got {sum(values)}")
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """The weights as ``(w1, w2, w3)``."""
+        return (self.sustainable, self.availability, self.derouting)
+
+    @classmethod
+    def equal(cls) -> "Weights":
+        """AWE — all weights equal, EcoCharge's default (Section V-E)."""
+        return cls(1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0)
+
+    @classmethod
+    def only_sustainable(cls) -> "Weights":
+        """OSC — only the Sustainable Charging Level objective."""
+        return cls(1.0, 0.0, 0.0)
+
+    @classmethod
+    def only_availability(cls) -> "Weights":
+        """OA — only the Availability objective."""
+        return cls(0.0, 1.0, 0.0)
+
+    @classmethod
+    def only_derouting(cls) -> "Weights":
+        """ODC — only the Derouting Cost objective."""
+        return cls(0.0, 0.0, 1.0)
+
+
+#: Named ablation configurations of Section V-E.
+ABLATION_CONFIGS: dict[str, Weights] = {
+    "AWE": Weights.equal(),
+    "OSC": Weights.only_sustainable(),
+    "OA": Weights.only_availability(),
+    "ODC": Weights.only_derouting(),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentScores:
+    """The three normalised EC intervals for one charger at one ETA.
+
+    All three live in [0, 1]; for ``L`` and ``A`` bigger is better, for
+    ``D`` smaller is better (the score flips it via ``1 - D``).
+    """
+
+    charger_id: int
+    sustainable: Interval
+    availability: Interval
+    derouting: Interval
+
+    def __post_init__(self) -> None:
+        for name, interval in (
+            ("sustainable", self.sustainable),
+            ("availability", self.availability),
+            ("derouting", self.derouting),
+        ):
+            if interval.lo < -1e-9 or interval.hi > 1.0 + 1e-9:
+                raise ValueError(f"{name} interval {interval} not normalised to [0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class ScScore:
+    """The two scenario scores of Eq. 4-5 plus derived ranking keys."""
+
+    charger_id: int
+    sc_min: float
+    sc_max: float
+
+    @property
+    def midpoint(self) -> float:
+        return (self.sc_min + self.sc_max) / 2.0
+
+    @property
+    def pessimistic(self) -> float:
+        """The worst of the two scenarios — a conservative ranking key."""
+        return min(self.sc_min, self.sc_max)
+
+
+def sc_score(components: ComponentScores, weights: Weights) -> ScScore:
+    """Evaluate Eq. 4 and Eq. 5 for one charger."""
+    w1, w2, w3 = weights.as_tuple()
+    sc_min = (
+        components.sustainable.lo * w1
+        + components.availability.lo * w2
+        + (1.0 - components.derouting.lo) * w3
+    )
+    sc_max = (
+        components.sustainable.hi * w1
+        + components.availability.hi * w2
+        + (1.0 - components.derouting.hi) * w3
+    )
+    return ScScore(components.charger_id, sc_min, sc_max)
+
+
+def sc_exact(
+    sustainable: float, availability: float, derouting: float, weights: Weights
+) -> float:
+    """Point-valued SC for ground-truth component values (the oracle view
+    the evaluation normalises against)."""
+    w1, w2, w3 = weights.as_tuple()
+    return sustainable * w1 + availability * w2 + (1.0 - derouting) * w3
+
+
+def intersect_top_k(
+    scores: list[ScScore], k: int, pad: bool = True
+) -> list[ScScore]:
+    """Eq. 6: intersect the SC_min top-k with the SC_max top-k.
+
+    The paper states the intersection "contains k chargers"; with noisy
+    intervals it can contain fewer, so with ``pad=True`` (the default, and
+    what EcoCharge uses) the result is topped up with the best remaining
+    chargers by midpoint score until ``k`` entries are reached.  The
+    result is sorted by descending SC_max, tie-broken by SC_min then id —
+    "highest to lowest rank" per Algorithm 1 line 17.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    by_min = sorted(scores, key=lambda s: (-s.sc_min, s.charger_id))[:k]
+    by_max = sorted(scores, key=lambda s: (-s.sc_max, s.charger_id))[:k]
+    min_ids = {s.charger_id for s in by_min}
+    chosen = [s for s in by_max if s.charger_id in min_ids]
+    if pad and len(chosen) < k:
+        chosen_ids = {s.charger_id for s in chosen}
+        leftovers = sorted(
+            (s for s in scores if s.charger_id not in chosen_ids),
+            key=lambda s: (-s.midpoint, s.charger_id),
+        )
+        chosen.extend(leftovers[: k - len(chosen)])
+    chosen.sort(key=lambda s: (-s.sc_max, -s.sc_min, s.charger_id))
+    return chosen[:k]
+
+
+def rank_by_midpoint(scores: list[ScScore], k: int) -> list[ScScore]:
+    """Alternative ranking used by the intersection ablation: ignore the
+    two-scenario structure and sort by midpoint score."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return sorted(scores, key=lambda s: (-s.midpoint, s.charger_id))[:k]

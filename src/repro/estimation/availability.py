@@ -1,0 +1,119 @@
+"""Charger availability ``A`` estimator (Eq. 2, Algorithm 1 lines 7-8).
+
+Substitute for Google-Maps-style "popular times": every charger carries a
+weekly 168-bin busy histogram with commuter peaks and weekend structure.
+Availability at the ETA is ``1 - busyness`` adjusted for plug count, and
+the returned interval widens with forecast horizon exactly like the other
+ECs.  The paper expresses busyness in percent (0 % free, 100 % busy); we
+keep the [0, 1] normalised form and expose ``A`` directly (1 = surely
+free) so that bigger is better in the weighted sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chargers.charger import Charger
+from ..chargers.registry import ChargerRegistry
+from ..intervals import Interval
+from .component import DEFAULT_CONFIDENCE, ForecastConfidence
+
+HOURS_PER_WEEK = 168
+
+
+@dataclass(frozen=True, slots=True)
+class BusyTimetable:
+    """Weekly busy profile: ``busyness[h]`` in [0, 1] for h in 0..167.
+
+    Hour 0 is Monday midnight.
+    """
+
+    busyness: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.busyness) != HOURS_PER_WEEK:
+            raise ValueError(f"timetable needs {HOURS_PER_WEEK} hourly bins")
+        if any(not 0.0 <= b <= 1.0 for b in self.busyness):
+            raise ValueError("busyness values must be in [0, 1]")
+
+    def busy_at(self, time_h: float) -> float:
+        """Busyness at clock time ``time_h`` (hours since day-0 Monday)."""
+        return self.busyness[int(time_h) % HOURS_PER_WEEK]
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        base_load: float = 0.25,
+        morning_peak: float = 0.5,
+        midday_peak: float = 0.55,
+        evening_peak: float = 0.65,
+        weekend_scale: float = 0.8,
+    ) -> "BusyTimetable":
+        """Synthesise a realistic weekly profile.
+
+        Weekday shape: low overnight, a commuter bump around 08:00, a
+        commercial midday bump around 13:00 (shopping-centre chargers are
+        busiest exactly when hoarding trips happen), and the strongest
+        evening bump around 18:00.  Weekends flatten and shift later.
+        Per-site multiplicative noise differentiates sites.
+        """
+        rng = np.random.default_rng(seed)
+        site_factor = float(rng.uniform(0.5, 1.4))
+        values = []
+        for hour in range(HOURS_PER_WEEK):
+            day, hod = divmod(hour, 24)
+            weekend = day >= 5
+            morning_centre = 10.0 if weekend else 8.0
+            midday_centre = 14.0 if weekend else 13.0
+            evening_centre = 16.0 if weekend else 18.0
+            level = base_load
+            level += morning_peak * np.exp(-((hod - morning_centre) ** 2) / (2 * 2.0**2))
+            level += midday_peak * np.exp(-((hod - midday_centre) ** 2) / (2 * 2.0**2))
+            level += evening_peak * np.exp(-((hod - evening_centre) ** 2) / (2 * 2.5**2))
+            if weekend:
+                level *= weekend_scale
+            level *= site_factor * float(rng.uniform(0.85, 1.15))
+            values.append(min(1.0, max(0.0, level)))
+        return cls(tuple(values))
+
+
+class AvailabilityEstimator:
+    """Computes ``[A_min, A_max]`` per charger at the ETA."""
+
+    def __init__(
+        self,
+        registry: ChargerRegistry,
+        seed: int = 0,
+        confidence: ForecastConfidence = DEFAULT_CONFIDENCE,
+    ):
+        self._registry = registry
+        self.confidence = confidence
+        self._timetables: dict[int, BusyTimetable] = {
+            charger.charger_id: BusyTimetable.generate(seed * 1_000_003 + charger.charger_id)
+            for charger in registry
+        }
+
+    def timetable(self, charger_id: int) -> BusyTimetable:
+        """The weekly busy profile backing ``charger_id``."""
+        return self._timetables[charger_id]
+
+    def true_availability(self, charger: Charger, time_h: float) -> float:
+        """Ground-truth availability in [0, 1] (oracle view).
+
+        Multi-plug sites stay available at higher busyness: the chance all
+        plugs are taken falls roughly geometrically with plug count.
+        """
+        busy = self._timetables[charger.charger_id].busy_at(time_h)
+        all_taken = busy**charger.plugs
+        return 1.0 - all_taken
+
+    def estimate(self, charger: Charger, eta_h: float, now_h: float) -> Interval:
+        """``[A_min, A_max]``: true availability widened by horizon."""
+        truth = self.true_availability(charger, eta_h)
+        horizon = eta_h - now_h
+        if horizon <= 0:
+            return Interval.exact(truth)
+        return self.confidence.interval_around(truth, horizon)

@@ -1,0 +1,84 @@
+"""Estimated Time of Arrival.
+
+The paper takes ETA from a cooperating navigation app (Google Maps/Waze);
+here it is derived from the trip geometry and the traffic model: expected
+progress along the trip at congestion-adjusted speeds, with an uncertainty
+band that inherits the traffic forecast's horizon widening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..intervals import Interval
+from ..network.graph import EdgeWeight
+from ..network.path import Trip, TripSegment
+from .traffic import TrafficModel
+
+
+@dataclass(frozen=True, slots=True)
+class EtaEstimate:
+    """Arrival-time estimate at a trip segment."""
+
+    segment_index: int
+    expected_h: float
+    interval: Interval
+
+
+class EtaEstimator:
+    """Per-segment arrival times for a trip under traffic."""
+
+    def __init__(self, traffic: TrafficModel):
+        self._traffic = traffic
+
+    def segment_etas(self, trip: Trip, segment_km: float | None = None) -> list[EtaEstimate]:
+        """ETA at the *start* of every segment of ``trip``.
+
+        Edge travel times are evaluated at the running clock so morning
+        trips slow down through the rush-hour window; the interval uses
+        the optimistic/pessimistic traffic bounds accumulated along the
+        way.  ``segment_km`` must match the segmentation the caller ranks
+        with (defaults to the trip's default segmentation).
+        """
+        from ..network.path import DEFAULT_SEGMENT_KM
+
+        now = trip.departure_time_h
+        clock = now
+        clock_lo = now
+        clock_hi = now
+        estimates: list[EtaEstimate] = []
+        for segment in trip.segments(segment_km if segment_km is not None else DEFAULT_SEGMENT_KM):
+            estimates.append(
+                EtaEstimate(
+                    segment_index=segment.index,
+                    expected_h=clock,
+                    interval=Interval(clock_lo, clock_hi),
+                )
+            )
+            for a, b in zip(segment.node_ids, segment.node_ids[1:]):
+                edge = trip.network.edge(a, b)
+                base = edge.weight(EdgeWeight.TRAVEL_TIME_H)
+                clock += base * self._traffic.multiplier(edge, clock)
+                band = self._traffic.multiplier_interval(edge, clock, now)
+                clock_lo += base * band.lo
+                clock_hi += base * band.hi
+        return estimates
+
+    def eta_at_segment(
+        self, trip: Trip, segment: TripSegment, segment_km: float | None = None
+    ) -> EtaEstimate:
+        """ETA at one segment (computes the prefix up to it)."""
+        for estimate in self.segment_etas(trip, segment_km=segment_km):
+            if estimate.segment_index == segment.index:
+                return estimate
+        raise ValueError(f"segment {segment.index} is not part of the trip")
+
+    def point_to_point_h(self, trip: Trip) -> float:
+        """Expected total travel time for the whole trip under traffic."""
+        clock = trip.departure_time_h
+        for a, b in zip(trip.node_ids, trip.node_ids[1:]):
+            edge = trip.network.edge(a, b)
+            clock += edge.weight(EdgeWeight.TRAVEL_TIME_H) * self._traffic.multiplier(
+                edge, clock
+            )
+        return clock - trip.departure_time_h

@@ -1,0 +1,139 @@
+"""Regionalised weather: different sky over different parts of the map.
+
+The base :class:`~repro.estimation.weather.WeatherModel` is spatially
+uniform — adequate for city-scale areas (one METAR station's worth of
+sky).  The California-scale workload spans hundreds of km where coastal
+fog and inland sun coexist; this model tiles the map into zones, each
+with its own Markov chain, and blends neighbouring zones smoothly so a
+charger near a zone border does not see a discontinuous forecast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..intervals import Interval
+from ..spatial.bbox import BoundingBox
+from ..spatial.geometry import Point
+from .component import DEFAULT_CONFIDENCE, ForecastConfidence
+from .weather import SkyState, WeatherForecast, WeatherModel
+
+
+@dataclass(frozen=True, slots=True)
+class WeatherZone:
+    """One weather cell: its extent and its own realisation."""
+
+    bounds: BoundingBox
+    model: WeatherModel
+
+
+class RegionalWeatherModel:
+    """A grid of independent weather zones with bilinear-ish blending.
+
+    Implements the same ``attenuation_at`` / ``forecast`` /
+    ``window_attenuation`` surface as :class:`WeatherModel` (duck-typed),
+    extended with a ``location`` argument; the location-free calls fall
+    back to the map centre so existing estimator code keeps working.
+    """
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        zones_x: int = 3,
+        zones_y: int = 3,
+        seed: int = 0,
+        confidence: ForecastConfidence = DEFAULT_CONFIDENCE,
+    ):
+        if zones_x < 1 or zones_y < 1:
+            raise ValueError("need at least one zone per axis")
+        self.bounds = bounds
+        self.confidence = confidence
+        self._zones: list[WeatherZone] = []
+        width = bounds.width / zones_x
+        height = bounds.height / zones_y
+        for row in range(zones_y):
+            for col in range(zones_x):
+                zone_bounds = BoundingBox(
+                    bounds.min_x + col * width,
+                    bounds.min_y + row * height,
+                    bounds.min_x + (col + 1) * width,
+                    bounds.min_y + (row + 1) * height,
+                )
+                self._zones.append(
+                    WeatherZone(
+                        zone_bounds,
+                        WeatherModel(
+                            seed=seed * 7_919 + row * zones_x + col,
+                            confidence=confidence,
+                        ),
+                    )
+                )
+        self._zones_x = zones_x
+        self._zones_y = zones_y
+
+    @property
+    def zone_count(self) -> int:
+        return len(self._zones)
+
+    def _zone_weights(self, location: Point) -> list[tuple[WeatherZone, float]]:
+        """Zones influencing ``location``: inverse-distance weights over
+        the zone whose cell contains the point plus adjacent centres."""
+        weights: list[tuple[WeatherZone, float]] = []
+        for zone in self._zones:
+            centre = zone.bounds.center
+            dist = centre.distance_to(location)
+            # Influence radius: one cell diagonal; beyond it, no effect.
+            reach = (zone.bounds.width**2 + zone.bounds.height**2) ** 0.5
+            if dist < reach:
+                weights.append((zone, 1.0 / (0.1 + dist)))
+        if not weights:
+            nearest = min(
+                self._zones, key=lambda z: z.bounds.center.distance_to(location)
+            )
+            weights = [(nearest, 1.0)]
+        return weights
+
+    def attenuation_at(self, time_h: float, location: Point | None = None) -> float:
+        """True blended attenuation at ``location`` (map centre default)."""
+        location = location if location is not None else self.bounds.center
+        weights = self._zone_weights(location)
+        total = sum(w for __, w in weights)
+        return sum(z.model.attenuation_at(time_h) * w for z, w in weights) / total
+
+    def state_at(self, time_h: float, location: Point | None = None) -> SkyState:
+        """Dominant zone's sky state (for display purposes)."""
+        location = location if location is not None else self.bounds.center
+        zone = max(self._zone_weights(location), key=lambda zw: zw[1])[0]
+        return zone.model.state_at(time_h)
+
+    def forecast(
+        self, target_h: float, now_h: float, location: Point | None = None
+    ) -> WeatherForecast:
+        """Blended forecast at ``location`` with horizon widening."""
+        truth = self.attenuation_at(target_h, location)
+        state = self.state_at(target_h, location)
+        horizon = target_h - now_h
+        if horizon <= 0:
+            return WeatherForecast(target_h, state, Interval.exact(truth))
+        return WeatherForecast(
+            target_h, state, self.confidence.interval_around(truth, horizon)
+        )
+
+    def window_attenuation(
+        self,
+        start_h: float,
+        end_h: float,
+        now_h: float,
+        location: Point | None = None,
+    ) -> Interval:
+        """Hull of hourly blended forecasts over the window."""
+        if end_h < start_h:
+            raise ValueError("window end before start")
+        hours = range(int(start_h), int(end_h) + 1)
+        forecasts = [
+            self.forecast(float(h) + 0.5, now_h, location) for h in hours
+        ] or [self.forecast(start_h, now_h, location)]
+        return Interval(
+            min(f.attenuation.lo for f in forecasts),
+            max(f.attenuation.hi for f in forecasts),
+        )

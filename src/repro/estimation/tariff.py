@@ -1,0 +1,112 @@
+"""Time-of-use grid tariffs — the paper's smart-grid extension.
+
+Section VII plans to extend EcoCharge "with smart grid technologies and
+taking advantage of off-peak electricity rates and grid stabilization
+services".  This module provides the tariff substrate: a weekly
+time-of-use price curve with peak/shoulder/off-peak bands, plus an
+interval-valued *monetary cost* Estimated Component that slots into an
+extended four-objective Sustainability Score (see
+:mod:`repro.core.extensions`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..intervals import Interval
+from .component import DEFAULT_CONFIDENCE, ForecastConfidence
+
+
+class TariffBand(enum.Enum):
+    """Price band of a time-of-use tariff."""
+
+    OFF_PEAK = "off_peak"
+    SHOULDER = "shoulder"
+    PEAK = "peak"
+
+
+@dataclass(frozen=True, slots=True)
+class TimeOfUseTariff:
+    """Weekday time-of-use tariff (EUR/kWh) with weekend flattening.
+
+    Default bands follow typical EU utility schedules: off-peak overnight,
+    peak in the early evening, shoulder otherwise; weekends are shoulder
+    all day.
+    """
+
+    off_peak_eur: float = 0.18
+    shoulder_eur: float = 0.28
+    peak_eur: float = 0.42
+    peak_start_h: float = 17.0
+    peak_end_h: float = 21.0
+    off_peak_start_h: float = 22.0
+    off_peak_end_h: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.off_peak_eur <= self.shoulder_eur <= self.peak_eur:
+            raise ValueError("need 0 < off_peak <= shoulder <= peak prices")
+
+    def band_at(self, time_h: float) -> TariffBand:
+        """Tariff band at clock time ``time_h`` (hours since Monday 00:00)."""
+        day = int(time_h // 24) % 7
+        hod = time_h % 24.0
+        if day >= 5:
+            return TariffBand.SHOULDER
+        if hod >= self.off_peak_start_h or hod < self.off_peak_end_h:
+            return TariffBand.OFF_PEAK
+        if self.peak_start_h <= hod < self.peak_end_h:
+            return TariffBand.PEAK
+        return TariffBand.SHOULDER
+
+    def price_at(self, time_h: float) -> float:
+        """Price (EUR/kWh) of the band active at ``time_h``."""
+        band = self.band_at(time_h)
+        if band is TariffBand.OFF_PEAK:
+            return self.off_peak_eur
+        if band is TariffBand.PEAK:
+            return self.peak_eur
+        return self.shoulder_eur
+
+    def window_price(self, start_h: float, end_h: float) -> Interval:
+        """Price envelope over a charging window (hull of hourly prices)."""
+        if end_h < start_h:
+            raise ValueError("window end before start")
+        prices = [self.price_at(start_h + 0.25 * i) for i in range(int((end_h - start_h) * 4) + 1)]
+        return Interval(min(prices), max(prices))
+
+
+class TariffEstimator:
+    """Interval-valued normalised *energy cost* EC.
+
+    The cost component is the grid price the session would pay for the
+    energy the charger's solar excess does *not* cover (price applies only
+    when hoarding falls back to the grid).  Normalised by the peak price
+    so 0 = free (fully solar / off-peak) and 1 = worst case.  Day-ahead
+    prices are known, so the horizon widening is milder than weather.
+    """
+
+    def __init__(
+        self,
+        tariff: TimeOfUseTariff | None = None,
+        confidence: ForecastConfidence | None = None,
+    ):
+        self.tariff = tariff if tariff is not None else TimeOfUseTariff()
+        # Day-ahead markets publish prices: tighter bands than weather.
+        self.confidence = confidence if confidence is not None else ForecastConfidence(
+            near_accuracy=0.99, far_accuracy=0.97, floor_accuracy=0.9
+        )
+
+    def estimate(self, eta_h: float, now_h: float, window_h: float = 1.0) -> Interval:
+        """Normalised price interval for a session at ``eta_h``."""
+        if window_h <= 0:
+            raise ValueError("window must be positive")
+        envelope = self.tariff.window_price(eta_h, eta_h + window_h)
+        normalised = envelope.scaled_by_max(self.tariff.peak_eur)
+        horizon = eta_h - now_h
+        if horizon <= 0:
+            return normalised.clamp(0.0, 1.0)
+        widening = 1.0 - self.confidence.accuracy(horizon)
+        return Interval(
+            normalised.lo * (1.0 - widening), normalised.hi * (1.0 + widening)
+        ).clamp(0.0, 1.0)

@@ -1,0 +1,150 @@
+"""Time-varying traffic model.
+
+Substitute for Google/HERE real-time traffic feeds: each edge's free-flow
+travel time is inflated by a congestion multiplier that follows the
+commuter double peak, scaled by road class (arterials congest more), with
+an uncertainty band that widens with forecast horizon.  The model hands
+the shortest-path layer min/max cost functions, which is exactly how the
+derouting cost ``D`` becomes an interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..intervals import Interval
+from ..network.graph import EdgeWeight, RoadEdge
+from ..network.shortest_path import CostFn
+from .component import DEFAULT_CONFIDENCE, ForecastConfidence
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficParams:
+    """Shape of the diurnal congestion curve.
+
+    The multiplier is 1 (free flow) overnight and rises to
+    ``1 + peak_gain`` at the rush-hour centres.  Arterials (fast roads)
+    attract through traffic and congest hardest, which
+    ``speed_sensitivity`` captures.
+    """
+
+    morning_peak_h: float = 8.0
+    evening_peak_h: float = 17.5
+    peak_width_h: float = 1.75
+    peak_gain: float = 1.2
+    weekend_scale: float = 0.4
+    speed_sensitivity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.peak_width_h <= 0:
+            raise ValueError("peak width must be positive")
+        if self.peak_gain < 0:
+            raise ValueError("peak gain must be non-negative")
+        if not 0.0 <= self.weekend_scale <= 1.0:
+            raise ValueError("weekend_scale must be in [0, 1]")
+
+
+class TrafficModel:
+    """Deterministic congestion field over (edge, time)."""
+
+    def __init__(
+        self,
+        params: TrafficParams | None = None,
+        seed: int = 0,
+        confidence: ForecastConfidence = DEFAULT_CONFIDENCE,
+    ):
+        self.params = params or TrafficParams()
+        self.confidence = confidence
+        self._rng_seed = seed
+        self._noise_cache: dict[tuple[int, int], float] = {}
+
+    def _diurnal_gain(self, time_h: float) -> float:
+        p = self.params
+        hod = time_h % 24.0
+        day = int(time_h // 24) % 7
+        gain = p.peak_gain * (
+            math.exp(-((hod - p.morning_peak_h) ** 2) / (2 * p.peak_width_h**2))
+            + math.exp(-((hod - p.evening_peak_h) ** 2) / (2 * p.peak_width_h**2))
+        )
+        if day >= 5:
+            gain *= p.weekend_scale
+        return gain
+
+    def _edge_noise(self, edge: RoadEdge) -> float:
+        """Stable per-edge congestion idiosyncrasy in [0.8, 1.2] (cached:
+        this sits on the hot path of every shortest-path relaxation)."""
+        key = (edge.source, edge.target)
+        noise = self._noise_cache.get(key)
+        if noise is None:
+            rng = np.random.default_rng(
+                self._rng_seed * 2_000_003 + edge.source * 65_537 + edge.target
+            )
+            noise = float(rng.uniform(0.8, 1.2))
+            self._noise_cache[key] = noise
+        return noise
+
+    def multiplier(self, edge: RoadEdge, time_h: float) -> float:
+        """True congestion multiplier (>= 1) on ``edge`` at ``time_h``."""
+        p = self.params
+        speed_factor = 1.0 + p.speed_sensitivity * (edge.speed_kmh - 30.0) / 50.0
+        speed_factor = max(0.5, speed_factor)
+        return 1.0 + self._diurnal_gain(time_h) * speed_factor * self._edge_noise(edge)
+
+    def multiplier_interval(self, edge: RoadEdge, time_h: float, now_h: float) -> Interval:
+        """Forecast congestion multiplier with horizon widening.
+
+        The band is multiplicative: a ``1 - accuracy`` relative error on
+        the predicted multiplier.
+        """
+        truth = self.multiplier(edge, time_h)
+        horizon = time_h - now_h
+        if horizon <= 0:
+            return Interval.exact(truth)
+        rel = self.confidence.half_width(horizon)
+        return Interval(max(1.0, truth * (1.0 - rel)), truth * (1.0 + rel))
+
+    # -- cost-function factories for the shortest-path layer ---------------
+
+    def travel_time_fn(self, time_h: float) -> CostFn:
+        """True travel-time cost (hours) at ``time_h``."""
+        return lambda edge: edge.weight(EdgeWeight.TRAVEL_TIME_H) * self.multiplier(
+            edge, time_h
+        )
+
+    def travel_time_bounds(self, time_h: float, now_h: float) -> tuple[CostFn, CostFn]:
+        """(optimistic, pessimistic) travel-time cost functions.
+
+        Optimistic uses each edge's lower multiplier bound, pessimistic the
+        upper — running Dijkstra under each yields ``[D_min, D_max]``.
+        """
+
+        def low(edge: RoadEdge) -> float:
+            return edge.weight(EdgeWeight.TRAVEL_TIME_H) * self.multiplier_interval(
+                edge, time_h, now_h
+            ).lo
+
+        def high(edge: RoadEdge) -> float:
+            return edge.weight(EdgeWeight.TRAVEL_TIME_H) * self.multiplier_interval(
+                edge, time_h, now_h
+            ).hi
+
+        return low, high
+
+    def energy_fn(self, time_h: float, congestion_energy_gain: float = 0.25) -> CostFn:
+        """Energy cost (kWh) at ``time_h``.
+
+        Stop-and-go traffic raises consumption, but far less than it raises
+        travel time; ``congestion_energy_gain`` converts excess multiplier
+        into excess energy.
+        """
+
+        def cost(edge: RoadEdge) -> float:
+            excess = self.multiplier(edge, time_h) - 1.0
+            return edge.weight(EdgeWeight.ENERGY_KWH) * (
+                1.0 + congestion_energy_gain * excess
+            )
+
+        return cost

@@ -1,0 +1,48 @@
+"""Experiment harness reproducing the paper's evaluation (Section V)."""
+
+from .harness import (
+    HarnessConfig,
+    MethodResult,
+    compare_methods,
+    default_rankers,
+    ecocharge_factory,
+    load_workloads,
+)
+from .metrics import (
+    MeanStd,
+    Stopwatch,
+    component_contributions,
+    oracle_truths_for_tables,
+    sc_percent,
+    true_sc_of_selection,
+)
+from .records import (
+    ShapeViolation,
+    check_figure6_shape,
+    compare_runs,
+    load_results,
+    save_results,
+)
+from .report import format_ablation_table, format_results_table
+
+__all__ = [
+    "HarnessConfig",
+    "MeanStd",
+    "MethodResult",
+    "ShapeViolation",
+    "Stopwatch",
+    "check_figure6_shape",
+    "compare_methods",
+    "compare_runs",
+    "component_contributions",
+    "default_rankers",
+    "ecocharge_factory",
+    "format_ablation_table",
+    "format_results_table",
+    "load_results",
+    "load_workloads",
+    "oracle_truths_for_tables",
+    "save_results",
+    "sc_percent",
+    "true_sc_of_selection",
+]

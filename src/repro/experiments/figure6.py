@@ -1,0 +1,54 @@
+"""Figure 6 — Performance Evaluation.
+
+CPU execution time ``F_t`` and Sustainability Score ``SC`` for the four
+methods (Brute-Force, Index-Quadtree, Random, EcoCharge with R = 50 km,
+Q = 5 km) across the four datasets, equal weights w1 = w2 = w3 = 1/3.
+
+Expected shape (paper): Brute Force is slowest with SC = 100 %; the
+quadtree baseline runs at a fraction of the cost with SC ~ 80-85 %; Random
+is fastest but SC ~ 35-40 %; EcoCharge beats the quadtree on time while
+holding SC ~ 97.5-99 %.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.scoring import Weights
+from ..trajectories.datasets import DATASET_ORDER
+from .harness import HarnessConfig, MethodResult, compare_methods, default_rankers, load_workloads
+from .report import format_results_table
+
+#: EcoCharge's best configuration per the paper (Section V-B).
+BEST_RADIUS_KM = 50.0
+BEST_RANGE_KM = 5.0
+
+
+def run_figure6(
+    config: HarnessConfig | None = None,
+    datasets: Sequence[str] = DATASET_ORDER,
+) -> list[MethodResult]:
+    """All methods on all datasets; returns one row per (dataset, method)."""
+    config = config if config is not None else HarnessConfig()
+    weights = Weights.equal()
+    factories = default_rankers(
+        k=config.k, weights=weights, radius_km=BEST_RADIUS_KM, range_km=BEST_RANGE_KM
+    )
+    workloads = load_workloads(datasets, config)
+    results: list[MethodResult] = []
+    for name in datasets:
+        results.extend(compare_methods(workloads[name], factories, config))
+    return results
+
+
+def main(config: HarnessConfig | None = None) -> str:
+    results = run_figure6(config)
+    report = format_results_table(
+        results, "Figure 6 — Performance Evaluation (SC relative to Brute Force)"
+    )
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

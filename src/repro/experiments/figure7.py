@@ -1,0 +1,62 @@
+"""Figure 7 — R-opt Evaluation.
+
+EcoCharge under different user-configured radius values R in
+{25, 50, 75} km (Q fixed at 5 km): smaller R means a smaller candidate
+pool and faster tables but lower SC; larger R approaches the exhaustive
+search in quality at higher cost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.baselines import BruteForceRanker
+from ..core.scoring import Weights
+from ..trajectories.datasets import DATASET_ORDER
+from .harness import (
+    HarnessConfig,
+    MethodResult,
+    compare_methods,
+    ecocharge_factory,
+    load_workloads,
+)
+from .report import format_results_table
+
+RADII_KM = (25.0, 50.0, 75.0)
+RANGE_KM = 5.0
+
+
+def run_figure7(
+    config: HarnessConfig | None = None,
+    datasets: Sequence[str] = DATASET_ORDER,
+    radii_km: Sequence[float] = RADII_KM,
+) -> list[MethodResult]:
+    """EcoCharge R sweep; Brute Force runs as the hidden 100 % reference."""
+    config = config if config is not None else HarnessConfig()
+    weights = Weights.equal()
+    factories = {
+        "brute-force": lambda env: BruteForceRanker(env, k=config.k, weights=weights)
+    }
+    for radius in radii_km:
+        factories[f"ecocharge R={radius:g}km"] = ecocharge_factory(
+            k=config.k, weights=weights, radius_km=radius, range_km=RANGE_KM
+        )
+    workloads = load_workloads(datasets, config)
+    results: list[MethodResult] = []
+    for name in datasets:
+        rows = compare_methods(workloads[name], factories, config)
+        results.extend(r for r in rows if r.method != "brute-force")
+    return results
+
+
+def main(config: HarnessConfig | None = None) -> str:
+    results = run_figure7(config)
+    report = format_results_table(
+        results, "Figure 7 — R-opt Evaluation (EcoCharge, Q = 5 km)"
+    )
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

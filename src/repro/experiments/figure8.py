@@ -1,0 +1,62 @@
+"""Figure 8 — Q-opt Evaluation.
+
+EcoCharge under different range-distance values Q in {5, 10, 15} km
+(R fixed at 50 km): a longer Q lets cached Offering Tables survive more
+vehicle movement — fewer regenerations, faster — but adapted solutions
+drift from the optimum, so SC drops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.baselines import BruteForceRanker
+from ..core.scoring import Weights
+from ..trajectories.datasets import DATASET_ORDER
+from .harness import (
+    HarnessConfig,
+    MethodResult,
+    compare_methods,
+    ecocharge_factory,
+    load_workloads,
+)
+from .report import format_results_table
+
+RANGES_KM = (5.0, 10.0, 15.0)
+RADIUS_KM = 50.0
+
+
+def run_figure8(
+    config: HarnessConfig | None = None,
+    datasets: Sequence[str] = DATASET_ORDER,
+    ranges_km: Sequence[float] = RANGES_KM,
+) -> list[MethodResult]:
+    """EcoCharge Q sweep; Brute Force runs as the hidden 100 % reference."""
+    config = config if config is not None else HarnessConfig()
+    weights = Weights.equal()
+    factories = {
+        "brute-force": lambda env: BruteForceRanker(env, k=config.k, weights=weights)
+    }
+    for range_km in ranges_km:
+        factories[f"ecocharge Q={range_km:g}km"] = ecocharge_factory(
+            k=config.k, weights=weights, radius_km=RADIUS_KM, range_km=range_km
+        )
+    workloads = load_workloads(datasets, config)
+    results: list[MethodResult] = []
+    for name in datasets:
+        rows = compare_methods(workloads[name], factories, config)
+        results.extend(r for r in rows if r.method != "brute-force")
+    return results
+
+
+def main(config: HarnessConfig | None = None) -> str:
+    results = run_figure8(config)
+    report = format_results_table(
+        results, "Figure 8 — Q-opt Evaluation (EcoCharge, R = 50 km)"
+    )
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

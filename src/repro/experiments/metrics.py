@@ -1,0 +1,144 @@
+"""Evaluation metrics (Section V-A).
+
+* ``F_t`` — CPU execution time per ranking call, measured with
+  ``time.perf_counter`` around exactly the work the paper times (the
+  weighted-sum optimisation producing one Offering Table).
+* ``SC`` — Sustainability Score of the *selection*, graded against ground
+  truth: the oracle component values of the chosen chargers, combined with
+  the experiment weights, averaged over the table.  Reported as a
+  percentage of the Brute-Force reference (Brute Force = 100 %).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.environment import ChargingEnvironment, TrueComponents
+from ..core.offering import OfferingTable
+from ..core.scoring import Weights, sc_exact
+from ..network.path import TripSegment
+
+
+@dataclass(frozen=True, slots=True)
+class MeanStd:
+    """Mean and standard deviation of a sample."""
+
+    mean: float
+    std: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MeanStd":
+        if not values:
+            return cls(math.nan, math.nan, 0)
+        n = len(values)
+        mean = sum(values) / n
+        if n == 1:
+            return cls(mean, 0.0, 1)
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        return cls(mean, math.sqrt(var), n)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.count})"
+
+
+class Stopwatch:
+    """Accumulating perf_counter stopwatch; one lap per timed call."""
+
+    def __init__(self) -> None:
+        self.laps_ms: list[float] = []
+
+    @contextmanager
+    def lap(self) -> Iterator[None]:
+        """Context manager timing one lap into ``laps_ms``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.laps_ms.append((time.perf_counter() - start) * 1000.0)
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.laps_ms)
+
+    def summary(self) -> MeanStd:
+        """Mean/std/count over the recorded laps."""
+        return MeanStd.of(self.laps_ms)
+
+
+def true_sc_of_selection(
+    truths: Mapping[int, TrueComponents],
+    charger_ids: Iterable[int],
+    weights: Weights,
+) -> float:
+    """Mean ground-truth SC over a selected charger set.
+
+    Missing chargers (outside every truth pool — cannot happen when truths
+    were computed for the union of selections) raise, loudly.
+    """
+    ids = list(charger_ids)
+    if not ids:
+        return 0.0
+    total = 0.0
+    for charger_id in ids:
+        truth = truths[charger_id]
+        total += sc_exact(truth.sustainable, truth.availability, truth.derouting, weights)
+    return total / len(ids)
+
+
+def oracle_truths_for_tables(
+    environment: ChargingEnvironment,
+    segment: TripSegment,
+    tables: Iterable[OfferingTable],
+    time_h: float,
+    next_segment: TripSegment | None = None,
+) -> dict[int, TrueComponents]:
+    """Ground-truth components for the union of all tables' selections.
+
+    One batched oracle pass per segment, shared by every method under
+    comparison — keeps the grading cost independent of method count.
+    """
+    union_ids: set[int] = set()
+    for table in tables:
+        union_ids.update(table.charger_ids())
+    chargers = [environment.registry.get(cid) for cid in sorted(union_ids)]
+    return environment.true_components_pool(segment, chargers, time_h, next_segment)
+
+
+def sc_percent(method_sc: float, reference_sc: float) -> float:
+    """SC as a percentage of the Brute-Force reference."""
+    if reference_sc <= 0:
+        return 0.0 if method_sc <= 0 else math.inf
+    return 100.0 * method_sc / reference_sc
+
+
+def component_contributions(
+    truths: Mapping[int, TrueComponents],
+    charger_ids: Iterable[int],
+) -> tuple[float, float, float]:
+    """Achieved per-objective contribution shares of a selection.
+
+    Decomposes the mean true SC of the selection into its three weighted
+    terms and normalises them to fractions summing to 1 — the quantities
+    Figure 9 reports as achieved ``w1/w2/w3`` percentages.  The
+    decomposition always uses *equal* weights so that configurations are
+    comparable (the paper grades every ablation against the same SC).
+    """
+    ids = list(charger_ids)
+    if not ids:
+        return (0.0, 0.0, 0.0)
+    equal = 1.0 / 3.0
+    terms = [0.0, 0.0, 0.0]
+    for charger_id in ids:
+        truth = truths[charger_id]
+        terms[0] += truth.sustainable * equal
+        terms[1] += truth.availability * equal
+        terms[2] += (1.0 - truth.derouting) * equal
+    total = sum(terms)
+    if total <= 0:
+        return (0.0, 0.0, 0.0)
+    return (terms[0] / total, terms[1] / total, terms[2] / total)

@@ -1,0 +1,93 @@
+"""Deployment-mode experiment (Section IV's architecture claims).
+
+Not a numbered figure in the paper, but the architecture section claims
+EcoCharge sustains "continuous recomputation on the edge devices"; this
+driver quantifies it: per-segment end-to-end latency for Mode 1
+(embedded), Mode 2 (server) and Mode 3 (edge) across the datasets, plus
+the EIS response-cache benefit when a second vehicle follows the same
+corridor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.ecocharge import EcoChargeConfig
+from ..server.client import EcoChargeClient
+from ..server.eis import EcoChargeInformationServer
+from ..server.modes import DeploymentMode, compare_modes
+from ..trajectories.datasets import DATASET_ORDER
+from .harness import HarnessConfig, load_workloads
+from .metrics import MeanStd
+
+
+@dataclass(frozen=True)
+class ModeRow:
+    dataset: str
+    mode: DeploymentMode
+    per_segment_ms: MeanStd
+
+
+def run_modes(
+    config: HarnessConfig | None = None,
+    datasets: Sequence[str] = DATASET_ORDER,
+) -> tuple[list[ModeRow], dict[str, float]]:
+    """Per-mode latency rows plus per-dataset EIS cache benefit."""
+    config = config if config is not None else HarnessConfig()
+    eco = EcoChargeConfig(k=config.k)
+    workloads = load_workloads(datasets, config)
+
+    rows: list[ModeRow] = []
+    cache_benefit: dict[str, float] = {}
+    for name in datasets:
+        workload = workloads[name]
+        trips = workload.trips[: config.trips_per_dataset]
+        per_mode: dict[DeploymentMode, list[float]] = {
+            mode: [] for mode in DeploymentMode
+        }
+        for trip in trips:
+            for mode, report in compare_modes(workload.environment, trip, eco).items():
+                per_mode[mode].append(report.per_segment_ms)
+        for mode, samples in per_mode.items():
+            rows.append(
+                ModeRow(dataset=name, mode=mode, per_segment_ms=MeanStd.of(samples))
+            )
+        # Cache benefit: a second client over the first trip.
+        server = EcoChargeInformationServer(workload.environment)
+        first = EcoChargeClient(server, eco)
+        first.plan_trip(trips[0])
+        upstream_after_first = server.usage.total
+        second = EcoChargeClient(server, eco)
+        second.plan_trip(trips[0])
+        newly = server.usage.total - upstream_after_first
+        cache_benefit[name] = 1.0 - (newly / max(1, upstream_after_first))
+    return rows, cache_benefit
+
+
+def main(config: HarnessConfig | None = None) -> str:
+    rows, cache_benefit = run_modes(config)
+    lines = [
+        "Deployment modes — per-segment end-to-end latency (simulated network "
+        "+ measured compute)",
+        "=" * 80,
+        f"{'dataset':<12}{'mode':<18}{'per segment (ms)':>22}",
+        "-" * 80,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.dataset:<12}{row.mode.value:<18}"
+            f"{row.per_segment_ms.mean:>14.1f} ± {row.per_segment_ms.std:<6.1f}"
+        )
+    lines.append("")
+    lines.append("EIS response-cache benefit (upstream calls avoided for a "
+                 "second vehicle on the same corridor):")
+    for name, benefit in cache_benefit.items():
+        lines.append(f"  {name:<12} {benefit:6.0%}")
+    report = "\n".join(lines)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,163 @@
+"""Experiment result persistence and regression checks.
+
+Figures are only reproducible if their numbers survive the session:
+this module serialises :class:`~repro.experiments.harness.MethodResult`
+rows to JSON, reloads them, and — the part that keeps the reproduction
+honest over time — verifies that a run still satisfies the paper's shape
+invariants (who wins, who loses, and that the reference sits at 100 %).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from .harness import MethodResult
+from .metrics import MeanStd
+
+FORMAT_MARKER = "repro-experiment-results"
+
+
+def results_to_json(results: Sequence[MethodResult], experiment: str) -> dict:
+    return {
+        "format": FORMAT_MARKER,
+        "version": 1,
+        "experiment": experiment,
+        "rows": [
+            {
+                "dataset": r.dataset,
+                "method": r.method,
+                "ft_ms": {"mean": r.ft_ms.mean, "std": r.ft_ms.std, "count": r.ft_ms.count},
+                "sc_pct": {
+                    "mean": r.sc_pct.mean,
+                    "std": r.sc_pct.std,
+                    "count": r.sc_pct.count,
+                },
+                "contributions": list(r.contributions),
+            }
+            for r in results
+        ],
+    }
+
+
+def results_from_json(payload: dict) -> tuple[str, list[MethodResult]]:
+    if payload.get("format") != FORMAT_MARKER:
+        raise ValueError("not a repro experiment-results document")
+    rows = [
+        MethodResult(
+            method=row["method"],
+            dataset=row["dataset"],
+            ft_ms=MeanStd(**row["ft_ms"]),
+            sc_pct=MeanStd(**row["sc_pct"]),
+            contributions=tuple(row["contributions"]),
+        )
+        for row in payload["rows"]
+    ]
+    return payload["experiment"], rows
+
+
+def save_results(results: Sequence[MethodResult], experiment: str, path: str | Path) -> None:
+    """Write results to ``path`` as a versioned JSON document."""
+    Path(path).write_text(json.dumps(results_to_json(results, experiment), indent=2))
+
+
+def load_results(path: str | Path) -> tuple[str, list[MethodResult]]:
+    """Read ``(experiment, results)`` back from ``path``."""
+    return results_from_json(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeViolation:
+    """One broken invariant in a result set."""
+
+    dataset: str
+    description: str
+
+
+def check_figure6_shape(
+    results: Sequence[MethodResult],
+    reference: str = "brute-force",
+    sc_tolerance: float = 2.0,
+) -> list[ShapeViolation]:
+    """Verify a Figure-6-style run against the paper's claims.
+
+    Per dataset: the reference scores 100 %, EcoCharge lands within a few
+    points of it and above the quadtree, the quadtree beats Random on SC,
+    Random is the fastest, and the reference is the slowest accurate
+    method.  Returns the violations (empty list = shape holds).
+    """
+    violations: list[ShapeViolation] = []
+    datasets = {r.dataset for r in results}
+    for dataset in sorted(datasets):
+        rows = {r.method: r for r in results if r.dataset == dataset}
+        required = {reference, "index-quadtree", "random", "ecocharge"}
+        missing = required - set(rows)
+        if missing:
+            violations.append(
+                ShapeViolation(dataset, f"missing methods: {sorted(missing)}")
+            )
+            continue
+        ref, quad = rows[reference], rows["index-quadtree"]
+        rand, eco = rows["random"], rows["ecocharge"]
+        if abs(ref.sc_pct.mean - 100.0) > 1e-6:
+            violations.append(
+                ShapeViolation(dataset, f"reference SC is {ref.sc_pct.mean}, not 100")
+            )
+        if eco.sc_pct.mean < 100.0 - 5.0:
+            violations.append(
+                ShapeViolation(dataset, f"ecocharge SC {eco.sc_pct.mean:.1f} < 95")
+            )
+        if not eco.sc_pct.mean > quad.sc_pct.mean + sc_tolerance:
+            violations.append(
+                ShapeViolation(
+                    dataset,
+                    f"ecocharge SC {eco.sc_pct.mean:.1f} does not clearly beat "
+                    f"quadtree {quad.sc_pct.mean:.1f}",
+                )
+            )
+        if not quad.sc_pct.mean > rand.sc_pct.mean + sc_tolerance:
+            violations.append(
+                ShapeViolation(
+                    dataset,
+                    f"quadtree SC {quad.sc_pct.mean:.1f} does not clearly beat "
+                    f"random {rand.sc_pct.mean:.1f}",
+                )
+            )
+        if rand.ft_ms.mean >= min(ref.ft_ms.mean, quad.ft_ms.mean, eco.ft_ms.mean):
+            violations.append(ShapeViolation(dataset, "random is not the fastest"))
+        if ref.ft_ms.mean <= max(quad.ft_ms.mean, eco.ft_ms.mean):
+            violations.append(
+                ShapeViolation(dataset, "brute force is not the slowest")
+            )
+    return violations
+
+
+def compare_runs(
+    old: Sequence[MethodResult],
+    new: Sequence[MethodResult],
+    sc_regression_pts: float = 3.0,
+) -> list[ShapeViolation]:
+    """Flag SC regressions between two runs of the same experiment.
+
+    Timing is machine-dependent, so only quality (SC) is compared: a drop
+    larger than ``sc_regression_pts`` points for any (dataset, method)
+    pair is flagged.
+    """
+    old_by_key = {(r.dataset, r.method): r for r in old}
+    violations: list[ShapeViolation] = []
+    for row in new:
+        previous = old_by_key.get((row.dataset, row.method))
+        if previous is None:
+            continue
+        drop = previous.sc_pct.mean - row.sc_pct.mean
+        if drop > sc_regression_pts:
+            violations.append(
+                ShapeViolation(
+                    row.dataset,
+                    f"{row.method}: SC dropped {drop:.1f} points "
+                    f"({previous.sc_pct.mean:.1f} → {row.sc_pct.mean:.1f})",
+                )
+            )
+    return violations

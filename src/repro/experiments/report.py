@@ -1,0 +1,59 @@
+"""Row/series formatting for the experiment drivers.
+
+Prints the same quantities the paper's figures plot: per method/dataset
+CPU execution time (ms) and Sustainability Score (% of Brute Force), plus
+the ablation's achieved contribution shares.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .harness import MethodResult
+
+
+def format_results_table(results: Sequence[MethodResult], title: str) -> str:
+    """Aligned text table over MethodResult rows."""
+    header = ["dataset", "method", "F_t (ms)", "SC (%)"]
+    rows = [header]
+    for result in results:
+        rows.append(
+            [
+                result.dataset,
+                result.method,
+                f"{result.ft_ms.mean:8.2f} ± {result.ft_ms.std:6.2f}",
+                f"{result.sc_pct.mean:6.1f} ± {result.sc_pct.std:4.1f}",
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(header) - 1)))
+    return "\n".join(lines)
+
+
+def format_ablation_table(results: Sequence[MethodResult], title: str) -> str:
+    """Figure-9-style table with achieved contribution shares."""
+    header = ["dataset", "config", "w1:L (%)", "w2:A (%)", "w3:D (%)", "SC (%)"]
+    rows = [header]
+    for result in results:
+        w1, w2, w3 = result.contributions
+        rows.append(
+            [
+                result.dataset,
+                result.method,
+                f"{100 * w1:5.1f}",
+                f"{100 * w2:5.1f}",
+                f"{100 * w3:5.1f}",
+                f"{result.sc_pct.mean:6.1f} ± {result.sc_pct.std:4.1f}",
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(header) - 1)))
+    return "\n".join(lines)

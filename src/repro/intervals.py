@@ -1,0 +1,162 @@
+"""Interval arithmetic for Estimated Components.
+
+The paper's central modelling device (Section III-B): every Estimated
+Component — sustainable charging level ``L``, availability ``A``, derouting
+cost ``D`` — is not a point value but a *range* ``[min, max]`` reflecting
+forecast uncertainty.  The Sustainability Score is therefore itself an
+interval, and ranking happens on the interval endpoints (Eq. 4-6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed real interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval endpoints must not be NaN")
+        if self.lo > self.hi:
+            raise ValueError(f"interval lower bound {self.lo} exceeds upper bound {self.hi}")
+
+    @classmethod
+    def exact(cls, value: float) -> "Interval":
+        """Degenerate interval ``[value, value]`` for known quantities."""
+        return cls(value, value)
+
+    @classmethod
+    def around(cls, center: float, half_width: float) -> "Interval":
+        """Symmetric interval ``[center - hw, center + hw]``."""
+        if half_width < 0:
+            raise ValueError("half_width must be non-negative")
+        return cls(center - half_width, center + half_width)
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def is_exact(self) -> bool:
+        return self.lo == self.hi
+
+    def __add__(self, other: "Interval | float") -> "Interval":
+        if isinstance(other, Interval):
+            return Interval(self.lo + other.lo, self.hi + other.hi)
+        return Interval(self.lo + other, self.hi + other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Interval | float") -> "Interval":
+        if isinstance(other, Interval):
+            return Interval(self.lo - other.hi, self.hi - other.lo)
+        return Interval(self.lo - other, self.hi - other)
+
+    def __mul__(self, other: "Interval | float") -> "Interval":
+        if isinstance(other, Interval):
+            products = (
+                self.lo * other.lo,
+                self.lo * other.hi,
+                self.hi * other.lo,
+                self.hi * other.hi,
+            )
+            return Interval(min(products), max(products))
+        if other >= 0:
+            return Interval(self.lo * other, self.hi * other)
+        return Interval(self.hi * other, self.lo * other)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __contains__(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def complement_to_one(self) -> "Interval":
+        """The interval ``1 - self`` used by the derouting term of Eq. 4-5
+        (lower derouting cost means a better score)."""
+        return Interval(1.0 - self.hi, 1.0 - self.lo)
+
+    def clamp(self, lo: float = 0.0, hi: float = 1.0) -> "Interval":
+        """Clip both endpoints into ``[lo, hi]``."""
+        if lo > hi:
+            raise ValueError("clamp bounds must satisfy lo <= hi")
+        return Interval(min(max(self.lo, lo), hi), min(max(self.hi, lo), hi))
+
+    def scaled_by_max(self, maximum: float) -> "Interval":
+        """Normalise by the environment maximum, the paper's normalisation
+        for ``L`` and ``D``.  A non-positive maximum yields the zero
+        interval (empty environment)."""
+        if maximum <= 0:
+            return Interval.exact(0.0)
+        return Interval(self.lo / maximum, self.hi / maximum)
+
+    def intersects(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one point."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlap interval or None when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def certainly_less_than(self, other: "Interval") -> bool:
+        """True when every value of self is below every value of other."""
+        return self.hi < other.lo
+
+    def certainly_greater_than(self, other: "Interval") -> bool:
+        """True when every value of self is above every value of other."""
+        return self.lo > other.hi
+
+    def widened(self, factor: float) -> "Interval":
+        """Grow the interval symmetrically by ``factor`` of its width.
+
+        Used to model forecast-horizon degradation: a 12-hour-out weather
+        forecast is wider than a 1-hour-out one.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        margin = self.width * factor / 2.0
+        return Interval(self.lo - margin, self.hi + margin)
+
+
+def weighted_sum(terms: Iterable[tuple[Interval, float]]) -> Interval:
+    """Interval-valued weighted sum ``sum(interval_i * weight_i)``.
+
+    The building block of the Sustainability Score (Eq. 4-5).
+    """
+    total = Interval.exact(0.0)
+    for interval, weight in terms:
+        total = total + interval * weight
+    return total
+
+
+def hull_of(intervals: Iterable[Interval]) -> Interval:
+    """Smallest interval covering all inputs; raises on empty input."""
+    iterator = iter(intervals)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("hull of an empty collection is undefined") from None
+    for interval in iterator:
+        result = result.hull(interval)
+    return result

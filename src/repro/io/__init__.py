@@ -1,0 +1,61 @@
+"""Dataset I/O: the real evaluation datasets' file formats plus JSON/CSV
+round-trips for every synthetic substrate."""
+
+from .charger_io import (
+    chargers_from_json,
+    chargers_to_json,
+    load_chargers_json,
+    read_chargers_csv,
+    save_chargers_json,
+    write_chargers_csv,
+)
+from .network_io import (
+    load_network_json,
+    network_from_json,
+    network_to_json,
+    read_cnode_cedge,
+    save_network_json,
+    write_cnode_cedge,
+)
+from .geojson_io import (
+    network_to_geojson,
+    offerings_to_geojson,
+    trajectory_to_geojson,
+    trip_to_geojson,
+    write_geojson,
+)
+from .solar_io import read_solar_csv, write_solar_csv
+from .trajectory_io import (
+    read_brinkhoff,
+    read_plt,
+    read_trajectories_csv,
+    write_brinkhoff,
+    write_trajectories_csv,
+)
+
+__all__ = [
+    "chargers_from_json",
+    "chargers_to_json",
+    "load_chargers_json",
+    "load_network_json",
+    "network_from_json",
+    "network_to_geojson",
+    "network_to_json",
+    "offerings_to_geojson",
+    "read_brinkhoff",
+    "read_chargers_csv",
+    "read_cnode_cedge",
+    "read_plt",
+    "read_solar_csv",
+    "read_trajectories_csv",
+    "save_chargers_json",
+    "save_network_json",
+    "trajectory_to_geojson",
+    "trip_to_geojson",
+    "write_brinkhoff",
+    "write_chargers_csv",
+    "write_cnode_cedge",
+    "write_geojson",
+    "write_solar_csv",
+    "write_trajectories_csv",
+]

@@ -1,0 +1,130 @@
+"""Charger catalog readers and writers.
+
+* **CSV** — the shape of a PlugShare data export: one charger per row
+  with location, plug type, rated power, and plug count.  Loading a real
+  export (plus a node snap against the road network) reproduces the
+  paper's PlugShare ingestion.
+* **JSON** — full-fidelity round trip including the renewable-source
+  linkage the CSV cannot carry.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..chargers.charger import Charger, PlugType, RenewableSource
+from ..chargers.registry import ChargerRegistry
+from ..network.graph import RoadNetwork
+from ..spatial.geometry import Point
+
+CSV_FIELDS = ("charger_id", "x", "y", "plug_type", "rate_kw", "plugs", "solar_capacity_kw")
+
+
+def write_chargers_csv(registry: ChargerRegistry, path: str | Path) -> None:
+    """PlugShare-style CSV export."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for charger in sorted(registry, key=lambda c: c.charger_id):
+            writer.writerow(
+                {
+                    "charger_id": charger.charger_id,
+                    "x": charger.point.x,
+                    "y": charger.point.y,
+                    "plug_type": charger.plug_type.value,
+                    "rate_kw": charger.rate_kw,
+                    "plugs": charger.plugs,
+                    "solar_capacity_kw": charger.solar_capacity_kw,
+                }
+            )
+
+
+def read_chargers_csv(path: str | Path, network: RoadNetwork) -> ChargerRegistry:
+    """Load a CSV export and snap each charger to its nearest road node.
+
+    The snap mirrors the paper's pipeline: PlugShare gives coordinates,
+    OpenStreetMap gives the network, and routing needs the join.
+    """
+    index = network.node_index()
+    chargers: list[Charger] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"{path}: missing CSV columns {sorted(missing)}")
+        for row_no, row in enumerate(reader, start=2):
+            point = Point(float(row["x"]), float(row["y"]))
+            __, __, node_id = index.nearest(point, 1)[0]
+            try:
+                plug_type = PlugType(row["plug_type"])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{row_no}: unknown plug type {row['plug_type']!r}"
+                ) from None
+            chargers.append(
+                Charger(
+                    charger_id=int(row["charger_id"]),
+                    point=point,
+                    node_id=node_id,
+                    rate_kw=float(row["rate_kw"]),
+                    plug_type=plug_type,
+                    plugs=int(row["plugs"]),
+                    solar_capacity_kw=float(row["solar_capacity_kw"]),
+                )
+            )
+    return ChargerRegistry(chargers, bounds=network.bounds().expanded(1.0))
+
+
+def chargers_to_json(registry: ChargerRegistry) -> dict:
+    """Full-fidelity dict form of the registry."""
+    return {
+        "format": "repro-charger-catalog",
+        "version": 1,
+        "chargers": [
+            {
+                "charger_id": c.charger_id,
+                "x": c.point.x,
+                "y": c.point.y,
+                "node_id": c.node_id,
+                "rate_kw": c.rate_kw,
+                "plug_type": c.plug_type.value,
+                "plugs": c.plugs,
+                "solar_capacity_kw": c.solar_capacity_kw,
+                "source": c.source.value,
+            }
+            for c in sorted(registry, key=lambda c: c.charger_id)
+        ],
+    }
+
+
+def chargers_from_json(payload: dict) -> ChargerRegistry:
+    """Rebuild a registry from :func:`chargers_to_json` output."""
+    if payload.get("format") != "repro-charger-catalog":
+        raise ValueError("not a repro charger-catalog document")
+    chargers = [
+        Charger(
+            charger_id=int(row["charger_id"]),
+            point=Point(float(row["x"]), float(row["y"])),
+            node_id=int(row["node_id"]),
+            rate_kw=float(row["rate_kw"]),
+            plug_type=PlugType(row["plug_type"]),
+            plugs=int(row["plugs"]),
+            solar_capacity_kw=float(row["solar_capacity_kw"]),
+            source=RenewableSource(row["source"]),
+        )
+        for row in payload["chargers"]
+    ]
+    return ChargerRegistry(chargers)
+
+
+def save_chargers_json(registry: ChargerRegistry, path: str | Path) -> None:
+    """Write the registry to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(chargers_to_json(registry)))
+
+
+def load_chargers_json(path: str | Path) -> ChargerRegistry:
+    """Read a registry back from a JSON file."""
+    return chargers_from_json(json.loads(Path(path).read_text()))

@@ -1,0 +1,158 @@
+"""GeoJSON export for GIS inspection.
+
+The paper's tooling is GIS through and through (OpenStreetMap, Leaflet,
+Folium); exporting networks, trajectories, and Offering Tables as GeoJSON
+lets any GIS tool (QGIS, kepler.gl, geojson.io) inspect a run.  Planar km
+coordinates are converted back to WGS-84 through a
+:class:`~repro.spatial.geometry.LocalProjection` anchored at a caller
+supplied origin (default: Oldenburg, matching the flagship dataset).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..core.offering import OfferingTable
+from ..network.graph import RoadNetwork
+from ..network.path import Trip
+from ..spatial.geometry import GeoPoint, LocalProjection, Point
+from ..trajectories.trajectory import Trajectory
+
+#: Default geographic anchor: Oldenburg, Germany (the paper's first dataset).
+DEFAULT_ORIGIN = GeoPoint(53.1435, 8.2146)
+
+
+def _coords(projection: LocalProjection, point: Point) -> list[float]:
+    geo = projection.to_geo(point)
+    return [round(geo.lon, 6), round(geo.lat, 6)]
+
+
+def network_to_geojson(
+    network: RoadNetwork, origin: GeoPoint = DEFAULT_ORIGIN
+) -> dict:
+    """The road network as a FeatureCollection of LineStrings.
+
+    Each undirected road becomes one feature with speed and length
+    properties; one-way edges are flagged.
+    """
+    projection = LocalProjection(origin)
+    features = []
+    seen: set[tuple[int, int]] = set()
+    for edge in network.edges():
+        key = (min(edge.source, edge.target), max(edge.source, edge.target))
+        if key in seen:
+            continue
+        seen.add(key)
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [
+                        _coords(projection, network.node(edge.source).point),
+                        _coords(projection, network.node(edge.target).point),
+                    ],
+                },
+                "properties": {
+                    "source": edge.source,
+                    "target": edge.target,
+                    "length_km": round(edge.length_km, 4),
+                    "speed_kmh": edge.speed_kmh,
+                    "oneway": not network.has_edge(edge.target, edge.source),
+                },
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def trip_to_geojson(trip: Trip, origin: GeoPoint = DEFAULT_ORIGIN) -> dict:
+    """The scheduled trip as one LineString feature."""
+    projection = LocalProjection(origin)
+    return {
+        "type": "FeatureCollection",
+        "features": [
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [_coords(projection, p) for p in trip.points],
+                },
+                "properties": {
+                    "length_km": round(trip.length_km, 3),
+                    "departure_time_h": trip.departure_time_h,
+                    "source": trip.source,
+                    "destination": trip.destination,
+                },
+            }
+        ],
+    }
+
+
+def trajectory_to_geojson(
+    trajectory: Trajectory, origin: GeoPoint = DEFAULT_ORIGIN
+) -> dict:
+    """A GPS trace as a LineString with per-fix timestamps in properties."""
+    projection = LocalProjection(origin)
+    return {
+        "type": "FeatureCollection",
+        "features": [
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [
+                        _coords(projection, fix.point) for fix in trajectory
+                    ],
+                },
+                "properties": {
+                    "object_id": trajectory.object_id,
+                    "times_h": [round(fix.time_h, 5) for fix in trajectory],
+                },
+            }
+        ],
+    }
+
+
+def offerings_to_geojson(
+    tables: Iterable[OfferingTable], origin: GeoPoint = DEFAULT_ORIGIN
+) -> dict:
+    """Offering Tables as Point features, one per ranked charger.
+
+    Properties carry rank, scores, and EC intervals so GIS styling can
+    colour by sustainability.
+    """
+    projection = LocalProjection(origin)
+    features = []
+    for table in tables:
+        for entry in table:
+            features.append(
+                {
+                    "type": "Feature",
+                    "geometry": {
+                        "type": "Point",
+                        "coordinates": _coords(projection, entry.charger.point),
+                    },
+                    "properties": {
+                        "segment": table.segment_index,
+                        "rank": entry.rank,
+                        "charger_id": entry.charger_id,
+                        "rate_kw": entry.charger.rate_kw,
+                        "sc_min": round(entry.score.sc_min, 4),
+                        "sc_max": round(entry.score.sc_max, 4),
+                        "L": [round(entry.sustainable.lo, 4), round(entry.sustainable.hi, 4)],
+                        "A": [round(entry.availability.lo, 4), round(entry.availability.hi, 4)],
+                        "D": [round(entry.derouting.lo, 4), round(entry.derouting.hi, 4)],
+                        "adapted": table.is_adapted,
+                    },
+                }
+            )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def write_geojson(payload: dict, path: str | Path) -> Path:
+    """Serialise any of the collections above to a ``.geojson`` file."""
+    destination = Path(path)
+    destination.write_text(json.dumps(payload))
+    return destination

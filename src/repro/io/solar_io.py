@@ -1,0 +1,66 @@
+"""Solar production series readers and writers (CDGS-style CSV).
+
+The "California Distributed Generation Statistics" interval files the
+paper consumes are CSVs of 15-minute production readings per site.  This
+module reads/writes that shape: ``site_id, interval_start_h, kw``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..chargers.solar import SAMPLES_PER_HOUR, SolarSeries
+
+CSV_FIELDS = ("site_id", "interval_start_h", "kw")
+
+
+def write_solar_csv(series_by_site: dict[int, SolarSeries], path: str | Path) -> None:
+    """Write per-site 15-minute series in CDGS interval-file shape."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for site_id in sorted(series_by_site):
+            series = series_by_site[site_id]
+            for i, kw in enumerate(series.values_kw):
+                writer.writerow(
+                    {
+                        "site_id": site_id,
+                        "interval_start_h": series.start_h + i / SAMPLES_PER_HOUR,
+                        "kw": kw,
+                    }
+                )
+
+
+def read_solar_csv(path: str | Path) -> dict[int, SolarSeries]:
+    """Load per-site series; validates the 15-minute lattice.
+
+    Rows may arrive unsorted (CDGS files often are); they are re-ordered
+    per site.  Gaps in the lattice raise — interval files are dense.
+    """
+    rows: dict[int, list[tuple[float, float]]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"{path}: missing CSV columns {sorted(missing)}")
+        for row in reader:
+            rows.setdefault(int(row["site_id"]), []).append(
+                (float(row["interval_start_h"]), float(row["kw"]))
+            )
+    if not rows:
+        raise ValueError(f"{path}: no readings found")
+    out: dict[int, SolarSeries] = {}
+    step = 1.0 / SAMPLES_PER_HOUR
+    for site_id, readings in rows.items():
+        readings.sort(key=lambda r: r[0])
+        start = readings[0][0]
+        for i, (t, __) in enumerate(readings):
+            expected = start + i * step
+            if abs(t - expected) > 1e-6:
+                raise ValueError(
+                    f"{path}: site {site_id} has a gap at {expected} h "
+                    f"(found {t} h) — interval files must be dense"
+                )
+        out[site_id] = SolarSeries(start_h=start, values_kw=tuple(kw for __, kw in readings))
+    return out

@@ -1,0 +1,151 @@
+"""Trajectory readers and writers.
+
+* **Brinkhoff format** — the line format emitted by Brinkhoff's
+  network-based generator (the paper's Oldenburg tool):
+  ``kind id seq class time x y speed next_x next_y`` whitespace-separated,
+  where ``kind`` is ``newpoint``/``point``/``disappearpoint``.  Only the
+  fields this reproduction consumes (id, time, x, y) are interpreted;
+  time ticks are converted to hours via ``tick_h``.
+* **PLT (Geolife) format** — Geolife distributes one ``.plt`` per
+  trajectory: six header lines, then
+  ``lat,lon,0,alt,days,date,time`` rows.  The loader projects to the
+  local plane around the first fix.
+* **CSV** — simple round-trip format for synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..spatial.geometry import GeoPoint, LocalProjection, Point
+from ..trajectories.trajectory import Trajectory, TrajectoryDataset, TrajectoryPoint
+
+_BRINKHOFF_KINDS = {"newpoint", "point", "disappearpoint"}
+
+
+def read_brinkhoff(path: str | Path, tick_h: float = 1.0 / 60.0) -> TrajectoryDataset:
+    """Parse Brinkhoff generator output into a dataset.
+
+    ``tick_h`` converts the generator's integer time stamps to hours (the
+    tool's default resolution is arbitrary; one minute per tick is the
+    common convention).
+    """
+    if tick_h <= 0:
+        raise ValueError("tick_h must be positive")
+    fixes: dict[int, list[TrajectoryPoint]] = {}
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split()
+            if parts[0] not in _BRINKHOFF_KINDS:
+                raise ValueError(f"{path}:{line_no}: unknown record kind {parts[0]!r}")
+            if len(parts) < 7:
+                raise ValueError(f"{path}:{line_no}: truncated record")
+            object_id = int(parts[1])
+            time_h = float(parts[4]) * tick_h
+            x, y = float(parts[5]), float(parts[6])
+            fixes.setdefault(object_id, []).append(TrajectoryPoint(time_h, Point(x, y)))
+    trajectories = []
+    for object_id in sorted(fixes):
+        points = sorted(fixes[object_id], key=lambda f: f.time_h)
+        trajectories.append(Trajectory(object_id, tuple(points)))
+    if not trajectories:
+        raise ValueError(f"{path}: no trajectories found")
+    return TrajectoryDataset(Path(path).stem, tuple(trajectories))
+
+
+def write_brinkhoff(dataset: TrajectoryDataset, path: str | Path, tick_h: float = 1.0 / 60.0) -> None:
+    """Write a dataset in Brinkhoff line format (class/speed fields are
+    synthesised as zero; next-position fields repeat the position)."""
+    with open(path, "w") as handle:
+        for trajectory in dataset:
+            last = len(trajectory.fixes) - 1
+            for seq, fix in enumerate(trajectory.fixes):
+                kind = "newpoint" if seq == 0 else (
+                    "disappearpoint" if seq == last else "point"
+                )
+                tick = round(fix.time_h / tick_h)
+                handle.write(
+                    f"{kind} {trajectory.object_id} {seq} 0 {tick} "
+                    f"{fix.point.x} {fix.point.y} 0 {fix.point.x} {fix.point.y}\n"
+                )
+
+
+def read_plt(
+    path: str | Path,
+    object_id: int = 0,
+    projection: LocalProjection | None = None,
+) -> Trajectory:
+    """Parse one Geolife ``.plt`` file.
+
+    ``days`` (field 5) is the fractional-day timestamp Geolife uses; it is
+    converted to hours relative to the trajectory's first fix so that the
+    result plugs into the day-0-relative simulation clock.
+    """
+    rows: list[tuple[float, GeoPoint]] = []
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    for line_no, line in enumerate(lines[6:], start=7):  # six header lines
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split(",")
+        if len(parts) < 7:
+            raise ValueError(f"{path}:{line_no}: truncated PLT row")
+        lat, lon = float(parts[0]), float(parts[1])
+        days = float(parts[4])
+        rows.append((days * 24.0, GeoPoint(lat, lon)))
+    if not rows:
+        raise ValueError(f"{path}: no fixes found")
+    rows.sort(key=lambda r: r[0])
+    if projection is None:
+        projection = LocalProjection(rows[0][1])
+    t0 = rows[0][0]
+    fixes = tuple(
+        TrajectoryPoint(time_h - t0, projection.to_plane(geo)) for time_h, geo in rows
+    )
+    return Trajectory(object_id, fixes)
+
+
+CSV_FIELDS = ("object_id", "time_h", "x", "y")
+
+
+def write_trajectories_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write every trajectory's fixes as flat CSV rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for trajectory in dataset:
+            for fix in trajectory:
+                writer.writerow(
+                    {
+                        "object_id": trajectory.object_id,
+                        "time_h": fix.time_h,
+                        "x": fix.point.x,
+                        "y": fix.point.y,
+                    }
+                )
+
+
+def read_trajectories_csv(path: str | Path, name: str | None = None) -> TrajectoryDataset:
+    """Rebuild a dataset from :func:`write_trajectories_csv` output."""
+    fixes: dict[int, list[TrajectoryPoint]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"{path}: missing CSV columns {sorted(missing)}")
+        for row in reader:
+            fixes.setdefault(int(row["object_id"]), []).append(
+                TrajectoryPoint(float(row["time_h"]), Point(float(row["x"]), float(row["y"])))
+            )
+    trajectories = [
+        Trajectory(object_id, tuple(sorted(points, key=lambda f: f.time_h)))
+        for object_id, points in sorted(fixes.items())
+    ]
+    if not trajectories:
+        raise ValueError(f"{path}: no trajectories found")
+    return TrajectoryDataset(name if name is not None else Path(path).stem, tuple(trajectories))

@@ -1,0 +1,62 @@
+"""Road-network substrate: graphs, shortest paths, builders, and trips."""
+
+from .builders import (
+    ARTERIAL_KMH,
+    COLLECTOR_KMH,
+    RESIDENTIAL_KMH,
+    NetworkSpec,
+    build_city_network,
+    build_grid_network,
+    build_radial_network,
+)
+from .graph import (
+    DEFAULT_CO2_KG_PER_KWH,
+    DEFAULT_KWH_PER_KM,
+    EdgeWeight,
+    RoadEdge,
+    RoadNetwork,
+    RoadNode,
+)
+from .landmarks import LandmarkSet, alt_astar, select_landmarks
+from .path import DEFAULT_SEGMENT_KM, Trip, TripSegment, resample_polyline
+from .shortest_path import (
+    NoPathError,
+    PathResult,
+    astar,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_all,
+    dijkstra_to_targets,
+    path_cost,
+)
+
+__all__ = [
+    "ARTERIAL_KMH",
+    "COLLECTOR_KMH",
+    "DEFAULT_CO2_KG_PER_KWH",
+    "DEFAULT_KWH_PER_KM",
+    "DEFAULT_SEGMENT_KM",
+    "EdgeWeight",
+    "LandmarkSet",
+    "NetworkSpec",
+    "NoPathError",
+    "PathResult",
+    "RESIDENTIAL_KMH",
+    "RoadEdge",
+    "RoadNetwork",
+    "RoadNode",
+    "Trip",
+    "TripSegment",
+    "alt_astar",
+    "astar",
+    "bidirectional_dijkstra",
+    "build_city_network",
+    "build_grid_network",
+    "build_radial_network",
+    "dijkstra",
+    "dijkstra_all",
+    "dijkstra_to_targets",
+    "path_cost",
+    "resample_polyline",
+    "select_landmarks",
+]

@@ -1,0 +1,206 @@
+"""Trips, path segments, and trip segmentation.
+
+The paper's Step 1 (Section III-A): a scheduled trip ``P`` is partitioned
+into path segments ``p`` of roughly 3-5 km each; the CkNN-EC query then
+produces one kNN result per segment.  Simulation time is measured in hours
+from an arbitrary day-0 midnight, so ``7.5`` means 07:30 on day 0 and
+``31.0`` means 07:00 on day 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..spatial.geometry import Point, polyline_length
+from .graph import EdgeWeight, RoadNetwork
+from .shortest_path import PathResult, dijkstra
+
+#: Paper default: segments of "approximately 3-5 km"; we use the midpoint.
+DEFAULT_SEGMENT_KM = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class TripSegment:
+    """A contiguous stretch of a trip.
+
+    ``start_offset_km`` is the distance already travelled when the segment
+    begins, enabling per-segment ETA computation.
+    """
+
+    index: int
+    node_ids: tuple[int, ...]
+    points: tuple[Point, ...]
+    start_offset_km: float
+    length_km: float
+
+    @property
+    def start(self) -> Point:
+        return self.points[0]
+
+    @property
+    def end(self) -> Point:
+        return self.points[-1]
+
+    @property
+    def end_offset_km(self) -> float:
+        return self.start_offset_km + self.length_km
+
+    @property
+    def midpoint(self) -> Point:
+        """Representative query point for the segment (used by ranking)."""
+        if len(self.points) == 1:
+            return self.points[0]
+        target = self.length_km / 2.0
+        walked = 0.0
+        for a, b in zip(self.points, self.points[1:]):
+            step = a.distance_to(b)
+            if walked + step >= target and step > 0:
+                fraction = (target - walked) / step
+                return Point(a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction)
+            walked += step
+        return self.points[-1]
+
+    @property
+    def anchor_node(self) -> int:
+        """Network node used for road-distance queries from this segment
+        (the node closest to the segment midpoint)."""
+        mid = self.midpoint
+        best = min(
+            range(len(self.points)), key=lambda i: self.points[i].squared_distance_to(mid)
+        )
+        return self.node_ids[best]
+
+
+@dataclass(frozen=True)
+class Trip:
+    """A scheduled trip ``P``: a node path plus its departure time."""
+
+    network: RoadNetwork
+    node_ids: tuple[int, ...]
+    departure_time_h: float = 8.0
+
+    def __post_init__(self) -> None:
+        if len(self.node_ids) < 1:
+            raise ValueError("a trip needs at least one node")
+        for a, b in zip(self.node_ids, self.node_ids[1:]):
+            if not self.network.has_edge(a, b):
+                raise ValueError(f"trip uses missing edge {a}->{b}")
+
+    @classmethod
+    def route(
+        cls,
+        network: RoadNetwork,
+        source: int,
+        target: int,
+        departure_time_h: float = 8.0,
+        weight: EdgeWeight = EdgeWeight.DISTANCE_KM,
+    ) -> "Trip":
+        """Build a trip along the shortest path from source to target."""
+        result: PathResult = dijkstra(network, source, target, weight)
+        return cls(network, result.nodes, departure_time_h)
+
+    @property
+    def points(self) -> tuple[Point, ...]:
+        return tuple(self.network.node(n).point for n in self.node_ids)
+
+    @property
+    def length_km(self) -> float:
+        return sum(
+            self.network.edge(a, b).length_km
+            for a, b in zip(self.node_ids, self.node_ids[1:])
+        )
+
+    @property
+    def source(self) -> int:
+        return self.node_ids[0]
+
+    @property
+    def destination(self) -> int:
+        return self.node_ids[-1]
+
+    def travel_time_h(self) -> float:
+        """Free-flow travel time over the whole trip."""
+        return sum(
+            self.network.edge(a, b).weight(EdgeWeight.TRAVEL_TIME_H)
+            for a, b in zip(self.node_ids, self.node_ids[1:])
+        )
+
+    def segments(self, segment_km: float = DEFAULT_SEGMENT_KM) -> tuple[TripSegment, ...]:
+        """Partition into segments of roughly ``segment_km`` each.
+
+        Edges are never split: a segment closes at the first node at which
+        its accumulated length reaches ``segment_km``.  Every segment
+        therefore starts and ends on network nodes, and consecutive
+        segments share their boundary node — the *split points* ``SL`` of
+        the continuous query.
+        """
+        if segment_km <= 0:
+            raise ValueError("segment_km must be positive")
+        if len(self.node_ids) == 1:
+            only = self.network.node(self.node_ids[0]).point
+            return (TripSegment(0, self.node_ids, (only,), 0.0, 0.0),)
+
+        segments: list[TripSegment] = []
+        seg_nodes: list[int] = [self.node_ids[0]]
+        seg_length = 0.0
+        offset = 0.0
+        for a, b in zip(self.node_ids, self.node_ids[1:]):
+            seg_nodes.append(b)
+            seg_length += self.network.edge(a, b).length_km
+            if seg_length >= segment_km and b != self.node_ids[-1]:
+                segments.append(self._make_segment(len(segments), seg_nodes, offset, seg_length))
+                offset += seg_length
+                seg_nodes = [b]
+                seg_length = 0.0
+        if len(seg_nodes) > 1 or not segments:
+            segments.append(self._make_segment(len(segments), seg_nodes, offset, seg_length))
+        return tuple(segments)
+
+    def _make_segment(
+        self, index: int, node_ids: list[int], offset: float, length: float
+    ) -> TripSegment:
+        points = tuple(self.network.node(n).point for n in node_ids)
+        return TripSegment(index, tuple(node_ids), points, offset, length)
+
+    def eta_at_offset_h(self, offset_km: float, average_speed_kmh: float = 40.0) -> float:
+        """Estimated clock time (hours) at which the vehicle reaches
+        ``offset_km`` into the trip, under a flat average speed.  The
+        traffic-aware ETA lives in :mod:`repro.estimation.eta`; this is the
+        zero-knowledge fallback."""
+        if average_speed_kmh <= 0:
+            raise ValueError("average speed must be positive")
+        return self.departure_time_h + max(0.0, offset_km) / average_speed_kmh
+
+
+def resample_polyline(points: Sequence[Point], step_km: float) -> list[Point]:
+    """Uniformly spaced points along a polyline, endpoints included.
+
+    Used when converting node paths to GPS-like traces and when sampling a
+    segment for continuous-query verification.
+    """
+    if step_km <= 0:
+        raise ValueError("step_km must be positive")
+    if not points:
+        return []
+    if len(points) == 1:
+        return [points[0]]
+    total = polyline_length(points)
+    if total == 0.0:
+        return [points[0]]
+    count = max(1, round(total / step_km))
+    spacing = total / count
+    out = [points[0]]
+    walked = 0.0
+    next_mark = spacing
+    for a, b in zip(points, points[1:]):
+        edge_len = a.distance_to(b)
+        while edge_len > 0 and next_mark <= walked + edge_len + 1e-12:
+            fraction = (next_mark - walked) / edge_len
+            fraction = min(1.0, max(0.0, fraction))
+            out.append(Point(a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction))
+            next_mark += spacing
+        walked += edge_len
+    if out[-1] != points[-1]:
+        out[-1] = points[-1]
+    return out

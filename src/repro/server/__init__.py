@@ -1,0 +1,34 @@
+"""Server/client architecture simulation: EIS, client, deployment modes."""
+
+from .api import ApiUsage, BusyTimesApi, ChargerCatalogApi, TrafficApi, WeatherApi
+from .cache import ResponseCache, ResponseCacheStats
+from .client import EcoChargeClient, SessionStats
+from .eis import EcoChargeInformationServer, RegionSnapshot
+from .modes import (
+    LATENCY_MODELS,
+    DeploymentMode,
+    LatencyModel,
+    ModeReport,
+    compare_modes,
+    simulate_mode,
+)
+
+__all__ = [
+    "ApiUsage",
+    "BusyTimesApi",
+    "ChargerCatalogApi",
+    "DeploymentMode",
+    "EcoChargeClient",
+    "EcoChargeInformationServer",
+    "LATENCY_MODELS",
+    "LatencyModel",
+    "ModeReport",
+    "RegionSnapshot",
+    "ResponseCache",
+    "ResponseCacheStats",
+    "SessionStats",
+    "TrafficApi",
+    "WeatherApi",
+    "compare_modes",
+    "simulate_mode",
+]

@@ -1,0 +1,89 @@
+"""Simulated external API services.
+
+The production EIS talks to OpenWeatherMap, PlugShare, Google-Maps busy
+times, and a traffic provider.  Offline, these classes wrap the internal
+models behind request/response interfaces with call accounting, so the
+caching experiments can measure exactly how many upstream calls Dynamic
+Caching avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chargers.charger import Charger
+from ..chargers.registry import ChargerRegistry
+from ..intervals import Interval
+from ..estimation.availability import AvailabilityEstimator
+from ..estimation.traffic import TrafficModel
+from ..estimation.weather import WeatherForecast, WeatherModel
+from ..spatial.geometry import Point
+
+
+@dataclass(slots=True)
+class ApiUsage:
+    """Upstream call counters, by endpoint."""
+
+    weather_calls: int = 0
+    busy_calls: int = 0
+    traffic_calls: int = 0
+    catalog_calls: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.weather_calls + self.busy_calls + self.traffic_calls + self.catalog_calls
+
+
+class WeatherApi:
+    """OpenWeatherMap stand-in: forecasts by location and hour."""
+
+    def __init__(self, model: WeatherModel, usage: ApiUsage):
+        self._model = model
+        self._usage = usage
+
+    def forecast(self, location: Point, target_h: float, now_h: float) -> WeatherForecast:
+        """Hourly forecast (the synthetic weather field is spatially
+        uniform; location is accepted for interface fidelity)."""
+        self._usage.weather_calls += 1
+        return self._model.forecast(target_h, now_h)
+
+
+class BusyTimesApi:
+    """Google-Maps-popular-times stand-in: availability per charger."""
+
+    def __init__(self, estimator: AvailabilityEstimator, usage: ApiUsage):
+        self._estimator = estimator
+        self._usage = usage
+
+    def availability(self, charger: Charger, eta_h: float, now_h: float) -> Interval:
+        """Availability interval for one charger at the ETA (counted)."""
+        self._usage.busy_calls += 1
+        return self._estimator.estimate(charger, eta_h, now_h)
+
+
+class TrafficApi:
+    """Traffic-provider stand-in: congestion level for a region/time."""
+
+    def __init__(self, model: TrafficModel, usage: ApiUsage):
+        self._model = model
+        self._usage = usage
+
+    def model_snapshot(self, time_h: float) -> TrafficModel:
+        """Hand back the traffic model for client-side routing (providers
+        expose travel-time matrices; our simulation shares the model
+        object and counts the fetch)."""
+        self._usage.traffic_calls += 1
+        return self._model
+
+
+class ChargerCatalogApi:
+    """PlugShare stand-in: chargers near a location."""
+
+    def __init__(self, registry: ChargerRegistry, usage: ApiUsage):
+        self._registry = registry
+        self._usage = usage
+
+    def nearby(self, location: Point, radius_km: float) -> list[Charger]:
+        """Chargers within ``radius_km`` of ``location`` (counted)."""
+        self._usage.catalog_calls += 1
+        return self._registry.within_radius(location, radius_km)

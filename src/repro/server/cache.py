@@ -1,0 +1,93 @@
+"""Server-side response cache.
+
+The EIS "mitigates the need for redundant API call requests by
+intelligently employing a smart caching mechanism" (Section IV).  This is
+a TTL keyed cache with spatial bucketing: requests for nearby locations at
+nearby times share entries, which is what collapses the per-client API
+fan-out when many vehicles traverse the same area.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from ..spatial.geometry import Point
+
+
+@dataclass(slots=True)
+class ResponseCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResponseCache:
+    """TTL cache with LRU-ish size bounding.
+
+    Keys are arbitrary hashables; :meth:`spatial_key` buckets locations
+    and times so continuous queries quantise onto shared entries.
+    """
+
+    def __init__(self, ttl_h: float = 0.5, max_entries: int = 4096):
+        if ttl_h <= 0:
+            raise ValueError("ttl_h must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.ttl_h = ttl_h
+        self.max_entries = max_entries
+        self.stats = ResponseCacheStats()
+        self._entries: dict[Hashable, tuple[float, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def spatial_key(
+        kind: str, location: Point, time_h: float, cell_km: float = 2.0, slot_h: float = 0.25
+    ) -> tuple:
+        """Bucketed key: same cell + same quarter-hour share an entry."""
+        return (
+            kind,
+            math.floor(location.x / cell_km),
+            math.floor(location.y / cell_km),
+            math.floor(time_h / slot_h),
+        )
+
+    def get_or_compute(self, key: Hashable, now_h: float, compute: Callable[[], Any]) -> Any:
+        """Cached value if fresh, else compute, store, and return."""
+        entry = self._entries.get(key)
+        if entry is not None and now_h - entry[0] <= self.ttl_h:
+            self.stats.hits += 1
+            return entry[1]
+        self.stats.misses += 1
+        value = compute()
+        self.put(key, now_h, value)
+        return value
+
+    def put(self, key: Hashable, now_h: float, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting the stalest entry if full."""
+        if len(self._entries) >= self.max_entries and key not in self._entries:
+            # Evict the stalest entry (smallest timestamp).
+            oldest = min(self._entries, key=lambda k: self._entries[k][0])
+            del self._entries[oldest]
+            self.stats.evictions += 1
+        self._entries[key] = (now_h, value)
+
+    def invalidate_older_than(self, now_h: float) -> int:
+        """Drop expired entries; returns how many were removed."""
+        stale = [k for k, (t, __) in self._entries.items() if now_h - t > self.ttl_h]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry and reset statistics."""
+        self._entries.clear()
+        self.stats = ResponseCacheStats()

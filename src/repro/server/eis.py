@@ -1,0 +1,123 @@
+"""EcoCharge Information Server (EIS).
+
+The centralised aggregation tier of the architecture (Figure 4): it fronts
+the external APIs, consolidates per-region data into snapshots, and caches
+responses so that many clients traversing the same area do not multiply
+upstream calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chargers.charger import Charger
+from ..core.environment import ChargingEnvironment
+from ..intervals import Interval
+from ..estimation.weather import WeatherForecast
+from ..spatial.geometry import Point
+from .api import ApiUsage, BusyTimesApi, ChargerCatalogApi, TrafficApi, WeatherApi
+from .cache import ResponseCache
+
+
+@dataclass(frozen=True)
+class RegionSnapshot:
+    """Consolidated per-request payload handed to a client.
+
+    Contains everything the client-side Algorithm 1 needs for one
+    Filtering pass: the nearby chargers, the weather forecast for the ETA
+    window, and per-charger availability intervals.
+    """
+
+    origin: Point
+    radius_km: float
+    time_h: float
+    chargers: tuple[Charger, ...]
+    weather: WeatherForecast
+    availability: dict[int, Interval]
+
+    @property
+    def charger_count(self) -> int:
+        return len(self.chargers)
+
+
+class EcoChargeInformationServer:
+    """The EIS: external APIs + response cache + snapshot assembly."""
+
+    def __init__(
+        self,
+        environment: ChargingEnvironment,
+        cache_ttl_h: float = 0.5,
+    ):
+        self.environment = environment
+        self.usage = ApiUsage()
+        self.cache = ResponseCache(ttl_h=cache_ttl_h)
+        self._weather_api = WeatherApi(environment.weather, self.usage)
+        self._busy_api = BusyTimesApi(environment.availability, self.usage)
+        self._traffic_api = TrafficApi(environment.traffic, self.usage)
+        self._catalog_api = ChargerCatalogApi(environment.registry, self.usage)
+        self.requests_served = 0
+        self._rankers: dict[tuple, object] = {}
+
+    def region_snapshot(
+        self, origin: Point, radius_km: float, eta_h: float, now_h: float
+    ) -> RegionSnapshot:
+        """Serve one consolidated region request (cached)."""
+        self.requests_served += 1
+        key = self.cache.spatial_key("region", origin, eta_h) + (round(radius_km, 1),)
+        return self.cache.get_or_compute(
+            key, now_h, lambda: self._build_snapshot(origin, radius_km, eta_h, now_h)
+        )
+
+    def _build_snapshot(
+        self, origin: Point, radius_km: float, eta_h: float, now_h: float
+    ) -> RegionSnapshot:
+        chargers = tuple(self._catalog_api.nearby(origin, radius_km))
+        weather = self._weather_api.forecast(origin, eta_h, now_h)
+        availability = {
+            charger.charger_id: self._busy_api.availability(charger, eta_h, now_h)
+            for charger in chargers
+        }
+        return RegionSnapshot(
+            origin=origin,
+            radius_km=radius_km,
+            time_h=eta_h,
+            chargers=chargers,
+            weather=weather,
+            availability=availability,
+        )
+
+    def traffic_model(self, now_h: float):
+        """Traffic feed for client-side routing (cached per time slot)."""
+        key = ("traffic", int(now_h * 4))
+        return self.cache.get_or_compute(
+            key, now_h, lambda: self._traffic_api.model_snapshot(now_h)
+        )
+
+    def upstream_calls_saved(self) -> int:
+        """How many upstream API calls the response cache absorbed."""
+        return self.cache.stats.hits
+
+    # -- Mode 2: server-side ranking ------------------------------------------
+
+    def rank_trip(self, trip, config=None):
+        """Mode-2 entry point: compute the whole CkNN-EC answer centrally.
+
+        The client sends only the trip and receives ready Offering Tables;
+        one ranker is kept per (k, R, Q, weights) configuration so
+        concurrent vehicles with the same preferences share nothing but
+        code (each call resets the per-trip dynamic cache).
+        """
+        from ..core.ecocharge import EcoChargeConfig, EcoChargeRanker
+        from ..core.ranking import run_over_trip
+
+        config = config if config is not None else EcoChargeConfig()
+        key = (
+            config.k, config.radius_km, config.range_km,
+            config.weights.as_tuple(), config.segment_km,
+        )
+        ranker = self._rankers.get(key)
+        if ranker is None:
+            ranker = EcoChargeRanker(self.environment, config)
+            self._rankers[key] = ranker
+        self.requests_served += 1
+        return run_over_trip(ranker, self.environment, trip, segment_km=config.segment_km)

@@ -1,0 +1,40 @@
+"""Trace-driven fleet simulation: the paper's evaluation vehicle loop."""
+
+from .events import EventKind, EventLog, SimulationEvent
+from .occupancy import ChargerOccupancy, OccupancyStats
+from .scenarios import (
+    SCENARIOS,
+    SHOPPING_TRIP,
+    TAXI_IDLE,
+    WAITING_PARENT,
+    Scenario,
+    run_scenario,
+    scenario_comparison,
+)
+from .fleet import (
+    FleetReport,
+    FleetSimulation,
+    SimulationConfig,
+    VehicleOutcome,
+    VehiclePhase,
+)
+
+__all__ = [
+    "ChargerOccupancy",
+    "EventKind",
+    "EventLog",
+    "FleetReport",
+    "FleetSimulation",
+    "OccupancyStats",
+    "SCENARIOS",
+    "SHOPPING_TRIP",
+    "Scenario",
+    "SimulationConfig",
+    "SimulationEvent",
+    "TAXI_IDLE",
+    "VehicleOutcome",
+    "VehiclePhase",
+    "WAITING_PARENT",
+    "run_scenario",
+    "scenario_comparison",
+]

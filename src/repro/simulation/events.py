@@ -1,0 +1,72 @@
+"""Simulation event log.
+
+The trace-driven simulator (Section V-A: "real and synthetic datasets are
+fed into our simulator") records everything that happens to every vehicle
+as typed events, so tests and experiments can assert on the sequence —
+when offers were generated, where the vehicle derouted, what a session
+delivered — without coupling to the simulator's internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class EventKind(enum.Enum):
+    """What can happen to a vehicle during a simulation run."""
+
+    DEPARTED = "departed"
+    OFFER_GENERATED = "offer_generated"
+    DEROUTE_STARTED = "deroute_started"
+    WAITING_FOR_PLUG = "waiting_for_plug"
+    CHARGING_STARTED = "charging_started"
+    CHARGING_FINISHED = "charging_finished"
+    RESUMED_TRIP = "resumed_trip"
+    ARRIVED = "arrived"
+    BATTERY_EMPTY = "battery_empty"
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationEvent:
+    """One timestamped occurrence for one vehicle."""
+
+    time_h: float
+    vehicle_id: int
+    kind: EventKind
+    detail: dict = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only, time-ordered event store with typed queries."""
+
+    def __init__(self) -> None:
+        self._events: list[SimulationEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SimulationEvent]:
+        return iter(self._events)
+
+    def record(self, time_h: float, vehicle_id: int, kind: EventKind, **detail) -> None:
+        """Append an event; raises if it would break time ordering."""
+        if self._events and time_h < self._events[-1].time_h - 1e-9:
+            raise ValueError(
+                f"event at {time_h} h would break time ordering "
+                f"(last was {self._events[-1].time_h} h)"
+            )
+        self._events.append(SimulationEvent(time_h, vehicle_id, kind, detail))
+
+    def of_kind(self, kind: EventKind) -> list[SimulationEvent]:
+        """All events of ``kind`` in time order."""
+        return [e for e in self._events if e.kind is kind]
+
+    def for_vehicle(self, vehicle_id: int) -> list[SimulationEvent]:
+        """All events of one vehicle in time order."""
+        return [e for e in self._events if e.vehicle_id == vehicle_id]
+
+    def count(self, kind: EventKind) -> int:
+        """How many events of ``kind`` were recorded."""
+        return sum(1 for e in self._events if e.kind is kind)

@@ -1,0 +1,69 @@
+"""Physical plug occupancy during simulation.
+
+Availability estimates (the ``A`` component) are *forecasts*; when a fleet
+simulation actually sends several vehicles to the same site, the plugs are
+a hard constraint.  This tracker owns who occupies which plug so the
+simulator can queue arrivals — making the availability objective's value
+visible: plans that ignore ``A`` produce measurable waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chargers.charger import Charger
+
+
+@dataclass(slots=True)
+class OccupancyStats:
+    plug_ins: int = 0
+    rejections: int = 0
+
+    @property
+    def rejection_rate(self) -> float:
+        attempts = self.plug_ins + self.rejections
+        return self.rejections / attempts if attempts else 0.0
+
+
+class ChargerOccupancy:
+    """Who is plugged in where, with per-site capacity enforcement."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[int, set[int]] = {}
+        self.stats = OccupancyStats()
+
+    def occupancy(self, charger_id: int) -> int:
+        """How many vehicles are plugged in at ``charger_id``."""
+        return len(self._sessions.get(charger_id, ()))
+
+    def has_free_plug(self, charger: Charger) -> bool:
+        """True when the site has at least one unoccupied plug."""
+        return self.occupancy(charger.charger_id) < charger.plugs
+
+    def try_plug_in(self, charger: Charger, vehicle_id: int) -> bool:
+        """Occupy a plug; False when the site is full."""
+        sessions = self._sessions.setdefault(charger.charger_id, set())
+        if vehicle_id in sessions:
+            raise ValueError(
+                f"vehicle {vehicle_id} is already plugged in at charger "
+                f"{charger.charger_id}"
+            )
+        if len(sessions) >= charger.plugs:
+            self.stats.rejections += 1
+            return False
+        sessions.add(vehicle_id)
+        self.stats.plug_ins += 1
+        return True
+
+    def unplug(self, charger_id: int, vehicle_id: int) -> None:
+        """Release the plug held by ``vehicle_id`` (ValueError if none)."""
+        sessions = self._sessions.get(charger_id)
+        if not sessions or vehicle_id not in sessions:
+            raise ValueError(
+                f"vehicle {vehicle_id} is not plugged in at charger {charger_id}"
+            )
+        sessions.discard(vehicle_id)
+
+    def total_occupied(self) -> int:
+        """Occupied plugs across all sites."""
+        return sum(len(s) for s in self._sessions.values())

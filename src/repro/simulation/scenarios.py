@@ -1,0 +1,118 @@
+"""The paper's three motivating scenarios, as runnable simulations.
+
+Section I motivates renewable hoarding with: (i) electric taxis idling
+between fares, (ii) parents waiting during children's activities, and
+(iii) shoppers parked for an errand.  Each builder configures a
+:class:`~repro.simulation.fleet.FleetSimulation` with that scenario's
+fingerprint — idle-window length, battery state, time of day, and fleet
+size — over any workload, so the scenarios can be compared on equal
+ground.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..chargers.charger import Vehicle
+from ..core.ecocharge import EcoChargeConfig
+from ..network.path import Trip
+from ..trajectories.datasets import Workload
+from .fleet import FleetReport, FleetSimulation, SimulationConfig
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A named hoarding scenario: how vehicles behave and when."""
+
+    name: str
+    description: str
+    idle_duration_h: float
+    departure_h: float
+    initial_soc: float
+    fleet_size: int
+    charge_below_soc: float
+
+    def build(self, workload: Workload, ecocharge: EcoChargeConfig | None = None) -> FleetSimulation:
+        """A fleet simulation realising this scenario on ``workload``.
+
+        Trips are re-timed to the scenario's departure window (spread a
+        few minutes apart) and the fleet gets scenario-specific batteries.
+        """
+        ecocharge = ecocharge if ecocharge is not None else EcoChargeConfig(
+            k=3, radius_km=20.0
+        )
+        config = SimulationConfig(
+            idle_duration_h=self.idle_duration_h,
+            charge_below_soc=self.charge_below_soc,
+            ecocharge=ecocharge,
+        )
+        base_trips = workload.trips[: self.fleet_size]
+        trips = [
+            Trip(trip.network, trip.node_ids, self.departure_h + 0.05 * i)
+            for i, trip in enumerate(base_trips)
+        ]
+        vehicles = [
+            Vehicle(vehicle_id=i, state_of_charge=self.initial_soc)
+            for i in range(len(trips))
+        ]
+        return FleetSimulation(workload.environment, trips, config, vehicles)
+
+
+#: Scenario (i): taxis idle ~45 min between fare clusters, keep batteries
+#: topped up opportunistically all day.
+TAXI_IDLE = Scenario(
+    name="taxi-idle",
+    description="Electric taxis hoarding between fares (paper scenario i)",
+    idle_duration_h=0.75,
+    departure_h=11.0,
+    initial_soc=0.45,
+    fleet_size=6,
+    charge_below_soc=0.6,
+)
+
+#: Scenario (ii): the after-school wait is a fixed ~1.5 h window in the
+#: afternoon; batteries are half full after the day's errands.
+WAITING_PARENT = Scenario(
+    name="waiting-parent",
+    description="Parents waiting during after-school activities (scenario ii)",
+    idle_duration_h=1.5,
+    departure_h=15.0,
+    initial_soc=0.5,
+    fleet_size=4,
+    charge_below_soc=0.6,
+)
+
+#: Scenario (iii): a ~1 h shopping errand around midday — the solar peak,
+#: which is exactly why hoarding there is attractive.
+SHOPPING_TRIP = Scenario(
+    name="shopping-trip",
+    description="Charging during a midday shopping errand (scenario iii)",
+    idle_duration_h=1.0,
+    departure_h=12.5,
+    initial_soc=0.45,
+    fleet_size=4,
+    charge_below_soc=0.55,
+)
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s for s in (TAXI_IDLE, WAITING_PARENT, SHOPPING_TRIP)
+}
+
+
+def run_scenario(
+    scenario: Scenario,
+    workload: Workload,
+    ecocharge: EcoChargeConfig | None = None,
+) -> FleetReport:
+    """Build and run one scenario end to end."""
+    return scenario.build(workload, ecocharge).run()
+
+
+def scenario_comparison(
+    workload: Workload,
+    scenarios: dict[str, Scenario] | None = None,
+) -> dict[str, FleetReport]:
+    """Run every scenario on the same workload for side-by-side stats."""
+    scenarios = scenarios if scenarios is not None else SCENARIOS
+    return {name: run_scenario(s, workload) for name, s in scenarios.items()}

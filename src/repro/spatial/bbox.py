@@ -1,0 +1,119 @@
+"""Axis-aligned bounding boxes used by the spatial indexes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from .geometry import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"degenerate bounding box: {self}")
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "BoundingBox":
+        iterator = iter(points)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("cannot bound an empty collection") from None
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for point in iterator:
+            min_x = min(min_x, point.x)
+            max_x = max(max_x, point.x)
+            min_y = min(min_y, point.y)
+            max_y = max(max_y, point.y)
+        return cls(min_x, min_y, max_x, max_y)
+
+    @classmethod
+    def around(cls, center: Point, radius: float) -> "BoundingBox":
+        """Square box of half-width ``radius`` centred on ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        return cls(center.x - radius, center.y - radius, center.x + radius, center.y + radius)
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """True when ``point`` lies inside or on the boundary."""
+        return self.min_x <= point.x <= self.max_x and self.min_y <= point.y <= self.max_y
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """True when ``other`` lies entirely inside this box."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True when the two boxes overlap (boundaries count)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def intersects_circle(self, center: Point, radius: float) -> bool:
+        """True if the box intersects the closed disk of ``radius`` around
+        ``center``."""
+        return self.min_distance_to(center) <= radius
+
+    def min_distance_to(self, point: Point) -> float:
+        """Minimum Euclidean distance from ``point`` to the box (0 inside)."""
+        dx = max(self.min_x - point.x, 0.0, point.x - self.max_x)
+        dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
+        # hypot, not sqrt(dx*dx + dy*dy): squaring subnormal gaps underflows
+        # to zero and would report "inside" for points just off the edge.
+        return math.hypot(dx, dy)
+
+    def max_distance_to(self, point: Point) -> float:
+        """Maximum Euclidean distance from ``point`` to any point of the box."""
+        dx = max(abs(point.x - self.min_x), abs(point.x - self.max_x))
+        dy = max(abs(point.y - self.min_y), abs(point.y - self.max_y))
+        return math.hypot(dx, dy)
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """A copy grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.min_x - margin, self.min_y - margin, self.max_x + margin, self.max_y + margin
+        )
+
+    def quadrants(self) -> tuple["BoundingBox", "BoundingBox", "BoundingBox", "BoundingBox"]:
+        """Split into (NW, NE, SW, SE) quadrants."""
+        cx, cy = self.center.x, self.center.y
+        return (
+            BoundingBox(self.min_x, cy, cx, self.max_y),
+            BoundingBox(cx, cy, self.max_x, self.max_y),
+            BoundingBox(self.min_x, self.min_y, cx, cy),
+            BoundingBox(cx, self.min_y, self.max_x, cy),
+        )

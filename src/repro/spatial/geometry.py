@@ -1,0 +1,175 @@
+"""Planar geometry primitives shared by every spatial subsystem.
+
+The synthetic road networks used throughout the reproduction live in a
+planar coordinate system measured in kilometers (the paper's areas are
+"45km x 35km" style rectangles, small enough that a local projection is
+accurate).  Geographic helpers (haversine) are provided for workloads that
+carry real longitude/latitude, such as the Geolife- and T-drive-style
+profiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the planar (km) coordinate system."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance in km."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt on hot paths)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def chebyshev_distance_to(self, other: "Point") -> float:
+        """L-infinity distance."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway to ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The coordinates as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A directed line segment between two planar points."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+    def interpolate(self, fraction: float) -> Point:
+        """Point at ``fraction`` in [0, 1] of the way from start to end."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        return Point(
+            self.start.x + (self.end.x - self.start.x) * fraction,
+            self.start.y + (self.end.y - self.start.y) * fraction,
+        )
+
+    def project(self, point: Point) -> tuple[float, Point]:
+        """Project ``point`` onto the segment.
+
+        Returns ``(fraction, closest)`` where ``fraction`` is the clamped
+        parametric position of the projection and ``closest`` the nearest
+        point on the segment.
+        """
+        vx = self.end.x - self.start.x
+        vy = self.end.y - self.start.y
+        denom = vx * vx + vy * vy
+        if denom == 0.0:
+            return 0.0, self.start
+        t = ((point.x - self.start.x) * vx + (point.y - self.start.y) * vy) / denom
+        t = min(1.0, max(0.0, t))
+        return t, Point(self.start.x + t * vx, self.start.y + t * vy)
+
+    def distance_to_point(self, point: Point) -> float:
+        """Minimum distance from ``point`` to the segment."""
+        __, closest = self.project(point)
+        return closest.distance_to(point)
+
+    def sample(self, step_km: float) -> Iterator[Point]:
+        """Yield points every ``step_km`` along the segment, inclusive of
+        both endpoints."""
+        if step_km <= 0.0:
+            raise ValueError("step_km must be positive")
+        length = self.length
+        if length == 0.0:
+            yield self.start
+            return
+        steps = max(1, math.ceil(length / step_km))
+        for i in range(steps + 1):
+            yield self.interpolate(min(1.0, i / steps))
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A point on the globe, in degrees."""
+
+    lat: float
+    lon: float
+
+    def distance_to(self, other: "GeoPoint") -> float:
+        """Great-circle (haversine) distance in km."""
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) pairs in km."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlmb = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+class LocalProjection:
+    """Equirectangular projection of geographic points to a local km plane.
+
+    Accurate for the city-scale areas the paper evaluates (tens to a few
+    hundred km).  The origin maps to ``Point(0, 0)``.
+    """
+
+    def __init__(self, origin: GeoPoint):
+        self.origin = origin
+        self._cos_lat = math.cos(math.radians(origin.lat))
+        self._deg_lat_km = math.pi * EARTH_RADIUS_KM / 180.0
+
+    def to_plane(self, geo: GeoPoint) -> Point:
+        """Project a geographic point into the local km plane."""
+        x = (geo.lon - self.origin.lon) * self._deg_lat_km * self._cos_lat
+        y = (geo.lat - self.origin.lat) * self._deg_lat_km
+        return Point(x, y)
+
+    def to_geo(self, point: Point) -> GeoPoint:
+        """Invert the projection back to latitude/longitude."""
+        lon = self.origin.lon + point.x / (self._deg_lat_km * self._cos_lat)
+        lat = self.origin.lat + point.y / self._deg_lat_km
+        return GeoPoint(lat, lon)
+
+
+def polyline_length(points: Sequence[Point]) -> float:
+    """Total length of the polyline through ``points``."""
+    return sum(a.distance_to(b) for a, b in zip(points, points[1:]))
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points."""
+    xs = ys = 0.0
+    count = 0
+    for point in points:
+        xs += point.x
+        ys += point.y
+        count += 1
+    if count == 0:
+        raise ValueError("centroid of an empty collection is undefined")
+    return Point(xs / count, ys / count)

@@ -1,0 +1,123 @@
+"""Static k-d tree over planar points.
+
+A bulk-loaded balanced 2-d tree used where the point set is known up front
+(charger registries are static within an experiment run).  Complements the
+incremental :class:`~repro.spatial.quadtree.QuadTree` and
+:class:`~repro.spatial.grid.GridIndex`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Generic, Sequence, TypeVar
+
+from .bbox import BoundingBox
+from .geometry import Point
+
+T = TypeVar("T")
+
+
+@dataclass(slots=True)
+class _KDNode(Generic[T]):
+    point: Point
+    item: T
+    axis: int
+    left: "_KDNode[T] | None" = None
+    right: "_KDNode[T] | None" = None
+
+
+class KDTree(Generic[T]):
+    """Balanced k-d tree bulk-loaded by median splitting."""
+
+    def __init__(self, entries: Sequence[tuple[Point, T]]):
+        self._size = len(entries)
+        self._root = self._build(list(entries), axis=0)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @classmethod
+    def _build(
+        cls, entries: list[tuple[Point, T]], axis: int
+    ) -> "_KDNode[T] | None":
+        if not entries:
+            return None
+        key = (lambda e: e[0].x) if axis == 0 else (lambda e: e[0].y)
+        entries.sort(key=key)
+        mid = len(entries) // 2
+        point, item = entries[mid]
+        node = _KDNode(point, item, axis)
+        node.left = cls._build(entries[:mid], 1 - axis)
+        node.right = cls._build(entries[mid + 1 :], 1 - axis)
+        return node
+
+    def nearest(self, center: Point, k: int = 1) -> list[tuple[float, Point, T]]:
+        """kNN via branch-and-bound descent with a bounded max-heap."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        # Max-heap on negated distance; tiebreak by insertion order.
+        best: list[tuple[float, int, Point, T]] = []
+        counter = [0]
+
+        def visit(node: _KDNode[T] | None) -> None:
+            if node is None:
+                return
+            dist = node.point.distance_to(center)
+            if len(best) < k:
+                heapq.heappush(best, (-dist, counter[0], node.point, node.item))
+                counter[0] += 1
+            elif dist < -best[0][0]:
+                heapq.heapreplace(best, (-dist, counter[0], node.point, node.item))
+                counter[0] += 1
+            diff = (center.x - node.point.x) if node.axis == 0 else (center.y - node.point.y)
+            near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+            visit(near)
+            # The far subtree can only help if the splitting plane is closer
+            # than the current kth-best distance (or we still lack k hits).
+            if len(best) < k or abs(diff) < -best[0][0]:
+                visit(far)
+
+        visit(self._root)
+        return sorted(((-d, p, i) for d, __, p, i in best), key=lambda t: t[0])
+
+    def query_radius(self, center: Point, radius: float) -> list[tuple[Point, T]]:
+        """All entries within ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        results: list[tuple[Point, T]] = []
+        r2 = radius * radius
+
+        def visit(node: _KDNode[T] | None) -> None:
+            if node is None:
+                return
+            if node.point.squared_distance_to(center) <= r2:
+                results.append((node.point, node.item))
+            diff = (center.x - node.point.x) if node.axis == 0 else (center.y - node.point.y)
+            if diff - radius < 0:
+                visit(node.left)
+            if diff + radius >= 0:
+                visit(node.right)
+
+        visit(self._root)
+        return results
+
+    def query_range(self, box: BoundingBox) -> list[tuple[Point, T]]:
+        """All entries whose point lies inside ``box``."""
+        results: list[tuple[Point, T]] = []
+
+        def visit(node: _KDNode[T] | None) -> None:
+            if node is None:
+                return
+            if box.contains(node.point):
+                results.append((node.point, node.item))
+            coord = node.point.x if node.axis == 0 else node.point.y
+            lo = box.min_x if node.axis == 0 else box.min_y
+            hi = box.max_x if node.axis == 0 else box.max_y
+            if lo <= coord:
+                visit(node.left)
+            if hi >= coord:
+                visit(node.right)
+
+        visit(self._root)
+        return results

@@ -1,0 +1,100 @@
+"""Index-agnostic kNN helpers and the common spatial-index protocol.
+
+Every index in this package (:class:`QuadTree`, :class:`GridIndex`,
+:class:`KDTree`) exposes ``nearest`` / ``query_radius`` / ``query_range``
+with identical signatures; :class:`SpatialIndex` captures that contract so
+the ranking layer can be parameterised by index type.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Protocol, Sequence, TypeVar, runtime_checkable
+
+from .bbox import BoundingBox
+from .geometry import Point
+
+T = TypeVar("T")
+
+
+@runtime_checkable
+class SpatialIndex(Protocol[T]):
+    """Structural type implemented by all indexes in this package."""
+
+    def nearest(self, center: Point, k: int = 1) -> list[tuple[float, Point, T]]:
+        """Up to ``k`` nearest entries as (distance, point, item)."""
+        ...
+
+    def query_radius(self, center: Point, radius: float) -> list[tuple[Point, T]]:
+        """All entries within ``radius`` of ``center``."""
+        ...
+
+    def query_range(self, box: BoundingBox) -> list[tuple[Point, T]]:
+        """All entries inside ``box``."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+
+def brute_force_knn(
+    entries: Iterable[tuple[Point, T]], center: Point, k: int = 1
+) -> list[tuple[float, Point, T]]:
+    """Exhaustive kNN over arbitrary (point, item) pairs.
+
+    The reference implementation every index is validated against in the
+    test suite, and the engine of the paper's Brute-Force baseline.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    heap: list[tuple[float, int, Point, T]] = []
+    for order, (point, item) in enumerate(entries):
+        dist = point.distance_to(center)
+        if len(heap) < k:
+            heapq.heappush(heap, (-dist, order, point, item))
+        elif dist < -heap[0][0]:
+            heapq.heapreplace(heap, (-dist, order, point, item))
+    return sorted(((-d, p, i) for d, __, p, i in heap), key=lambda t: t[0])
+
+
+def brute_force_radius(
+    entries: Iterable[tuple[Point, T]], center: Point, radius: float
+) -> list[tuple[Point, T]]:
+    """Exhaustive radius search; reference for index validation."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    r2 = radius * radius
+    return [
+        (point, item)
+        for point, item in entries
+        if point.squared_distance_to(center) <= r2
+    ]
+
+
+def knn_along_polyline(
+    index: SpatialIndex[T],
+    polyline: Sequence[Point],
+    k: int = 1,
+    step_km: float = 0.5,
+) -> list[tuple[Point, list[tuple[float, Point, T]]]]:
+    """Sampled kNN along a polyline.
+
+    Evaluates ``index.nearest`` at every ``step_km`` along the polyline and
+    returns ``(sample_point, knn_result)`` pairs.  This is the discretised
+    view of a continuous kNN query that :mod:`repro.core.cknn` refines into
+    exact split points.
+    """
+    from .geometry import Segment  # local import to avoid cycle in typing
+
+    results: list[tuple[Point, list[tuple[float, Point, T]]]] = []
+    seen_first = False
+    for start, end in zip(polyline, polyline[1:]):
+        samples = list(Segment(start, end).sample(step_km))
+        if seen_first:
+            samples = samples[1:]  # avoid duplicating shared vertices
+        seen_first = True
+        for sample in samples:
+            results.append((sample, index.nearest(sample, k)))
+    if not results and polyline:
+        results.append((polyline[0], index.nearest(polyline[0], k)))
+    return results

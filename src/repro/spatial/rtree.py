@@ -1,0 +1,184 @@
+"""STR-packed R-tree.
+
+The continuous-NN literature the paper builds on (Tao et al., VLDB'02;
+Frentzos et al.; Huan et al.) runs on R-trees; this implementation
+completes the index substrate with the canonical structure.  Static
+workloads (charger registries) suit bulk loading, so the tree is packed
+with the Sort-Tile-Recursive algorithm: sort by x, slice into vertical
+tiles, sort each tile by y, pack leaves bottom-up.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Generic, Sequence, TypeVar
+
+from .bbox import BoundingBox
+from .geometry import Point
+
+T = TypeVar("T")
+
+
+@dataclass(slots=True)
+class _Leaf(Generic[T]):
+    bounds: BoundingBox
+    entries: tuple[tuple[Point, T], ...]
+
+
+@dataclass(slots=True)
+class _Branch(Generic[T]):
+    bounds: BoundingBox
+    children: tuple["_Branch[T] | _Leaf[T]", ...]
+
+
+class RTree(Generic[T]):
+    """Static R-tree bulk-loaded with Sort-Tile-Recursive packing."""
+
+    def __init__(self, entries: Sequence[tuple[Point, T]], leaf_capacity: int = 16):
+        if leaf_capacity < 2:
+            raise ValueError("leaf_capacity must be at least 2")
+        self.leaf_capacity = leaf_capacity
+        self._size = len(entries)
+        self._root: _Branch[T] | _Leaf[T] | None = (
+            self._build(list(entries)) if entries else None
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- STR packing -----------------------------------------------------------
+
+    def _build(self, entries: list[tuple[Point, T]]) -> "_Branch[T] | _Leaf[T]":
+        leaves = self._pack_leaves(entries)
+        nodes: list[_Branch[T] | _Leaf[T]] = list(leaves)
+        while len(nodes) > 1:
+            nodes = self._pack_level(nodes)
+        return nodes[0]
+
+    def _pack_leaves(self, entries: list[tuple[Point, T]]) -> list[_Leaf[T]]:
+        capacity = self.leaf_capacity
+        leaf_count = math.ceil(len(entries) / capacity)
+        slice_count = max(1, math.ceil(math.sqrt(leaf_count)))
+        per_slice = slice_count * capacity
+        entries.sort(key=lambda e: (e[0].x, e[0].y))
+        leaves: list[_Leaf[T]] = []
+        for i in range(0, len(entries), per_slice):
+            tile = sorted(entries[i : i + per_slice], key=lambda e: (e[0].y, e[0].x))
+            for j in range(0, len(tile), capacity):
+                chunk = tuple(tile[j : j + capacity])
+                bounds = BoundingBox.from_points(p for p, __ in chunk)
+                leaves.append(_Leaf(bounds, chunk))
+        return leaves
+
+    def _pack_level(
+        self, nodes: list["_Branch[T] | _Leaf[T]"]
+    ) -> list["_Branch[T] | _Leaf[T]"]:
+        capacity = self.leaf_capacity
+        parent_count = math.ceil(len(nodes) / capacity)
+        slice_count = max(1, math.ceil(math.sqrt(parent_count)))
+        per_slice = slice_count * capacity
+        nodes.sort(key=lambda n: (n.bounds.center.x, n.bounds.center.y))
+        parents: list[_Branch[T] | _Leaf[T]] = []
+        for i in range(0, len(nodes), per_slice):
+            tile = sorted(
+                nodes[i : i + per_slice],
+                key=lambda n: (n.bounds.center.y, n.bounds.center.x),
+            )
+            for j in range(0, len(tile), capacity):
+                chunk = tuple(tile[j : j + capacity])
+                bounds = chunk[0].bounds
+                for child in chunk[1:]:
+                    bounds = BoundingBox(
+                        min(bounds.min_x, child.bounds.min_x),
+                        min(bounds.min_y, child.bounds.min_y),
+                        max(bounds.max_x, child.bounds.max_x),
+                        max(bounds.max_y, child.bounds.max_y),
+                    )
+                parents.append(_Branch(bounds, chunk))
+        return parents
+
+    # -- queries ----------------------------------------------------------------
+
+    def query_range(self, box: BoundingBox) -> list[tuple[Point, T]]:
+        """All entries whose point lies inside ``box``."""
+        if self._root is None:
+            return []
+        results: list[tuple[Point, T]] = []
+        stack: list[_Branch[T] | _Leaf[T]] = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.bounds.intersects(box):
+                continue
+            if isinstance(node, _Leaf):
+                results.extend(
+                    (point, item) for point, item in node.entries if box.contains(point)
+                )
+            else:
+                stack.extend(node.children)
+        return results
+
+    def query_radius(self, center: Point, radius: float) -> list[tuple[Point, T]]:
+        """All entries within Euclidean ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if self._root is None:
+            return []
+        results: list[tuple[Point, T]] = []
+        r2 = radius * radius
+        stack: list[_Branch[T] | _Leaf[T]] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bounds.min_distance_to(center) > radius:
+                continue
+            if isinstance(node, _Leaf):
+                results.extend(
+                    (point, item)
+                    for point, item in node.entries
+                    if point.squared_distance_to(center) <= r2
+                )
+            else:
+                stack.extend(node.children)
+        return results
+
+    def nearest(self, center: Point, k: int = 1) -> list[tuple[float, Point, T]]:
+        """Best-first kNN (Hjaltason & Samet incremental search)."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if self._root is None:
+            return []
+        counter = itertools.count()
+        heap: list[tuple[float, int, object]] = [
+            (self._root.bounds.min_distance_to(center), next(counter), self._root)
+        ]
+        results: list[tuple[float, Point, T]] = []
+        while heap and len(results) < k:
+            dist, __, obj = heapq.heappop(heap)
+            if isinstance(obj, _Leaf):
+                for point, item in obj.entries:
+                    heapq.heappush(
+                        heap, (point.distance_to(center), next(counter), (point, item))
+                    )
+            elif isinstance(obj, _Branch):
+                for child in obj.children:
+                    heapq.heappush(
+                        heap,
+                        (child.bounds.min_distance_to(center), next(counter), child),
+                    )
+            else:
+                point, item = obj  # a materialised entry
+                results.append((dist, point, item))
+        return results
+
+    def height(self) -> int:
+        """Tree height (1 for a single leaf, 0 when empty)."""
+        node = self._root
+        if node is None:
+            return 0
+        height = 1
+        while isinstance(node, _Branch):
+            height += 1
+            node = node.children[0]
+        return height

@@ -1,0 +1,39 @@
+"""Trajectory substrate: generators, GPS realism, evaluation workloads."""
+
+from .brinkhoff import (
+    DEFAULT_CLASSES,
+    GeneratorSpec,
+    ObjectClass,
+    generate_dataset,
+    generate_trip,
+    trip_to_trajectory,
+)
+from .datasets import (
+    DATASET_ORDER,
+    PROFILES,
+    DatasetProfile,
+    Workload,
+    load_workload,
+)
+from .gps import GpsNoiseSpec, MapMatcher, degrade
+from .trajectory import Trajectory, TrajectoryDataset, TrajectoryPoint
+
+__all__ = [
+    "DATASET_ORDER",
+    "DEFAULT_CLASSES",
+    "DatasetProfile",
+    "GeneratorSpec",
+    "GpsNoiseSpec",
+    "MapMatcher",
+    "ObjectClass",
+    "PROFILES",
+    "Trajectory",
+    "TrajectoryDataset",
+    "TrajectoryPoint",
+    "Workload",
+    "degrade",
+    "generate_dataset",
+    "generate_trip",
+    "load_workload",
+    "trip_to_trajectory",
+]

@@ -1,0 +1,202 @@
+"""The four evaluation workloads (Section V-A), as synthetic profiles.
+
+The paper feeds its simulator real and synthetic traces: Oldenburg
+(Brinkhoff-generated), California (road-network trajectories), T-drive
+(Beijing taxi GPS), Geolife (multi-modal GPS).  Offline reproduction
+cannot ship those datasets, so each is replaced by a deterministic
+synthetic workload that preserves what the algorithms consume:
+
+* a road network of the right *relative* scale (Oldenburg < California <
+  T-drive < Geolife in total work, matching the paper's runtime ordering),
+* network-constrained trajectories (GPS-degraded for the two raw-GPS
+  datasets, then map-matched back, exercising that whole pipeline),
+* a PlugShare-scale charger catalog with CDGS-style solar curves.
+
+Absolute sizes are scaled to laptop budgets and controllable via
+``scale``; the experiment harness records the sizes used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..chargers.plugshare import CatalogSpec, generate_catalog
+from ..chargers.registry import ChargerRegistry
+from ..core.environment import ChargingEnvironment
+from ..network.builders import NetworkSpec, build_city_network
+from ..network.graph import RoadNetwork
+from ..network.path import Trip
+from .brinkhoff import GeneratorSpec, generate_dataset
+from .gps import GpsNoiseSpec, MapMatcher, degrade
+from .trajectory import Trajectory, TrajectoryDataset
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetProfile:
+    """Recipe for one evaluation workload."""
+
+    name: str
+    description: str
+    network: NetworkSpec
+    catalog: CatalogSpec
+    generator: GeneratorSpec
+    gps_noise: GpsNoiseSpec | None = None  # raw-GPS datasets only
+
+
+#: The paper's four datasets, ordered small to large.  Areas follow the
+#: paper's stated extents at reduced scale; counts keep the ordering.
+PROFILES: dict[str, DatasetProfile] = {
+    "oldenburg": DatasetProfile(
+        name="oldenburg",
+        description="Brinkhoff-style synthetic trajectories, 45x35 km area "
+        "(paper: 4,000 trajectories, Oldenburg, Germany)",
+        network=NetworkSpec(width_km=45.0, height_km=35.0, block_km=2.2, seed=101),
+        catalog=CatalogSpec(charger_count=400, hotspots=4, seed=201),
+        generator=GeneratorSpec(object_count=40, min_trip_km=8.0, seed=301),
+    ),
+    "california": DatasetProfile(
+        name="california",
+        description="Road-network trajectories over an elongated region "
+        "(paper: 7,000 trajectories, 1,220x400 km, California, USA)",
+        network=NetworkSpec(width_km=110.0, height_km=42.0, block_km=2.6, seed=102),
+        catalog=CatalogSpec(charger_count=600, hotspots=6, seed=202),
+        generator=GeneratorSpec(object_count=48, min_trip_km=12.0, seed=302),
+    ),
+    "tdrive": DatasetProfile(
+        name="tdrive",
+        description="Taxi GPS traces over a dense metropolitan grid "
+        "(paper: 10,357 taxis, Beijing, China; sparse sampling)",
+        network=NetworkSpec(width_km=42.0, height_km=42.0, block_km=1.1, seed=103),
+        catalog=CatalogSpec(charger_count=800, hotspots=8, seed=203),
+        generator=GeneratorSpec(object_count=56, min_trip_km=16.0, seed=303),
+        gps_noise=GpsNoiseSpec(
+            position_std_km=0.02, drop_rate=0.08, resample_interval_h=1.0 / 20.0, seed=403
+        ),
+    ),
+    "geolife": DatasetProfile(
+        name="geolife",
+        description="Dense multi-modal GPS traces over a wide area "
+        "(paper: 17,621 trajectories, 1-5 s sampling; Geolife)",
+        network=NetworkSpec(width_km=56.0, height_km=48.0, block_km=1.15, seed=104),
+        catalog=CatalogSpec(charger_count=1000, hotspots=10, seed=204),
+        generator=GeneratorSpec(object_count=64, min_trip_km=18.0, seed=304),
+        gps_noise=GpsNoiseSpec(
+            position_std_km=0.01, drop_rate=0.02, resample_interval_h=1.0 / 120.0, seed=404
+        ),
+    ),
+}
+
+DATASET_ORDER = ("oldenburg", "california", "tdrive", "geolife")
+
+
+@dataclass
+class Workload:
+    """Everything an experiment needs for one dataset."""
+
+    name: str
+    profile: DatasetProfile
+    network: RoadNetwork
+    registry: ChargerRegistry
+    trajectories: TrajectoryDataset
+    trips: list[Trip]
+    environment: ChargingEnvironment
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Size fingerprint of the workload (nodes, chargers, trips...)."""
+        return {
+            "name": self.name,
+            "nodes": self.network.node_count,
+            "edges": self.network.edge_count,
+            "chargers": len(self.registry),
+            "trajectories": len(self.trajectories),
+            "trips": len(self.trips),
+            "total_km": round(self.trajectories.total_length_km(), 1),
+        }
+
+
+def _scaled(profile: DatasetProfile, scale: float) -> DatasetProfile:
+    """Scale the countable parts of a profile (keeps areas fixed)."""
+    if scale == 1.0:
+        return profile
+    from dataclasses import replace
+
+    return replace(
+        profile,
+        catalog=replace(
+            profile.catalog,
+            charger_count=max(10, int(profile.catalog.charger_count * scale)),
+        ),
+        generator=replace(
+            profile.generator,
+            object_count=max(2, int(profile.generator.object_count * scale)),
+        ),
+    )
+
+
+def load_workload(name: str, scale: float = 1.0, environment_seed: int = 0) -> Workload:
+    """Materialise a workload by profile name.
+
+    ``scale`` multiplies charger and trajectory counts (1.0 = the default
+    laptop-scale sizes above); the road network geometry is fixed so that
+    the R/Q parameter sweeps remain meaningful across scales.
+    """
+    if name not in PROFILES:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(PROFILES)}")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    profile = _scaled(PROFILES[name], scale)
+
+    network = build_city_network(profile.network)
+    registry = generate_catalog(network, profile.catalog)
+    clean = generate_dataset(network, profile.generator, name=name)
+
+    if profile.gps_noise is not None:
+        # Raw-GPS pipeline: degrade, then map-match back to node paths.
+        matcher = MapMatcher(network)
+        noisy = []
+        for trajectory in clean:
+            degraded = degrade(trajectory, profile.gps_noise)
+            node_path = matcher.match_to_path(degraded)
+            noisy.append(
+                Trajectory(degraded.object_id, degraded.fixes, node_path=node_path)
+            )
+        trajectories = TrajectoryDataset(name, tuple(noisy))
+    else:
+        trajectories = clean
+
+    trips = _trips_from(network, trajectories)
+    environment = ChargingEnvironment(network, registry, seed=environment_seed)
+    return Workload(
+        name=name,
+        profile=profile,
+        network=network,
+        registry=registry,
+        trajectories=trajectories,
+        trips=trips,
+        environment=environment,
+    )
+
+
+def _trips_from(network: RoadNetwork, dataset: TrajectoryDataset) -> list[Trip]:
+    """Query trips: one per trajectory with a usable node path."""
+    trips: list[Trip] = []
+    for trajectory in dataset:
+        path = trajectory.node_path
+        if len(path) < 2:
+            continue
+        # Defensive: map matching can in rare cases emit a repeated node.
+        cleaned = [path[0]]
+        for node in path[1:]:
+            if node != cleaned[-1]:
+                cleaned.append(node)
+        if len(cleaned) < 2:
+            continue
+        try:
+            trips.append(Trip(network, tuple(cleaned), trajectory.start_time_h))
+        except ValueError:
+            continue  # non-contiguous path; skip rather than fabricate
+    if not trips:
+        raise ValueError(f"dataset {dataset.name} produced no usable trips")
+    return trips

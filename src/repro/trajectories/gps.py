@@ -1,0 +1,138 @@
+"""GPS realism: sampling-rate variation, measurement noise, map matching.
+
+T-drive and Geolife are raw GPS logs — irregular sampling, metres of
+positional noise, off-road fixes.  This module degrades clean
+network-constrained trajectories into that shape and provides the inverse
+operation (snap-to-network map matching) the pipeline needs before the
+ranking algorithms can anchor queries to road nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.graph import RoadNetwork
+from ..spatial.geometry import Point
+from ..spatial.kdtree import KDTree
+from .trajectory import Trajectory, TrajectoryPoint
+
+
+@dataclass(frozen=True, slots=True)
+class GpsNoiseSpec:
+    """How to degrade a clean trajectory into a GPS-like one.
+
+    ``position_std_km`` is per-axis Gaussian noise (10-20 m typical);
+    ``drop_rate`` randomly drops fixes (urban canyons);
+    ``resample_interval_h`` optionally re-times fixes to a fixed cadence
+    first (Geolife's dense 1-5 s logging vs T-drive's sparse minutes).
+    """
+
+    position_std_km: float = 0.015
+    drop_rate: float = 0.05
+    resample_interval_h: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.position_std_km < 0:
+            raise ValueError("position_std_km must be non-negative")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1)")
+        if self.resample_interval_h is not None and self.resample_interval_h <= 0:
+            raise ValueError("resample interval must be positive")
+
+
+def degrade(trajectory: Trajectory, spec: GpsNoiseSpec) -> Trajectory:
+    """Apply the noise spec; first and last fixes are never dropped."""
+    rng = np.random.default_rng(spec.seed * 1_000_003 + trajectory.object_id)
+    fixes = list(trajectory.fixes)
+    if spec.resample_interval_h is not None and trajectory.duration_h > 0:
+        times = np.arange(
+            trajectory.start_time_h,
+            trajectory.end_time_h + 1e-12,
+            spec.resample_interval_h,
+        )
+        fixes = [TrajectoryPoint(float(t), trajectory.position_at(float(t))) for t in times]
+        if fixes[-1].time_h < trajectory.end_time_h:
+            fixes.append(trajectory.fixes[-1])
+    kept: list[TrajectoryPoint] = []
+    last = len(fixes) - 1
+    for i, fix in enumerate(fixes):
+        if 0 < i < last and rng.uniform() < spec.drop_rate:
+            continue
+        noise = rng.normal(0.0, spec.position_std_km, size=2)
+        kept.append(
+            TrajectoryPoint(
+                fix.time_h, Point(fix.point.x + float(noise[0]), fix.point.y + float(noise[1]))
+            )
+        )
+    return Trajectory(trajectory.object_id, tuple(kept), node_path=())
+
+
+class MapMatcher:
+    """Snap GPS fixes back onto the road network.
+
+    Point-wise nearest-node matching with a smoothness prior: a candidate
+    node is preferred when it is near the fix *and* adjacent (in hop
+    distance) to the previous matched node.  Sufficient for the 10-20 m
+    noise regime; full HMM matching is out of scope for the workloads
+    here.
+    """
+
+    def __init__(self, network: RoadNetwork, candidate_k: int = 5, jump_penalty_km: float = 0.3):
+        if candidate_k < 1:
+            raise ValueError("candidate_k must be at least 1")
+        self._network = network
+        self._index: KDTree[int] = network.node_index()
+        self._candidate_k = candidate_k
+        self._jump_penalty_km = jump_penalty_km
+
+    def match_point(self, point: Point) -> int:
+        """Nearest network node to a single fix."""
+        return self._index.nearest(point, 1)[0][2]
+
+    def match(self, trajectory: Trajectory) -> tuple[int, ...]:
+        """Matched node id per fix, de-duplicated consecutively."""
+        matched: list[int] = []
+        previous: int | None = None
+        for fix in trajectory.fixes:
+            candidates = self._index.nearest(fix.point, self._candidate_k)
+            best_node = None
+            best_cost = float("inf")
+            for dist, __, node_id in candidates:
+                cost = dist
+                if previous is not None and node_id != previous:
+                    if not self._network.has_edge(previous, node_id):
+                        cost += self._jump_penalty_km
+                if cost < best_cost:
+                    best_cost = cost
+                    best_node = node_id
+            assert best_node is not None
+            if not matched or matched[-1] != best_node:
+                matched.append(best_node)
+            previous = best_node
+        return tuple(matched)
+
+    def match_to_path(self, trajectory: Trajectory) -> tuple[int, ...]:
+        """Matched nodes stitched into a connected node path.
+
+        Gaps between consecutive matched nodes (dropped fixes) are filled
+        with shortest-path interpolation so the result is a valid trip.
+        """
+        from ..network.shortest_path import NoPathError, dijkstra
+
+        matched = self.match(trajectory)
+        if len(matched) <= 1:
+            return matched
+        path: list[int] = [matched[0]]
+        for a, b in zip(matched, matched[1:]):
+            if self._network.has_edge(a, b):
+                path.append(b)
+                continue
+            try:
+                bridge = dijkstra(self._network, a, b).nodes
+            except NoPathError:
+                continue  # unbridgeable gap: skip the fix
+            path.extend(bridge[1:])
+        return tuple(path)

@@ -1,0 +1,143 @@
+"""Moving-object trajectories.
+
+A trajectory is a timestamped point sequence, optionally anchored to the
+road network via the node path that produced it.  The evaluation datasets
+(Oldenburg, California, T-drive, Geolife) are collections of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..spatial.geometry import Point, polyline_length
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One GPS fix: time (hours since day-0 midnight) and position."""
+
+    time_h: float
+    point: Point
+
+    @property
+    def x(self) -> float:
+        return self.point.x
+
+    @property
+    def y(self) -> float:
+        return self.point.y
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A timestamped movement trace."""
+
+    object_id: int
+    fixes: tuple[TrajectoryPoint, ...]
+    node_path: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.fixes:
+            raise ValueError("a trajectory needs at least one fix")
+        times = [fix.time_h for fix in self.fixes]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trajectory fixes must be time-ordered")
+
+    def __len__(self) -> int:
+        return len(self.fixes)
+
+    def __iter__(self) -> Iterator[TrajectoryPoint]:
+        return iter(self.fixes)
+
+    @property
+    def start_time_h(self) -> float:
+        return self.fixes[0].time_h
+
+    @property
+    def end_time_h(self) -> float:
+        return self.fixes[-1].time_h
+
+    @property
+    def duration_h(self) -> float:
+        return self.end_time_h - self.start_time_h
+
+    @property
+    def points(self) -> list[Point]:
+        return [fix.point for fix in self.fixes]
+
+    @property
+    def length_km(self) -> float:
+        return polyline_length(self.points)
+
+    def average_speed_kmh(self) -> float:
+        """Mean speed over the whole trace (0 for instantaneous traces)."""
+        if self.duration_h == 0:
+            return 0.0
+        return self.length_km / self.duration_h
+
+    def position_at(self, time_h: float) -> Point:
+        """Linearly interpolated position at ``time_h`` (clamped to the
+        trace's time span)."""
+        if time_h <= self.start_time_h:
+            return self.fixes[0].point
+        if time_h >= self.end_time_h:
+            return self.fixes[-1].point
+        for a, b in zip(self.fixes, self.fixes[1:]):
+            if a.time_h <= time_h <= b.time_h:
+                span = b.time_h - a.time_h
+                if span == 0:
+                    return b.point
+                f = (time_h - a.time_h) / span
+                return Point(
+                    a.point.x + (b.point.x - a.point.x) * f,
+                    a.point.y + (b.point.y - a.point.y) * f,
+                )
+        return self.fixes[-1].point  # unreachable; appeases linters
+
+    def sliced(self, start_h: float, end_h: float) -> "Trajectory":
+        """Fixes within ``[start_h, end_h]`` (at least one fix retained)."""
+        if end_h < start_h:
+            raise ValueError("slice end before start")
+        kept = tuple(f for f in self.fixes if start_h <= f.time_h <= end_h)
+        if not kept:
+            kept = (TrajectoryPoint(start_h, self.position_at(start_h)),)
+        return Trajectory(self.object_id, kept, self.node_path)
+
+
+@dataclass(frozen=True)
+class TrajectoryDataset:
+    """A named collection of trajectories plus provenance metadata."""
+
+    name: str
+    trajectories: tuple[Trajectory, ...]
+
+    def __post_init__(self) -> None:
+        if not self.trajectories:
+            raise ValueError("a dataset needs at least one trajectory")
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self.trajectories)
+
+    def total_points(self) -> int:
+        """Total number of fixes across all trajectories."""
+        return sum(len(t) for t in self.trajectories)
+
+    def total_length_km(self) -> float:
+        """Total travelled distance across all trajectories."""
+        return sum(t.length_km for t in self.trajectories)
+
+    def sample(self, count: int, seed: int = 0) -> "TrajectoryDataset":
+        """Deterministic subsample of ``count`` trajectories."""
+        import numpy as np
+
+        if count >= len(self.trajectories):
+            return self
+        rng = np.random.default_rng(seed)
+        indices = sorted(rng.choice(len(self.trajectories), size=count, replace=False))
+        return TrajectoryDataset(
+            self.name, tuple(self.trajectories[i] for i in indices)
+        )

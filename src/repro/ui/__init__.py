@@ -1,0 +1,15 @@
+"""User-facing rendering: static HTML maps and text Offering Tables."""
+
+from .map_html import render_offering_map, write_offering_map
+from .sparkline import bar_chart, series_table, sparkline
+from .table_render import render_offering_table, render_run_summary
+
+__all__ = [
+    "bar_chart",
+    "render_offering_map",
+    "render_offering_table",
+    "render_run_summary",
+    "series_table",
+    "sparkline",
+    "write_offering_map",
+]

@@ -1,0 +1,145 @@
+"""Static map writer — the Folium/Leaflet substitute.
+
+The paper's client renders Offering Tables on an interactive Leaflet map.
+Offline we emit a self-contained HTML file with an inline SVG map: the
+road network as line work, the trip as a highlighted polyline, chargers as
+rank-coloured markers with hover tooltips.  No external assets, opens in
+any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Sequence
+
+from ..core.offering import OfferingTable
+from ..network.graph import RoadNetwork
+from ..network.path import Trip
+from ..spatial.bbox import BoundingBox
+from ..spatial.geometry import Point
+
+_SVG_SIZE = 900.0
+_MARGIN = 30.0
+
+_RANK_COLOURS = ("#1a9850", "#66bd63", "#a6d96a", "#fdae61", "#f46d43")
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+ body {{ font-family: system-ui, sans-serif; margin: 1rem; background: #fafafa; }}
+ svg {{ border: 1px solid #ccc; background: #fff; }}
+ .road {{ stroke: #d0d0d0; stroke-width: 1; }}
+ .trip {{ stroke: #2166ac; stroke-width: 3; fill: none; }}
+ .charger:hover {{ stroke: #000; stroke-width: 2; }}
+ figcaption {{ color: #555; margin-top: .5rem; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<figure>
+<svg viewBox="0 0 {size} {size}" width="{size}" height="{size}">
+{content}
+</svg>
+<figcaption>{caption}</figcaption>
+</figure>
+</body>
+</html>
+"""
+
+
+class _Projector:
+    """Maps plane-km coordinates into the SVG viewport (y flipped)."""
+
+    def __init__(self, bounds: BoundingBox):
+        span = max(bounds.width, bounds.height, 1e-9)
+        self._scale = (_SVG_SIZE - 2 * _MARGIN) / span
+        self._bounds = bounds
+
+    def __call__(self, point: Point) -> tuple[float, float]:
+        x = _MARGIN + (point.x - self._bounds.min_x) * self._scale
+        y = _SVG_SIZE - _MARGIN - (point.y - self._bounds.min_y) * self._scale
+        return (round(x, 2), round(y, 2))
+
+
+def _network_svg(network: RoadNetwork, project: _Projector) -> list[str]:
+    parts = []
+    drawn: set[tuple[int, int]] = set()
+    for edge in network.edges():
+        key = (min(edge.source, edge.target), max(edge.source, edge.target))
+        if key in drawn:
+            continue
+        drawn.add(key)
+        x1, y1 = project(network.node(edge.source).point)
+        x2, y2 = project(network.node(edge.target).point)
+        parts.append(f'<line class="road" x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}"/>')
+    return parts
+
+
+def _trip_svg(trip: Trip, project: _Projector) -> str:
+    coords = " ".join(f"{x},{y}" for x, y in (project(p) for p in trip.points))
+    return f'<polyline class="trip" points="{coords}"/>'
+
+
+def _charger_svg(table: OfferingTable, project: _Projector) -> list[str]:
+    parts = []
+    for entry in table:
+        x, y = project(entry.charger.point)
+        colour = _RANK_COLOURS[min(entry.rank - 1, len(_RANK_COLOURS) - 1)]
+        tooltip = html.escape(
+            f"#{entry.rank} charger {entry.charger_id} | rate {entry.charger.rate_kw} kW | "
+            f"SC [{entry.score.sc_min:.3f}, {entry.score.sc_max:.3f}]"
+        )
+        parts.append(
+            f'<circle class="charger" cx="{x}" cy="{y}" r="7" fill="{colour}">'
+            f"<title>{tooltip}</title></circle>"
+        )
+        parts.append(
+            f'<text x="{x + 9}" y="{y + 4}" font-size="11">{entry.rank}</text>'
+        )
+    return parts
+
+
+def render_offering_map(
+    network: RoadNetwork,
+    trip: Trip,
+    tables: Sequence[OfferingTable],
+    title: str = "EcoCharge Offering",
+) -> str:
+    """Render the trip and the union of offering entries as an HTML page."""
+    bounds = network.bounds().expanded(1.0)
+    project = _Projector(bounds)
+    content: list[str] = []
+    content.extend(_network_svg(network, project))
+    content.append(_trip_svg(trip, project))
+    seen: set[int] = set()
+    for table in tables:
+        fresh = [e for e in table if e.charger_id not in seen]
+        seen.update(e.charger_id for e in fresh)
+        content.extend(_charger_svg(table, project))
+    caption = (
+        f"Trip of {trip.length_km:.1f} km across {len(tables)} segment(s); "
+        f"{len(seen)} distinct offered chargers. Marker colour encodes rank "
+        f"(green = best)."
+    )
+    return _PAGE_TEMPLATE.format(
+        title=html.escape(title),
+        size=int(_SVG_SIZE),
+        content="\n".join(content),
+        caption=caption,
+    )
+
+
+def write_offering_map(
+    path: str | Path,
+    network: RoadNetwork,
+    trip: Trip,
+    tables: Sequence[OfferingTable],
+    title: str = "EcoCharge Offering",
+) -> Path:
+    """Write the map page to ``path`` and return it."""
+    destination = Path(path)
+    destination.write_text(render_offering_map(network, trip, tables, title))
+    return destination

@@ -1,0 +1,75 @@
+"""Terminal sparklines and bar charts for experiment output.
+
+Pure-text rendering so the figure drivers can show *shapes* inline —
+useful because the reproduction's claims are about shapes, not absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline: each value mapped to an eighth-block glyph.
+
+    Constant series render as mid-height; empty input yields an empty
+    string.
+    """
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return _BLOCKS[3] * len(values)
+    span = hi - lo
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, int((v - lo) / span * len(_BLOCKS)))]
+        for v in values
+    )
+
+
+def bar_chart(
+    rows: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label, scaled to the maximum."""
+    if not rows:
+        return ""
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = max(rows.values())
+    label_width = max(len(label) for label in rows)
+    lines = []
+    for label, value in rows.items():
+        if value < 0:
+            raise ValueError("bar_chart values must be non-negative")
+        filled = 0 if peak <= 0 else round(value / peak * width)
+        lines.append(
+            f"{label.ljust(label_width)}  {'█' * filled}{'·' * (width - filled)} "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_table(
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.1f}",
+) -> str:
+    """Compact multi-series view: label, sparkline, first -> last values."""
+    if not series:
+        return ""
+    label_width = max(len(label) for label in series)
+    lines = []
+    for label, values in series.items():
+        if not values:
+            lines.append(f"{label.ljust(label_width)}  (empty)")
+            continue
+        first = value_format.format(values[0])
+        last = value_format.format(values[-1])
+        lines.append(
+            f"{label.ljust(label_width)}  {sparkline(values)}  {first} → {last}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""All-kNN self-join tests (the Mode-2 cloud operator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aknn import aknn_self_join, knn_graph_edges
+from repro.spatial.geometry import Point
+from repro.spatial.knn import brute_force_knn
+
+
+def _points(n, seed=0, span=100.0):
+    rng = np.random.default_rng(seed)
+    return [
+        Point(float(x), float(y))
+        for x, y in zip(rng.uniform(0, span, n), rng.uniform(0, span, n))
+    ]
+
+
+def _reference(points, k):
+    """Brute-force kNN graph (self excluded)."""
+    out = []
+    for i, p in enumerate(points):
+        entries = [(q, j) for j, q in enumerate(points) if j != i]
+        out.append(tuple(
+            (d, j) for d, __, j in brute_force_knn(entries, p, min(k, len(entries)))
+        ))
+    return out
+
+
+class TestAknnSelfJoin:
+    def test_matches_brute_force(self):
+        points = _points(150, seed=1)
+        result = aknn_self_join(points, k=5)
+        want = _reference(points, 5)
+        for i in range(len(points)):
+            got_d = [round(d, 9) for d, __ in result.of(i)]
+            want_d = [round(d, 9) for d, __ in want[i]]
+            assert got_d == want_d
+
+    def test_self_excluded(self):
+        points = _points(50, seed=2)
+        result = aknn_self_join(points, k=3)
+        for i in range(len(points)):
+            assert i not in result.neighbour_ids(i)
+
+    def test_sorted_ascending(self):
+        points = _points(80, seed=3)
+        result = aknn_self_join(points, k=6)
+        for i in range(len(points)):
+            dists = [d for d, __ in result.of(i)]
+            assert dists == sorted(dists)
+
+    def test_k_clamped_to_n_minus_one(self):
+        points = _points(4, seed=4)
+        result = aknn_self_join(points, k=10)
+        assert all(len(result.of(i)) == 3 for i in range(4))
+
+    def test_empty_and_singleton(self):
+        assert len(aknn_self_join([], 3)) == 0
+        single = aknn_self_join([Point(0, 0)], 3)
+        assert single.of(0) == ()
+
+    def test_duplicate_points(self):
+        points = [Point(1, 1)] * 5 + [Point(2, 2)]
+        result = aknn_self_join(points, k=2)
+        for i in range(5):
+            assert [d for d, __ in result.of(i)][0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aknn_self_join([Point(0, 0)], 0)
+
+    def test_clustered_data(self):
+        """Two distant clusters: neighbours stay within the cluster."""
+        a = _points(20, seed=5, span=5.0)
+        b = [Point(p.x + 1000.0, p.y) for p in _points(20, seed=6, span=5.0)]
+        points = a + b
+        result = aknn_self_join(points, k=3)
+        for i in range(20):
+            assert all(j < 20 for j in result.neighbour_ids(i))
+        for i in range(20, 40):
+            assert all(j >= 20 for j in result.neighbour_ids(i))
+
+    def test_graph_edges(self):
+        points = _points(30, seed=7)
+        result = aknn_self_join(points, k=4)
+        edges = knn_graph_edges(result)
+        assert len(edges) == 30 * 4
+        assert all(s != t for s, t, __ in edges)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=50, allow_nan=False),
+                st.floats(min_value=0, max_value=50, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_property_distances_match_reference(self, raw, k):
+        points = [Point(x, y) for x, y in raw]
+        result = aknn_self_join(points, k)
+        want = _reference(points, k)
+        for i in range(len(points)):
+            got_d = [round(d, 9) for d, __ in result.of(i)]
+            want_d = [round(d, 9) for d, __ in want[i]]
+            assert got_d == want_d

@@ -1,0 +1,81 @@
+"""Battery charging-curve tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chargers.battery import DEFAULT_CURVE, ChargingCurve
+
+
+class TestChargingCurve:
+    def test_full_acceptance_below_knee(self):
+        curve = ChargingCurve(taper_start_soc=0.8)
+        for soc in (0.0, 0.3, 0.8):
+            assert curve.acceptance_fraction(soc) == 1.0
+
+    def test_floor_at_full(self):
+        curve = ChargingCurve(floor_fraction=0.05)
+        assert curve.acceptance_fraction(1.0) == pytest.approx(0.05)
+
+    def test_linear_taper_midpoint(self):
+        curve = ChargingCurve(taper_start_soc=0.8, floor_fraction=0.0)
+        assert curve.acceptance_fraction(0.9) == pytest.approx(0.5)
+
+    def test_accepted_power(self):
+        assert DEFAULT_CURVE.accepted_kw(22.0, 0.5) == 22.0
+        assert DEFAULT_CURVE.accepted_kw(22.0, 1.0) == pytest.approx(22.0 * 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChargingCurve(taper_start_soc=0.0)
+        with pytest.raises(ValueError):
+            ChargingCurve(taper_start_soc=1.0)
+        with pytest.raises(ValueError):
+            ChargingCurve(floor_fraction=1.5)
+        with pytest.raises(ValueError):
+            DEFAULT_CURVE.acceptance_fraction(1.2)
+        with pytest.raises(ValueError):
+            DEFAULT_CURVE.accepted_kw(-1.0, 0.5)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_acceptance_bounded(self, soc):
+        fraction = DEFAULT_CURVE.acceptance_fraction(soc)
+        assert DEFAULT_CURVE.floor_fraction <= fraction <= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_acceptance_non_increasing(self, a, b):
+        lo, hi = sorted((a, b))
+        assert DEFAULT_CURVE.acceptance_fraction(lo) >= DEFAULT_CURVE.acceptance_fraction(hi)
+
+
+class TestSessionIntegration:
+    def test_taper_slows_topping_up(self, small_registry, small_environment):
+        """Charging the last 20 % takes disproportionately long."""
+        from repro.chargers.charger import Vehicle
+        from repro.chargers.session import ChargingSessionSimulator
+
+        sim = ChargingSessionSimulator(small_environment.sustainable)
+        charger = max(small_registry.all(), key=lambda c: c.solar_capacity_kw)
+        low = Vehicle(0, battery_kwh=30.0, state_of_charge=0.2)
+        high = Vehicle(1, battery_kwh=30.0, state_of_charge=0.85)
+        session_low = sim.simulate(charger, low, start_h=12.0, duration_h=1.0)
+        session_high = sim.simulate(charger, high, start_h=12.0, duration_h=1.0)
+        if session_low.energy_kwh > 0:
+            assert session_high.energy_kwh < session_low.energy_kwh
+
+    def test_no_taper_curve_option(self, small_registry, small_environment):
+        from repro.chargers.battery import ChargingCurve
+        from repro.chargers.charger import Vehicle
+        from repro.chargers.session import ChargingSessionSimulator
+
+        flat = ChargingCurve(taper_start_soc=0.999, floor_fraction=1.0)
+        sim_flat = ChargingSessionSimulator(small_environment.sustainable, curve=flat)
+        sim_taper = ChargingSessionSimulator(small_environment.sustainable)
+        charger = max(small_registry.all(), key=lambda c: c.solar_capacity_kw)
+        nearly_full = Vehicle(0, battery_kwh=30.0, state_of_charge=0.9)
+        flat_kwh = sim_flat.simulate(charger, nearly_full, 12.0, 1.0).energy_kwh
+        taper_kwh = sim_taper.simulate(charger, nearly_full, 12.0, 1.0).energy_kwh
+        assert taper_kwh <= flat_kwh

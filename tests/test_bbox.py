@@ -1,0 +1,117 @@
+"""Unit tests for axis-aligned bounding boxes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import Point
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def boxes(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return BoundingBox(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_point_box_allowed(self):
+        box = BoundingBox(1.0, 2.0, 1.0, 2.0)
+        assert box.area == 0.0
+        assert box.contains(Point(1.0, 2.0))
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point(1, 5), Point(-2, 3), Point(4, -1)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, -1, 4, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+    def test_around(self):
+        box = BoundingBox.around(Point(0, 0), 2.0)
+        assert box.width == 4.0 and box.height == 4.0
+
+    def test_around_negative_radius(self):
+        with pytest.raises(ValueError):
+            BoundingBox.around(Point(0, 0), -1.0)
+
+
+class TestQueries:
+    BOX = BoundingBox(0.0, 0.0, 10.0, 6.0)
+
+    def test_contains_boundary(self):
+        assert self.BOX.contains(Point(0, 0))
+        assert self.BOX.contains(Point(10, 6))
+        assert not self.BOX.contains(Point(10.01, 3))
+
+    def test_intersects_disjoint(self):
+        assert not self.BOX.intersects(BoundingBox(11, 0, 12, 6))
+
+    def test_intersects_touching(self):
+        assert self.BOX.intersects(BoundingBox(10, 0, 12, 6))
+
+    def test_contains_box(self):
+        assert self.BOX.contains_box(BoundingBox(1, 1, 9, 5))
+        assert not self.BOX.contains_box(BoundingBox(1, 1, 11, 5))
+
+    def test_min_distance_inside_is_zero(self):
+        assert self.BOX.min_distance_to(Point(5, 3)) == 0.0
+
+    def test_min_distance_outside(self):
+        assert self.BOX.min_distance_to(Point(13, 10)) == pytest.approx(5.0)
+
+    def test_max_distance(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.max_distance_to(Point(0, 0)) == pytest.approx(8**0.5)
+
+    def test_intersects_circle(self):
+        assert self.BOX.intersects_circle(Point(12, 3), 2.5)
+        assert not self.BOX.intersects_circle(Point(12, 3), 1.5)
+
+    def test_expanded(self):
+        grown = self.BOX.expanded(1.0)
+        assert grown.min_x == -1.0 and grown.max_y == 7.0
+
+    def test_quadrants_tile_the_box(self):
+        quads = self.BOX.quadrants()
+        assert len(quads) == 4
+        assert sum(q.area for q in quads) == pytest.approx(self.BOX.area)
+        for q in quads:
+            assert self.BOX.contains_box(q)
+
+    def test_center(self):
+        assert self.BOX.center == Point(5.0, 3.0)
+
+
+class TestProperties:
+    @given(boxes(), st.builds(Point, coords, coords))
+    def test_min_distance_consistent_with_contains(self, box, point):
+        if box.contains(point):
+            assert box.min_distance_to(point) == 0.0
+        else:
+            assert box.min_distance_to(point) > 0.0
+
+    @given(boxes(), st.builds(Point, coords, coords))
+    def test_min_le_max_distance(self, box, point):
+        assert box.min_distance_to(point) <= box.max_distance_to(point) + 1e-9
+
+    @given(boxes())
+    def test_intersects_is_reflexive(self, box):
+        assert box.intersects(box)
+
+    @given(boxes(), boxes())
+    def test_intersects_is_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(boxes())
+    def test_quadrants_cover_center(self, box):
+        quads = box.quadrants()
+        assert sum(q.contains(box.center) for q in quads) >= 1

@@ -1,0 +1,180 @@
+"""Continuous kNN split-point tests (exact 1NN sweep and sampled kNN)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cknn import (
+    coverage_is_complete,
+    split_points_1nn,
+    split_points_knn_sampled,
+)
+from repro.spatial.geometry import Point, Segment
+
+
+def _nn_at(point, candidates):
+    return min(candidates, key=lambda c: c[1].squared_distance_to(point))[0]
+
+
+class TestSplitPoints1NN:
+    SEGMENT = Segment(Point(0, 0), Point(10, 0))
+
+    def test_single_candidate_no_split(self):
+        splits = split_points_1nn(self.SEGMENT, [(1, Point(5, 5))])
+        assert len(splits) == 1
+        assert splits[0].nn_ids == (1,)
+        assert coverage_is_complete(splits)
+
+    def test_two_candidates_one_split(self):
+        candidates = [(1, Point(0, 1)), (2, Point(10, 1))]
+        splits = split_points_1nn(self.SEGMENT, candidates)
+        assert [s.nn_ids[0] for s in splits] == [1, 2]
+        # Symmetric sites: the bisector crosses exactly at t = 0.5.
+        assert splits[0].t_end == pytest.approx(0.5)
+
+    def test_three_colinear_sites(self):
+        candidates = [(1, Point(1, 1)), (2, Point(5, 1)), (3, Point(9, 1))]
+        splits = split_points_1nn(self.SEGMENT, candidates)
+        assert [s.nn_ids[0] for s in splits] == [1, 2, 3]
+        assert splits[0].t_end == pytest.approx(0.3)
+        assert splits[1].t_end == pytest.approx(0.7)
+
+    def test_site_never_winning_is_absent(self):
+        candidates = [(1, Point(0, 1)), (2, Point(10, 1)), (3, Point(5, 50))]
+        splits = split_points_1nn(self.SEGMENT, candidates)
+        winners = {s.nn_ids[0] for s in splits}
+        assert 3 not in winners
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            split_points_1nn(self.SEGMENT, [])
+
+    def test_winners_match_pointwise_nn(self):
+        rng = np.random.default_rng(0)
+        candidates = [
+            (i, Point(float(rng.uniform(-2, 12)), float(rng.uniform(-5, 5))))
+            for i in range(15)
+        ]
+        splits = split_points_1nn(self.SEGMENT, candidates)
+        assert coverage_is_complete(splits)
+        for split in splits:
+            mid_t = (split.t_start + split.t_end) / 2
+            probe = self.SEGMENT.interpolate(mid_t)
+            assert _nn_at(probe, candidates) == split.nn_ids[0]
+
+    def test_consecutive_winners_differ(self):
+        rng = np.random.default_rng(4)
+        candidates = [
+            (i, Point(float(rng.uniform(0, 10)), float(rng.uniform(-3, 3))))
+            for i in range(10)
+        ]
+        splits = split_points_1nn(self.SEGMENT, candidates)
+        for a, b in zip(splits, splits[1:]):
+            assert a.nn_ids != b.nn_ids
+
+    def test_split_count_bounded_by_candidates(self):
+        rng = np.random.default_rng(7)
+        candidates = [
+            (i, Point(float(rng.uniform(0, 10)), float(rng.uniform(-3, 3))))
+            for i in range(25)
+        ]
+        splits = split_points_1nn(self.SEGMENT, candidates)
+        assert len(splits) <= len(candidates)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-20, max_value=20, allow_nan=False),
+                st.floats(min_value=-20, max_value=20, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        )
+    )
+    def test_property_exact_sweep_matches_sampling(self, raw):
+        candidates = [(i, Point(x, y)) for i, (x, y) in enumerate(raw)]
+        segment = Segment(Point(-5, 1), Point(15, -2))
+        splits = split_points_1nn(segment, candidates)
+        assert coverage_is_complete(splits)
+        # Winner at interior probes of every stretch must be the pointwise NN.
+        for split in splits:
+            if split.length_fraction < 1e-6:
+                continue
+            for frac in (0.25, 0.5, 0.75):
+                t = split.t_start + frac * split.length_fraction
+                probe = segment.interpolate(t)
+                want_d = min(p.distance_to(probe) for __, p in candidates)
+                got_p = dict(candidates)[split.nn_ids[0]]
+                assert got_p.distance_to(probe) == pytest.approx(want_d, abs=1e-6)
+
+
+class TestSplitPointsKnnSampled:
+    SEGMENT = Segment(Point(0, 0), Point(10, 0))
+
+    def test_covers_unit_interval(self):
+        rng = np.random.default_rng(1)
+        candidates = [
+            (i, Point(float(rng.uniform(0, 10)), float(rng.uniform(-4, 4))))
+            for i in range(12)
+        ]
+        splits = split_points_knn_sampled(self.SEGMENT, candidates, k=3)
+        assert coverage_is_complete(splits)
+
+    def test_k1_agrees_with_exact(self):
+        rng = np.random.default_rng(2)
+        candidates = [
+            (i, Point(float(rng.uniform(0, 10)), float(rng.uniform(-4, 4))))
+            for i in range(8)
+        ]
+        exact = split_points_1nn(self.SEGMENT, candidates)
+        sampled = split_points_knn_sampled(self.SEGMENT, candidates, k=1, step_km=0.05)
+        assert [s.nn_ids[0] for s in exact] == [s.nn_ids[0] for s in sampled]
+        for e, s in zip(exact[:-1], sampled[:-1]):
+            assert e.t_end == pytest.approx(s.t_end, abs=0.05)
+
+    def test_knn_sets_correct_at_probes(self):
+        rng = np.random.default_rng(3)
+        candidates = [
+            (i, Point(float(rng.uniform(0, 10)), float(rng.uniform(-4, 4))))
+            for i in range(10)
+        ]
+        splits = split_points_knn_sampled(self.SEGMENT, candidates, k=3, step_km=0.05)
+        for split in splits:
+            if split.length_fraction < 0.02:
+                continue  # refinement tolerance
+            mid = self.SEGMENT.interpolate((split.t_start + split.t_end) / 2)
+            ranked = sorted(candidates, key=lambda c: c[1].squared_distance_to(mid))
+            assert set(split.nn_ids) == {c[0] for c in ranked[:3]}
+
+    def test_k_clamped_to_pool(self):
+        splits = split_points_knn_sampled(self.SEGMENT, [(1, Point(5, 1))], k=5)
+        assert splits[0].nn_ids == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_points_knn_sampled(self.SEGMENT, [(1, Point(0, 0))], k=0)
+        with pytest.raises(ValueError):
+            split_points_knn_sampled(self.SEGMENT, [], k=1)
+
+    def test_zero_length_segment(self):
+        seg = Segment(Point(3, 3), Point(3, 3))
+        splits = split_points_knn_sampled(seg, [(1, Point(0, 0)), (2, Point(5, 5))], k=1)
+        assert coverage_is_complete(splits)
+
+
+class TestCoverageCheck:
+    def test_empty_is_incomplete(self):
+        assert not coverage_is_complete([])
+
+    def test_gap_detected(self):
+        from repro.core.cknn import SplitPoint
+
+        p = Point(0, 0)
+        splits = [
+            SplitPoint(0.0, 0.4, p, p, (1,)),
+            SplitPoint(0.6, 1.0, p, p, (2,)),
+        ]
+        assert not coverage_is_complete(splits)

@@ -1,0 +1,48 @@
+"""CLI smoke tests for both entry points (tiny workloads)."""
+
+import pytest
+
+import repro.__main__ as cli
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestDemoCli:
+    def test_demo_runs(self, capsys):
+        assert cli.main(["demo", "--scale", "0.08", "--k", "2", "--radius", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Offering Tables" in out
+        assert "ecocharge" in out and "brute-force" in out
+
+    def test_simulate_runs(self, capsys):
+        assert cli.main(
+            ["simulate", "--scale", "0.08", "--vehicles", "2", "--radius", "15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Simulated 2 vehicles" in out
+
+    def test_scenarios_runs(self, capsys):
+        assert cli.main(["scenarios", "--scale", "0.08", "--radius", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "taxi-idle" in out and "shopping-trip" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])
+
+    def test_dataset_choice_validated(self):
+        with pytest.raises(SystemExit):
+            cli.main(["demo", "--dataset", "mars"])
+
+
+class TestExperimentsCli:
+    def test_figure6_tiny_run(self, capsys):
+        assert experiments_main(
+            ["figure6", "--trips", "1", "--reps", "1", "--scale", "0.05", "--k", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "brute-force" in out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["figure99"])

@@ -1,0 +1,74 @@
+"""Evaluation workload profile tests (Oldenburg/California/T-drive/Geolife)."""
+
+import pytest
+
+from repro.trajectories.datasets import (
+    DATASET_ORDER,
+    PROFILES,
+    load_workload,
+)
+
+
+class TestProfiles:
+    def test_all_four_present(self):
+        assert set(DATASET_ORDER) == set(PROFILES)
+        assert DATASET_ORDER == ("oldenburg", "california", "tdrive", "geolife")
+
+    def test_sizes_increase_with_order(self):
+        """The paper's runtime ordering relies on the datasets growing."""
+        counts = [PROFILES[name].catalog.charger_count for name in DATASET_ORDER]
+        assert counts == sorted(counts)
+        objects = [PROFILES[name].generator.object_count for name in DATASET_ORDER]
+        assert objects == sorted(objects)
+
+    def test_gps_datasets_flagged(self):
+        assert PROFILES["oldenburg"].gps_noise is None
+        assert PROFILES["california"].gps_noise is None
+        assert PROFILES["tdrive"].gps_noise is not None
+        assert PROFILES["geolife"].gps_noise is not None
+
+
+class TestLoadWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return load_workload("oldenburg", scale=0.25)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_workload("beijing")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_workload("oldenburg", scale=0.0)
+
+    def test_summary_fields(self, workload):
+        summary = workload.summary()
+        assert summary["name"] == "oldenburg"
+        assert summary["nodes"] > 0 and summary["chargers"] > 0
+
+    def test_scale_reduces_counts(self, workload):
+        assert len(workload.registry) == 100  # 400 * 0.25
+
+    def test_scale_preserves_network(self, workload):
+        full = PROFILES["oldenburg"]
+        assert workload.profile.network == full.network
+
+    def test_trips_are_routable(self, workload):
+        for trip in workload.trips:
+            assert trip.length_km > 0
+            for a, b in zip(trip.node_ids, trip.node_ids[1:]):
+                assert workload.network.has_edge(a, b)
+
+    def test_deterministic(self):
+        a = load_workload("oldenburg", scale=0.1)
+        b = load_workload("oldenburg", scale=0.1)
+        assert [t.node_ids for t in a.trips] == [t.node_ids for t in b.trips]
+
+    def test_gps_dataset_pipeline_produces_trips(self):
+        workload = load_workload("tdrive", scale=0.05)
+        assert len(workload.trips) >= 1
+        # GPS-degraded trajectories must have been map-matched.
+        for trajectory in workload.trajectories:
+            if len(trajectory.node_path) >= 2:
+                for a, b in zip(trajectory.node_path, trajectory.node_path[1:]):
+                    assert workload.network.has_edge(a, b)

@@ -1,0 +1,108 @@
+"""Vehicle feasibility filtering tests."""
+
+import pytest
+
+from repro.chargers.charger import Charger, PlugType, Vehicle
+from repro.core.ecocharge import EcoChargeConfig, EcoChargeRanker
+from repro.core.feasibility import (
+    ROAD_DETOUR_FACTOR,
+    VehicleConstraints,
+    filter_feasible,
+)
+from repro.spatial.geometry import Point
+
+
+def _charger(cid, x, plug=PlugType.AC_TYPE2, rate=11.0):
+    return Charger(charger_id=cid, point=Point(x, 0.0), node_id=0, rate_kw=rate,
+                   plug_type=plug)
+
+
+def _constraints(soc=0.5, battery=60.0, **kw):
+    return VehicleConstraints(
+        vehicle=Vehicle(0, battery_kwh=battery, state_of_charge=soc), **kw
+    )
+
+
+class TestConstraints:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _constraints(allowed_plugs=frozenset())
+        with pytest.raises(ValueError):
+            _constraints(reserve_soc=1.0)
+        with pytest.raises(ValueError):
+            _constraints(min_deliverable_kw=-1.0)
+
+    def test_usable_range_respects_reserve(self):
+        with_reserve = _constraints(soc=0.5, reserve_soc=0.1)
+        without = _constraints(soc=0.5, reserve_soc=0.0)
+        assert with_reserve.usable_range_km < without.usable_range_km
+
+    def test_empty_battery_reaches_nothing(self):
+        constraints = _constraints(soc=0.05, reserve_soc=0.08)
+        assert constraints.usable_range_km == 0.0
+        assert not constraints.qualifies(_charger(0, 0.1), Point(0, 0))
+
+    def test_reachability_boundary(self):
+        constraints = _constraints(soc=0.5, battery=60.0, reserve_soc=0.0)
+        # usable range = 60 * 0.5 / 0.18 ~ 166.7 km; max one-way crow
+        # distance = range / (2 * factor).
+        limit = constraints.usable_range_km / (2 * ROAD_DETOUR_FACTOR)
+        assert constraints.qualifies(_charger(0, limit * 0.99), Point(0, 0))
+        assert not constraints.qualifies(_charger(1, limit * 1.01), Point(0, 0))
+
+    def test_plug_restriction(self):
+        ac_only = _constraints(allowed_plugs=frozenset({PlugType.AC_TYPE2}))
+        assert ac_only.qualifies(_charger(0, 1.0, PlugType.AC_TYPE2), Point(0, 0))
+        assert not ac_only.qualifies(_charger(1, 1.0, PlugType.CCS, rate=50.0), Point(0, 0))
+
+    def test_min_deliverable(self):
+        fast_only = _constraints(min_deliverable_kw=20.0)
+        # 11 kW AC charger delivers 11 kW < 20.
+        assert not fast_only.qualifies(_charger(0, 1.0, rate=11.0), Point(0, 0))
+        # 50 kW DC delivers min(50, vehicle 100) = 50 >= 20.
+        assert fast_only.qualifies(_charger(1, 1.0, PlugType.CCS, rate=50.0), Point(0, 0))
+
+
+class TestFilter:
+    def test_preserves_order(self):
+        pool = [_charger(i, float(i)) for i in range(5)]
+        kept = filter_feasible(pool, _constraints(), Point(0, 0))
+        assert [c.charger_id for c in kept] == sorted(c.charger_id for c in kept)
+
+    def test_ranker_integration(self, small_environment, sample_trip):
+        """A DC-only constraint yields tables containing only DC chargers."""
+        constraints = VehicleConstraints(
+            vehicle=Vehicle(0, state_of_charge=0.9),
+            allowed_plugs=frozenset({PlugType.CCS, PlugType.CHADEMO}),
+        )
+        ranker = EcoChargeRanker(
+            small_environment,
+            EcoChargeConfig(k=2, radius_km=15.0),
+            constraints=constraints,
+        )
+        segment = sample_trip.segments()[0]
+        table = ranker.rank_segment(sample_trip, segment, eta_h=10.2, now_h=10.0)
+        dc_exists = any(
+            c.is_dc_fast for c in small_environment.registry.within_radius(
+                segment.midpoint, 15.0
+            )
+        )
+        if dc_exists:
+            assert all(entry.charger.is_dc_fast for entry in table)
+
+    def test_infeasible_everything_falls_back_to_nearest(
+        self, small_environment, sample_trip
+    ):
+        """With zero usable range nothing qualifies; the ranker falls back
+        to nearest-k rather than returning an empty offering."""
+        constraints = VehicleConstraints(
+            vehicle=Vehicle(0, state_of_charge=0.05), reserve_soc=0.05
+        )
+        ranker = EcoChargeRanker(
+            small_environment,
+            EcoChargeConfig(k=2, radius_km=15.0),
+            constraints=constraints,
+        )
+        segment = sample_trip.segments()[0]
+        table = ranker.rank_segment(sample_trip, segment, eta_h=10.2, now_h=10.0)
+        assert len(table) == 2

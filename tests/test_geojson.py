@@ -1,0 +1,95 @@
+"""GeoJSON export tests."""
+
+import json
+
+import pytest
+
+from repro.core.baselines import BruteForceRanker
+from repro.core.ranking import run_over_trip
+from repro.io.geojson_io import (
+    network_to_geojson,
+    offerings_to_geojson,
+    trajectory_to_geojson,
+    trip_to_geojson,
+    write_geojson,
+)
+from repro.spatial.geometry import GeoPoint
+from repro.trajectories.brinkhoff import trip_to_trajectory
+
+
+@pytest.fixture(scope="module")
+def run(small_environment, sample_trip):
+    return run_over_trip(
+        BruteForceRanker(small_environment, k=3), small_environment, sample_trip
+    )
+
+
+def _assert_valid_feature_collection(payload):
+    assert payload["type"] == "FeatureCollection"
+    for feature in payload["features"]:
+        assert feature["type"] == "Feature"
+        geometry = feature["geometry"]
+        assert geometry["type"] in ("Point", "LineString")
+        coords = geometry["coordinates"]
+        flat = [coords] if geometry["type"] == "Point" else coords
+        for lon, lat in flat:
+            assert -180.0 <= lon <= 180.0
+            assert -90.0 <= lat <= 90.0
+
+
+class TestNetworkGeojson:
+    def test_valid_and_one_feature_per_road(self, small_network):
+        payload = network_to_geojson(small_network)
+        _assert_valid_feature_collection(payload)
+        # Bidirectional pairs collapse into one LineString.
+        assert len(payload["features"]) == small_network.edge_count / 2
+
+    def test_properties(self, small_network):
+        payload = network_to_geojson(small_network)
+        props = payload["features"][0]["properties"]
+        assert {"source", "target", "length_km", "speed_kmh", "oneway"} <= set(props)
+
+    def test_serialisable(self, small_network):
+        json.dumps(network_to_geojson(small_network))
+
+    def test_custom_origin_shifts_coordinates(self, small_network):
+        europe = network_to_geojson(small_network, GeoPoint(53.14, 8.21))
+        asia = network_to_geojson(small_network, GeoPoint(39.9, 116.4))
+        lon_eu = europe["features"][0]["geometry"]["coordinates"][0][0]
+        lon_cn = asia["features"][0]["geometry"]["coordinates"][0][0]
+        assert abs(lon_eu - lon_cn) > 50.0
+
+
+class TestTripAndTrajectoryGeojson:
+    def test_trip(self, sample_trip):
+        payload = trip_to_geojson(sample_trip)
+        _assert_valid_feature_collection(payload)
+        props = payload["features"][0]["properties"]
+        assert props["length_km"] == pytest.approx(sample_trip.length_km, abs=0.01)
+
+    def test_trajectory_times_align(self, sample_trip):
+        trace = trip_to_trajectory(sample_trip, object_id=3)
+        payload = trajectory_to_geojson(trace)
+        _assert_valid_feature_collection(payload)
+        feature = payload["features"][0]
+        assert len(feature["properties"]["times_h"]) == len(
+            feature["geometry"]["coordinates"]
+        )
+
+
+class TestOfferingsGeojson:
+    def test_one_point_per_entry(self, run):
+        payload = offerings_to_geojson(run.tables)
+        _assert_valid_feature_collection(payload)
+        assert len(payload["features"]) == sum(len(t) for t in run.tables)
+
+    def test_properties_carry_scores(self, run):
+        payload = offerings_to_geojson(run.tables)
+        props = payload["features"][0]["properties"]
+        assert {"rank", "charger_id", "sc_min", "sc_max", "L", "A", "D"} <= set(props)
+
+    def test_write(self, tmp_path, run):
+        path = write_geojson(offerings_to_geojson(run.tables), tmp_path / "o.geojson")
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert loaded["type"] == "FeatureCollection"

@@ -1,0 +1,167 @@
+"""Unit tests for planar/geographic geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import (
+    GeoPoint,
+    LocalProjection,
+    Point,
+    Segment,
+    centroid,
+    haversine_km,
+    polyline_length,
+)
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+points = st.builds(Point, finite, finite)
+
+
+class TestPoint:
+    def test_distance_matches_pythagoras(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_squared_distance(self):
+        assert Point(1, 1).squared_distance_to(Point(4, 5)) == pytest.approx(25.0)
+
+    def test_manhattan_and_chebyshev(self):
+        a, b = Point(0, 0), Point(3, -4)
+        assert a.manhattan_distance_to(b) == pytest.approx(7.0)
+        assert a.chebyshev_distance_to(b) == pytest.approx(4.0)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(-1, 3) == Point(0, 5)
+
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-7
+
+    @given(points)
+    def test_distance_to_self_is_zero(self, a):
+        assert a.distance_to(a) == 0.0
+
+    @given(points, points)
+    def test_metrics_ordering(self, a, b):
+        """Chebyshev <= Euclidean <= Manhattan for any pair."""
+        euclid = a.distance_to(b)
+        assert a.chebyshev_distance_to(b) <= euclid + 1e-9
+        assert euclid <= a.manhattan_distance_to(b) + 1e-9
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(6, 8)).length == pytest.approx(10.0)
+
+    def test_interpolate_endpoints(self):
+        seg = Segment(Point(1, 1), Point(3, 5))
+        assert seg.interpolate(0.0) == seg.start
+        assert seg.interpolate(1.0) == seg.end
+
+    def test_interpolate_midpoint(self):
+        seg = Segment(Point(0, 0), Point(2, 2))
+        assert seg.interpolate(0.5) == Point(1, 1)
+
+    def test_interpolate_rejects_out_of_range(self):
+        seg = Segment(Point(0, 0), Point(1, 0))
+        with pytest.raises(ValueError):
+            seg.interpolate(1.5)
+
+    def test_project_inside(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        t, closest = seg.project(Point(4, 3))
+        assert t == pytest.approx(0.4)
+        assert closest == Point(4, 0)
+
+    def test_project_clamps_before_start(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        t, closest = seg.project(Point(-5, 2))
+        assert t == 0.0
+        assert closest == seg.start
+
+    def test_project_degenerate_segment(self):
+        seg = Segment(Point(2, 2), Point(2, 2))
+        t, closest = seg.project(Point(5, 5))
+        assert t == 0.0
+        assert closest == Point(2, 2)
+
+    def test_distance_to_point(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.distance_to_point(Point(5, 7)) == pytest.approx(7.0)
+
+    def test_sample_includes_endpoints(self):
+        seg = Segment(Point(0, 0), Point(1, 0))
+        samples = list(seg.sample(0.3))
+        assert samples[0] == seg.start
+        assert samples[-1] == seg.end
+
+    def test_sample_zero_length(self):
+        seg = Segment(Point(1, 1), Point(1, 1))
+        assert list(seg.sample(0.5)) == [Point(1, 1)]
+
+    def test_sample_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            list(Segment(Point(0, 0), Point(1, 0)).sample(0.0))
+
+    @given(points, points, st.floats(min_value=0.0, max_value=1.0))
+    def test_interpolated_point_is_on_segment(self, a, b, t):
+        seg = Segment(a, b)
+        p = seg.interpolate(t)
+        # Distance via the point equals the segment length (collinearity).
+        assert a.distance_to(p) + p.distance_to(b) == pytest.approx(
+            seg.length, abs=1e-6
+        )
+
+
+class TestGeo:
+    def test_haversine_zero(self):
+        assert haversine_km(50.0, 8.0, 50.0, 8.0) == 0.0
+
+    def test_haversine_known_pair(self):
+        # Berlin (52.52, 13.405) to Munich (48.137, 11.575) ~ 504 km.
+        assert haversine_km(52.52, 13.405, 48.137, 11.575) == pytest.approx(504, abs=5)
+
+    def test_geopoint_distance(self):
+        a, b = GeoPoint(52.52, 13.405), GeoPoint(48.137, 11.575)
+        assert a.distance_to(b) == pytest.approx(504, abs=5)
+
+    def test_projection_roundtrip(self):
+        proj = LocalProjection(GeoPoint(53.14, 8.21))  # Oldenburg
+        geo = GeoPoint(53.20, 8.30)
+        back = proj.to_geo(proj.to_plane(geo))
+        assert back.lat == pytest.approx(geo.lat, abs=1e-9)
+        assert back.lon == pytest.approx(geo.lon, abs=1e-9)
+
+    def test_projection_distance_accuracy(self):
+        """Planar distance approximates haversine at city scale."""
+        proj = LocalProjection(GeoPoint(53.14, 8.21))
+        a, b = GeoPoint(53.10, 8.15), GeoPoint(53.25, 8.35)
+        planar = proj.to_plane(a).distance_to(proj.to_plane(b))
+        true = a.distance_to(b)
+        assert planar == pytest.approx(true, rel=0.01)
+
+
+class TestPolylineHelpers:
+    def test_polyline_length(self):
+        pts = [Point(0, 0), Point(3, 4), Point(3, 10)]
+        assert polyline_length(pts) == pytest.approx(11.0)
+
+    def test_polyline_length_single_point(self):
+        assert polyline_length([Point(1, 1)]) == 0.0
+
+    def test_centroid(self):
+        c = centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert c == Point(1.0, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])

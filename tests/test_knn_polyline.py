@@ -1,0 +1,50 @@
+"""Tests for the sampled polyline-kNN helper (the discretised CkNN view)."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import Point
+from repro.spatial.knn import brute_force_knn, knn_along_polyline
+from repro.spatial.quadtree import QuadTree
+
+
+@pytest.fixture(scope="module")
+def index():
+    tree: QuadTree[int] = QuadTree(BoundingBox(0, 0, 20, 20), capacity=4)
+    rng = np.random.default_rng(21)
+    for i in range(60):
+        tree.insert(Point(float(rng.uniform(0, 20)), float(rng.uniform(0, 20))), i)
+    return tree
+
+
+class TestKnnAlongPolyline:
+    def test_samples_cover_polyline(self, index):
+        polyline = [Point(0, 0), Point(10, 0), Point(10, 10)]
+        results = knn_along_polyline(index, polyline, k=2, step_km=1.0)
+        assert results[0][0] == polyline[0]
+        assert results[-1][0] == polyline[-1]
+        # 20 km of polyline at 1 km steps: 21 samples (shared vertex deduped).
+        assert len(results) == 21
+
+    def test_each_sample_matches_pointwise_knn(self, index):
+        polyline = [Point(2, 3), Point(15, 12)]
+        entries = list(index)
+        for sample, knn in knn_along_polyline(index, polyline, k=3, step_km=2.0):
+            want = [i for __, __, i in brute_force_knn(entries, sample, 3)]
+            got = [i for __, __, i in knn]
+            assert got == want
+
+    def test_shared_vertices_not_duplicated(self, index):
+        polyline = [Point(0, 0), Point(4, 0), Point(8, 0)]
+        results = knn_along_polyline(index, polyline, k=1, step_km=2.0)
+        samples = [s.as_tuple() for s, __ in results]
+        assert len(samples) == len(set(samples))
+
+    def test_single_point_polyline(self, index):
+        results = knn_along_polyline(index, [Point(5, 5)], k=2)
+        assert len(results) == 1
+        assert len(results[0][1]) == 2
+
+    def test_empty_polyline(self, index):
+        assert knn_along_polyline(index, [], k=1) == []

@@ -1,0 +1,106 @@
+"""ALT landmark routing tests, cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network.builders import NetworkSpec, build_city_network
+from repro.network.graph import EdgeWeight
+from repro.network.landmarks import LandmarkSet, alt_astar, select_landmarks
+from repro.network.shortest_path import dijkstra
+
+
+@pytest.fixture(scope="module")
+def city():
+    return build_city_network(NetworkSpec(width_km=18, height_km=14, seed=55))
+
+
+@pytest.fixture(scope="module")
+def landmarks(city):
+    return select_landmarks(city, count=4)
+
+
+class TestSelection:
+    def test_landmark_count(self, landmarks):
+        assert len(landmarks.landmark_ids) == 4
+        assert len(set(landmarks.landmark_ids)) == 4
+
+    def test_landmarks_spread_out(self, city, landmarks):
+        """Farthest-point selection should not cluster landmarks."""
+        points = [city.node(lm).point for lm in landmarks.landmark_ids]
+        bounds = city.bounds()
+        min_gap = min(
+            a.distance_to(b) for i, a in enumerate(points) for b in points[i + 1 :]
+        )
+        assert min_gap > min(bounds.width, bounds.height) / 4
+
+    def test_count_clamped(self, city):
+        few = select_landmarks(city, count=10_000)
+        assert len(few.landmark_ids) <= city.node_count
+
+    def test_validation(self, city):
+        with pytest.raises(ValueError):
+            select_landmarks(city, count=0)
+
+
+class TestLowerBound:
+    def test_admissible(self, city, landmarks):
+        """The ALT bound never exceeds the true shortest distance."""
+        rng = np.random.default_rng(1)
+        nodes = list(city.node_ids())
+        for __ in range(20):
+            s, t = rng.choice(nodes, size=2, replace=False)
+            true = dijkstra(city, int(s), int(t)).cost
+            assert landmarks.lower_bound(int(s), int(t)) <= true + 1e-9
+
+    def test_tighter_than_euclidean_somewhere(self, city, landmarks):
+        """ALT's selling point: the bound beats straight-line distance on
+        at least some pairs (roads wiggle, landmarks know it)."""
+        rng = np.random.default_rng(2)
+        nodes = list(city.node_ids())
+        wins = 0
+        for __ in range(50):
+            s, t = rng.choice(nodes, size=2, replace=False)
+            euclid = city.node(int(s)).point.distance_to(city.node(int(t)).point)
+            if landmarks.lower_bound(int(s), int(t)) > euclid + 1e-9:
+                wins += 1
+        assert wins > 0
+
+    def test_zero_for_same_node(self, city, landmarks):
+        node = next(city.node_ids())
+        assert landmarks.lower_bound(node, node) == pytest.approx(0.0)
+
+
+class TestAltAstar:
+    def test_matches_dijkstra(self, city, landmarks):
+        rng = np.random.default_rng(3)
+        nodes = list(city.node_ids())
+        for __ in range(15):
+            s, t = rng.choice(nodes, size=2, replace=False)
+            alt = alt_astar(city, int(s), int(t), landmarks)
+            plain = dijkstra(city, int(s), int(t))
+            assert alt.cost == pytest.approx(plain.cost)
+
+    def test_matches_networkx(self, city, landmarks):
+        """Independent oracle: networkx Dijkstra on the same graph."""
+        graph = nx.DiGraph()
+        for edge in city.edges():
+            graph.add_edge(edge.source, edge.target, weight=edge.length_km)
+        rng = np.random.default_rng(4)
+        nodes = list(city.node_ids())
+        for __ in range(10):
+            s, t = rng.choice(nodes, size=2, replace=False)
+            want = nx.shortest_path_length(graph, int(s), int(t), weight="weight")
+            got = alt_astar(city, int(s), int(t), landmarks).cost
+            assert got == pytest.approx(want)
+
+    def test_travel_time_tables(self, city):
+        """ALT works for any weight as long as tables match it."""
+        landmarks = select_landmarks(city, count=3, weight=EdgeWeight.TRAVEL_TIME_H)
+        rng = np.random.default_rng(5)
+        nodes = list(city.node_ids())
+        for __ in range(8):
+            s, t = rng.choice(nodes, size=2, replace=False)
+            got = alt_astar(city, int(s), int(t), landmarks, EdgeWeight.TRAVEL_TIME_H)
+            want = dijkstra(city, int(s), int(t), EdgeWeight.TRAVEL_TIME_H)
+            assert got.cost == pytest.approx(want.cost)

@@ -1,0 +1,41 @@
+"""Deployment-modes experiment driver tests."""
+
+import pytest
+
+from repro.experiments.harness import HarnessConfig
+from repro.experiments.modes_report import run_modes
+from repro.server.modes import DeploymentMode
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = HarnessConfig(trips_per_dataset=1, repetitions=1, dataset_scale=0.1, k=3)
+    return run_modes(config, datasets=("oldenburg",))
+
+
+class TestModesDriver:
+    def test_row_per_mode(self, results):
+        rows, __ = results
+        assert {row.mode for row in rows} == set(DeploymentMode)
+
+    def test_latencies_positive(self, results):
+        rows, __ = results
+        for row in rows:
+            assert row.per_segment_ms.mean > 0
+
+    def test_cache_benefit_reported(self, results):
+        __, benefit = results
+        assert "oldenburg" in benefit
+        assert 0.0 <= benefit["oldenburg"] <= 1.0
+
+    def test_second_vehicle_mostly_cached(self, results):
+        """A second vehicle on the same corridor should reuse nearly all
+        upstream API responses."""
+        __, benefit = results
+        assert benefit["oldenburg"] >= 0.8
+
+    def test_cli_knows_modes(self):
+        from repro.experiments.__main__ import _build_parser
+
+        args = _build_parser().parse_args(["modes"])
+        assert args.experiment == "modes"

@@ -1,0 +1,153 @@
+"""Uncertain-velocity moving-query tests (possible/certain kNN)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.moving import MovingQuery, knn_timeline, uncertain_knn
+from repro.intervals import Interval
+from repro.spatial.geometry import Point, Segment
+
+
+@pytest.fixture()
+def query():
+    """10 km east-bound segment, speed between 30 and 50 km/h, departing
+    at t = 8 h."""
+    return MovingQuery(
+        segment=Segment(Point(0, 0), Point(10, 0)),
+        speed_kmh=Interval(30.0, 50.0),
+        start_time_h=8.0,
+    )
+
+
+class TestMovingQuery:
+    def test_offsets_grow_with_time(self, query):
+        early = query.offset_interval_km(8.05)
+        late = query.offset_interval_km(8.1)
+        assert late.lo >= early.lo and late.hi >= early.hi
+
+    def test_offsets_clamped_to_segment(self, query):
+        offsets = query.offset_interval_km(10.0)  # 2 h: both bounds past the end
+        assert offsets.lo == offsets.hi == 10.0
+
+    def test_departure_position_exact(self, query):
+        offsets = query.offset_interval_km(8.0)
+        assert offsets.lo == offsets.hi == 0.0
+
+    def test_uncertainty_region_on_segment(self, query):
+        region = query.uncertainty_region(8.1)
+        assert region.start.y == 0.0 and region.end.y == 0.0
+        assert 0.0 <= region.start.x <= region.end.x <= 10.0
+        assert region.start.x == pytest.approx(3.0)  # 30 km/h * 0.1 h
+        assert region.end.x == pytest.approx(5.0)  # 50 km/h * 0.1 h
+
+    def test_time_before_departure_rejected(self, query):
+        with pytest.raises(ValueError):
+            query.offset_interval_km(7.9)
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            MovingQuery(Segment(Point(0, 0), Point(1, 0)), Interval(0.0, 10.0), 8.0)
+
+    def test_arrival_interval(self, query):
+        arrival = query.arrival_interval_h()
+        assert arrival.lo == pytest.approx(8.0 + 10.0 / 50.0)
+        assert arrival.hi == pytest.approx(8.0 + 10.0 / 30.0)
+
+    def test_distance_interval_contains_all_realisations(self, query):
+        """Any true speed inside the range yields a distance inside the
+        interval."""
+        site = Point(5.0, 2.0)
+        t = 8.1
+        interval = query.distance_interval(site, t)
+        for speed in np.linspace(30.0, 50.0, 11):
+            offset = min(10.0, speed * 0.1)
+            position = Point(offset, 0.0)
+            assert interval.lo - 1e-9 <= position.distance_to(site) <= interval.hi + 1e-9
+
+    def test_distance_interval_min_on_perpendicular(self, query):
+        # Site perpendicular to the middle of the uncertainty region at
+        # t = 8.1 (region x in [3, 5]).
+        site = Point(4.0, 3.0)
+        interval = query.distance_interval(site, 8.1)
+        assert interval.lo == pytest.approx(3.0)
+
+
+class TestUncertainKnn:
+    CANDIDATES = [
+        (1, Point(1.0, 0.5)),
+        (2, Point(5.0, 0.5)),
+        (3, Point(9.0, 0.5)),
+        (4, Point(5.0, 8.0)),
+    ]
+
+    def test_certain_subset_of_possible(self, query):
+        result = uncertain_knn(query, self.CANDIDATES, 8.1, k=2)
+        assert result.certain <= result.possible
+
+    def test_at_departure_answer_is_crisp(self, query):
+        """With zero positional uncertainty the two sets coincide with the
+        ordinary kNN."""
+        result = uncertain_knn(query, self.CANDIDATES, 8.0, k=2)
+        ranked = sorted(
+            self.CANDIDATES, key=lambda c: c[1].squared_distance_to(Point(0, 0))
+        )
+        want = {c[0] for c in ranked[:2]}
+        assert result.certain == want
+        assert result.possible == want
+
+    def test_far_site_excluded_from_possible(self, query):
+        result = uncertain_knn(query, self.CANDIDATES, 8.1, k=1)
+        assert 4 not in result.possible
+
+    def test_mid_route_ambiguity(self, query):
+        """While the region spans [3, 5] km, both the behind and ahead
+        sites are possible 1NN but neither is certain."""
+        result = uncertain_knn(query, [(1, Point(3.0, 0.2)), (2, Point(5.2, 0.2))],
+                               8.1, k=1)
+        assert result.possible == {1, 2}
+        assert result.certain == set()
+
+    def test_k_covers_all_candidates(self, query):
+        result = uncertain_knn(query, self.CANDIDATES, 8.1, k=10)
+        all_ids = {c[0] for c in self.CANDIDATES}
+        assert result.possible == all_ids
+        assert result.certain == all_ids
+
+    def test_validation(self, query):
+        with pytest.raises(ValueError):
+            uncertain_knn(query, self.CANDIDATES, 8.1, k=0)
+        with pytest.raises(ValueError):
+            uncertain_knn(query, [], 8.1, k=1)
+
+
+class TestTimeline:
+    def test_covers_whole_travel_window(self, query):
+        timeline = knn_timeline(query, TestUncertainKnn.CANDIDATES, k=1, step_h=0.05)
+        assert timeline[0].time_h == pytest.approx(8.0)
+        assert timeline[-1].time_h >= query.arrival_interval_h().hi - 0.05
+
+    def test_nn_progression_follows_route(self, query):
+        """The certain 1NN progresses from the near-start site to the
+        near-end site as travel completes."""
+        timeline = knn_timeline(query, TestUncertainKnn.CANDIDATES, k=1, step_h=0.02)
+        assert 1 in timeline[0].certain
+        assert 3 in timeline[-1].certain
+
+    def test_step_validation(self, query):
+        with pytest.raises(ValueError):
+            knn_timeline(query, TestUncertainKnn.CANDIDATES, k=1, step_h=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=8.0, max_value=8.3),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_property_certain_subset_possible(self, t, k):
+        query = MovingQuery(
+            Segment(Point(0, 0), Point(10, 0)), Interval(30.0, 50.0), 8.0
+        )
+        result = uncertain_knn(query, TestUncertainKnn.CANDIDATES, t, k)
+        assert result.certain <= result.possible
+        assert len(result.possible) >= min(k, len(TestUncertainKnn.CANDIDATES))

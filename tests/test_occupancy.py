@@ -1,0 +1,109 @@
+"""Charger plug-occupancy tests (unit + fleet integration)."""
+
+import pytest
+
+from repro.chargers.charger import Charger, Vehicle
+from repro.core.ecocharge import EcoChargeConfig
+from repro.network.path import Trip
+from repro.simulation.events import EventKind
+from repro.simulation.fleet import FleetSimulation, SimulationConfig, VehiclePhase
+from repro.simulation.occupancy import ChargerOccupancy
+from repro.spatial.geometry import Point
+
+
+def _charger(cid=0, plugs=1):
+    return Charger(charger_id=cid, point=Point(0, 0), node_id=0, rate_kw=11.0,
+                   plugs=plugs)
+
+
+class TestChargerOccupancy:
+    def test_plug_in_and_out(self):
+        occupancy = ChargerOccupancy()
+        charger = _charger(plugs=2)
+        assert occupancy.try_plug_in(charger, 1)
+        assert occupancy.try_plug_in(charger, 2)
+        assert occupancy.occupancy(0) == 2
+        assert not occupancy.has_free_plug(charger)
+        occupancy.unplug(0, 1)
+        assert occupancy.has_free_plug(charger)
+
+    def test_full_site_rejects(self):
+        occupancy = ChargerOccupancy()
+        charger = _charger(plugs=1)
+        assert occupancy.try_plug_in(charger, 1)
+        assert not occupancy.try_plug_in(charger, 2)
+        assert occupancy.stats.rejections == 1
+        assert occupancy.stats.rejection_rate == pytest.approx(0.5)
+
+    def test_double_plug_in_rejected(self):
+        occupancy = ChargerOccupancy()
+        charger = _charger(plugs=3)
+        occupancy.try_plug_in(charger, 1)
+        with pytest.raises(ValueError):
+            occupancy.try_plug_in(charger, 1)
+
+    def test_unplug_unknown_rejected(self):
+        occupancy = ChargerOccupancy()
+        with pytest.raises(ValueError):
+            occupancy.unplug(0, 1)
+
+    def test_total_occupied(self):
+        occupancy = ChargerOccupancy()
+        occupancy.try_plug_in(_charger(0, plugs=2), 1)
+        occupancy.try_plug_in(_charger(1, plugs=2), 2)
+        assert occupancy.total_occupied() == 2
+
+
+class TestFleetQueueing:
+    def test_contended_charger_queues_second_vehicle(self, small_environment):
+        """Two low-battery vehicles on the same corridor at the same time:
+        if they pick the same site and it has fewer plugs than vehicles,
+        one of them must wait (or they split across sites) — either way
+        the simulation stays consistent and everyone eventually arrives."""
+        nodes = sorted(small_environment.network.node_ids())
+        trips = [
+            Trip.route(small_environment.network, nodes[0], nodes[-1], 10.0),
+            Trip.route(small_environment.network, nodes[1], nodes[-2], 10.0),
+            Trip.route(small_environment.network, nodes[2], nodes[-3], 10.0),
+        ]
+        config = SimulationConfig(ecocharge=EcoChargeConfig(k=3, radius_km=12.0))
+        vehicles = [Vehicle(i, state_of_charge=0.35) for i in range(3)]
+        sim = FleetSimulation(small_environment, trips, config, vehicles)
+        report = sim.run()
+        # Consistency: every charging start has a matching finish.
+        starts = report.events.count(EventKind.CHARGING_STARTED)
+        finishes = report.events.count(EventKind.CHARGING_FINISHED)
+        assert starts == finishes
+        # Nothing left plugged in at the end.
+        assert sim.occupancy.total_occupied() == 0
+        assert report.arrived == 3
+
+    def test_queue_event_emitted_under_forced_contention(self, small_environment):
+        """Force contention: both vehicles are steered to the same
+        single-plug charger by a tiny radius around a shared corridor."""
+        nodes = sorted(small_environment.network.node_ids())
+        trip = Trip.route(small_environment.network, nodes[0], nodes[-1], 10.0)
+        trips = [trip, Trip(trip.network, trip.node_ids, 10.0)]
+        config = SimulationConfig(
+            idle_duration_h=2.0,  # long sessions maximise overlap
+            ecocharge=EcoChargeConfig(k=1, radius_km=3.0),
+        )
+        vehicles = [Vehicle(i, state_of_charge=0.35) for i in range(2)]
+        sim = FleetSimulation(small_environment, trips, config, vehicles)
+        report = sim.run()
+        waits = report.events.count(EventKind.WAITING_FOR_PLUG)
+        best_plugs = {
+            e.detail["charger_id"]
+            for e in report.events.of_kind(EventKind.CHARGING_STARTED)
+        }
+        # Identical trips with k=1 must pick the same charger; if it has
+        # one plug, the second vehicle queued.
+        if len(best_plugs) == 1:
+            target = small_environment.registry.get(best_plugs.pop())
+            if target.plugs == 1:
+                assert waits >= 1
+        # Regardless of contention outcome, the run stays consistent.
+        assert sim.occupancy.total_occupied() == 0
+        assert report.events.count(EventKind.CHARGING_STARTED) == report.events.count(
+            EventKind.CHARGING_FINISHED
+        )

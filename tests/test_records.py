@@ -1,0 +1,118 @@
+"""Experiment record persistence and shape-check tests."""
+
+import pytest
+
+from repro.experiments.harness import MethodResult
+from repro.experiments.metrics import MeanStd
+from repro.experiments.records import (
+    check_figure6_shape,
+    compare_runs,
+    load_results,
+    results_from_json,
+    save_results,
+)
+
+
+def _row(method, dataset="oldenburg", ft=50.0, sc=90.0):
+    return MethodResult(
+        method=method,
+        dataset=dataset,
+        ft_ms=MeanStd(ft, 1.0, 10),
+        sc_pct=MeanStd(sc, 1.0, 10),
+        contributions=(0.3, 0.3, 0.4),
+    )
+
+
+def _good_run(dataset="oldenburg"):
+    return [
+        _row("brute-force", dataset, ft=100.0, sc=100.0),
+        _row("index-quadtree", dataset, ft=60.0, sc=85.0),
+        _row("random", dataset, ft=1.0, sc=55.0),
+        _row("ecocharge", dataset, ft=20.0, sc=99.0),
+    ]
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "fig6.json"
+        save_results(_good_run(), "figure6", path)
+        experiment, rows = load_results(path)
+        assert experiment == "figure6"
+        assert len(rows) == 4
+        assert rows[0].method == "brute-force"
+        assert rows[0].sc_pct.mean == 100.0
+        assert rows[0].contributions == (0.3, 0.3, 0.4)
+
+    def test_format_marker(self):
+        with pytest.raises(ValueError):
+            results_from_json({"format": "wrong"})
+
+
+class TestShapeCheck:
+    def test_good_run_passes(self):
+        assert check_figure6_shape(_good_run()) == []
+
+    def test_multi_dataset(self):
+        run = _good_run("oldenburg") + _good_run("geolife")
+        assert check_figure6_shape(run) == []
+
+    def test_reference_not_100_flagged(self):
+        run = _good_run()
+        run[0] = _row("brute-force", ft=100.0, sc=97.0)
+        violations = check_figure6_shape(run)
+        assert any("not 100" in v.description for v in violations)
+
+    def test_quadtree_beating_ecocharge_flagged(self):
+        run = _good_run()
+        run[1] = _row("index-quadtree", ft=60.0, sc=99.5)
+        violations = check_figure6_shape(run)
+        assert any("does not clearly beat" in v.description for v in violations)
+
+    def test_slow_random_flagged(self):
+        run = _good_run()
+        run[2] = _row("random", ft=500.0, sc=55.0)
+        violations = check_figure6_shape(run)
+        assert any("fastest" in v.description for v in violations)
+
+    def test_missing_method_flagged(self):
+        violations = check_figure6_shape(_good_run()[:2])
+        assert any("missing methods" in v.description for v in violations)
+
+    def test_real_harness_output_passes(self):
+        """The actual harness on the tiny workload satisfies the shape."""
+        from repro.core.scoring import Weights
+        from repro.experiments.harness import (
+            HarnessConfig,
+            compare_methods,
+            default_rankers,
+        )
+        from repro.trajectories.datasets import load_workload
+
+        workload = load_workload("oldenburg", scale=0.3)
+        results = compare_methods(
+            workload,
+            default_rankers(k=3, weights=Weights.equal(), radius_km=25.0),
+            HarnessConfig(trips_per_dataset=2, repetitions=2),
+        )
+        assert check_figure6_shape(results) == []
+
+
+class TestCompareRuns:
+    def test_no_regression(self):
+        assert compare_runs(_good_run(), _good_run()) == []
+
+    def test_sc_regression_flagged(self):
+        new = _good_run()
+        new[3] = _row("ecocharge", ft=20.0, sc=90.0)  # was 99
+        violations = compare_runs(_good_run(), new)
+        assert len(violations) == 1
+        assert "ecocharge" in violations[0].description
+
+    def test_new_methods_ignored(self):
+        new = _good_run() + [_row("novel-method", sc=10.0)]
+        assert compare_runs(_good_run(), new) == []
+
+    def test_timing_changes_ignored(self):
+        new = [_row(r.method, r.dataset, ft=r.ft_ms.mean * 10, sc=r.sc_pct.mean)
+               for r in _good_run()]
+        assert compare_runs(_good_run(), new) == []

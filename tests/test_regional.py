@@ -1,0 +1,82 @@
+"""Regional weather model tests."""
+
+import pytest
+
+from repro.estimation.regional import RegionalWeatherModel
+from repro.estimation.weather import ATTENUATION
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import Point
+
+BOUNDS = BoundingBox(0.0, 0.0, 120.0, 60.0)
+
+
+@pytest.fixture(scope="module")
+def regional():
+    return RegionalWeatherModel(BOUNDS, zones_x=4, zones_y=2, seed=3)
+
+
+class TestRegionalWeather:
+    def test_zone_count(self, regional):
+        assert regional.zone_count == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionalWeatherModel(BOUNDS, zones_x=0)
+
+    def test_deterministic(self):
+        a = RegionalWeatherModel(BOUNDS, seed=5)
+        b = RegionalWeatherModel(BOUNDS, seed=5)
+        for t in (8.0, 13.0, 30.0):
+            assert a.attenuation_at(t, Point(10, 10)) == b.attenuation_at(t, Point(10, 10))
+
+    def test_locations_can_differ(self, regional):
+        """Across a 120 km map, far apart locations see different skies at
+        least sometimes over a day."""
+        west, east = Point(5.0, 30.0), Point(115.0, 30.0)
+        diffs = [
+            abs(regional.attenuation_at(t, west) - regional.attenuation_at(t, east))
+            for t in range(24)
+        ]
+        assert max(diffs) > 0.05
+
+    def test_attenuation_within_physical_range(self, regional):
+        lo = min(ATTENUATION.values())
+        hi = max(ATTENUATION.values())
+        for t in range(0, 48, 3):
+            for loc in (Point(1, 1), Point(60, 30), Point(119, 59)):
+                assert lo - 1e-9 <= regional.attenuation_at(t, loc) <= hi + 1e-9
+
+    def test_blending_is_continuous(self, regional):
+        """Adjacent probes differ by a bounded amount (no cliff at zone
+        borders)."""
+        t = 13.0
+        values = [regional.attenuation_at(t, Point(x, 30.0)) for x in range(0, 121, 2)]
+        steps = [abs(a - b) for a, b in zip(values, values[1:])]
+        assert max(steps) < 0.25
+
+    def test_forecast_contains_truth(self, regional):
+        loc = Point(40.0, 20.0)
+        truth = regional.attenuation_at(14.0, loc)
+        forecast = regional.forecast(14.0, now_h=9.0, location=loc)
+        assert truth in forecast.attenuation
+
+    def test_zero_horizon_exact(self, regional):
+        forecast = regional.forecast(9.0, now_h=9.0, location=Point(10, 10))
+        assert forecast.attenuation.is_exact
+
+    def test_default_location_is_centre(self, regional):
+        centre = BOUNDS.center
+        assert regional.attenuation_at(13.0) == pytest.approx(
+            regional.attenuation_at(13.0, centre)
+        )
+
+    def test_window_attenuation_hulls(self, regional):
+        loc = Point(50, 25)
+        window = regional.window_attenuation(10.0, 14.0, now_h=9.0, location=loc)
+        for h in (10.5, 12.5):
+            f = regional.forecast(h, 9.0, loc).attenuation
+            assert window.lo <= f.lo and window.hi >= f.hi
+
+    def test_window_validation(self, regional):
+        with pytest.raises(ValueError):
+            regional.window_attenuation(14.0, 10.0, 9.0)

@@ -1,0 +1,114 @@
+"""Registry mutation tests (sites coming online / going offline)."""
+
+import pytest
+
+from repro.chargers.charger import Charger
+from repro.chargers.plugshare import CatalogSpec, generate_catalog
+from repro.spatial.geometry import Point
+
+
+@pytest.fixture()
+def registry(small_network):
+    """Fresh (non-shared) registry per test: these tests mutate it."""
+    return generate_catalog(small_network, CatalogSpec(charger_count=20, seed=77))
+
+
+def _new_charger(cid, x=5.0, y=5.0):
+    return Charger(charger_id=cid, point=Point(x, y), node_id=0, rate_kw=22.0)
+
+
+class TestAdd:
+    def test_add_then_query(self, registry):
+        before = len(registry)
+        charger = _new_charger(999)
+        registry.add(charger)
+        assert len(registry) == before + 1
+        assert registry.nearest(charger.point, 1)[0].charger_id == 999
+
+    def test_add_rebuilds_indexes(self, registry):
+        probe = Point(5.0, 5.0)
+        registry.nearest(probe, 1)  # build the index first
+        registry.add(_new_charger(999, 5.0, 5.0))
+        assert registry.nearest(probe, 1)[0].charger_id == 999
+
+    def test_duplicate_rejected(self, registry):
+        existing = registry.all()[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add(_new_charger(existing.charger_id))
+
+    def test_out_of_bounds_rejected(self, registry):
+        with pytest.raises(ValueError, match="outside"):
+            registry.add(_new_charger(999, x=1e6, y=1e6))
+
+
+class TestRemove:
+    def test_remove_then_query(self, registry):
+        victim = registry.all()[0]
+        removed = registry.remove(victim.charger_id)
+        assert removed is victim
+        assert victim.charger_id not in registry
+        hits = registry.within_radius(victim.point, 0.5)
+        assert victim.charger_id not in [c.charger_id for c in hits]
+
+    def test_remove_unknown(self, registry):
+        with pytest.raises(KeyError):
+            registry.remove(123456)
+
+    def test_cannot_empty_registry(self, small_network):
+        lone = generate_catalog(small_network, CatalogSpec(charger_count=1, seed=1))
+        with pytest.raises(ValueError, match="at least one"):
+            lone.remove(lone.all()[0].charger_id)
+
+    def test_ranking_sees_mutation(self, small_network, registry):
+        """A removed charger disappears from fresh Offering Tables."""
+        from repro.core.baselines import BruteForceRanker
+        from repro.core.environment import ChargingEnvironment
+        from repro.network.path import Trip
+
+        env = ChargingEnvironment(small_network, registry, seed=3)
+        nodes = sorted(small_network.node_ids())
+        trip = Trip.route(small_network, nodes[0], nodes[-1], 11.0)
+        segment = trip.segments()[0]
+        ranker = BruteForceRanker(env, k=3)
+        table = ranker.rank_segment(trip, segment, eta_h=11.2, now_h=11.0)
+        top = table.best.charger_id
+        registry.remove(top)
+        again = ranker.rank_segment(trip, segment, eta_h=11.2, now_h=11.0)
+        assert top not in again.charger_ids()
+
+
+class TestMode2ServerRanking:
+    def test_rank_trip_centrally(self, small_environment, sample_trip):
+        from repro.server.eis import EcoChargeInformationServer
+        from repro.core.ecocharge import EcoChargeConfig
+
+        server = EcoChargeInformationServer(small_environment)
+        config = EcoChargeConfig(k=3, radius_km=12.0)
+        run = server.rank_trip(sample_trip, config)
+        assert len(run.tables) == len(sample_trip.segments())
+        assert server.requests_served == 1
+
+    def test_ranker_shared_per_config(self, small_environment, sample_trip):
+        from repro.server.eis import EcoChargeInformationServer
+        from repro.core.ecocharge import EcoChargeConfig
+
+        server = EcoChargeInformationServer(small_environment)
+        config = EcoChargeConfig(k=3, radius_km=12.0)
+        server.rank_trip(sample_trip, config)
+        server.rank_trip(sample_trip, config)
+        assert len(server._rankers) == 1
+        server.rank_trip(sample_trip, EcoChargeConfig(k=2, radius_km=12.0))
+        assert len(server._rankers) == 2
+
+    def test_results_match_local_ranking(self, small_environment, sample_trip):
+        """Mode 2 must return the same tables a local Mode-1 client computes."""
+        from repro.core.ecocharge import EcoCharge, EcoChargeConfig
+        from repro.server.eis import EcoChargeInformationServer
+
+        config = EcoChargeConfig(k=3, radius_km=12.0)
+        server_run = EcoChargeInformationServer(small_environment).rank_trip(
+            sample_trip, config
+        )
+        local_run = EcoCharge(small_environment, config).plan(sample_trip)
+        for a, b in zip(server_run.tables, local_run.tables):
+            assert a.charger_ids() == b.charger_ids()

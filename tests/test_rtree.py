@@ -1,0 +1,118 @@
+"""STR R-tree tests, including cross-validation against scipy's cKDTree."""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import Point
+from repro.spatial.knn import brute_force_knn, brute_force_radius
+from repro.spatial.rtree import RTree
+
+
+def _entries(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        (Point(float(x), float(y)), i)
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, 100, n), rng.uniform(0, 100, n))
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return _entries(500, seed=4)
+
+
+@pytest.fixture(scope="module")
+def tree(entries):
+    return RTree(entries, leaf_capacity=8)
+
+
+class TestStructure:
+    def test_size(self, tree, entries):
+        assert len(tree) == len(entries)
+
+    def test_empty_tree(self):
+        empty: RTree[int] = RTree([])
+        assert len(empty) == 0
+        assert empty.nearest(Point(0, 0), 3) == []
+        assert empty.query_radius(Point(0, 0), 10) == []
+        assert empty.query_range(BoundingBox(0, 0, 1, 1)) == []
+        assert empty.height() == 0
+
+    def test_single_entry(self):
+        tree = RTree([(Point(1, 1), "x")])
+        assert tree.nearest(Point(0, 0), 1)[0][2] == "x"
+        assert tree.height() == 1
+
+    def test_height_grows_logarithmically(self, entries):
+        tree = RTree(entries, leaf_capacity=4)
+        # 500 entries / capacity 4 => ~125 leaves => height around 4-5.
+        assert 3 <= tree.height() <= 6
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RTree([], leaf_capacity=1)
+
+
+class TestQueries:
+    def test_knn_matches_brute_force(self, tree, entries):
+        rng = np.random.default_rng(5)
+        for __ in range(25):
+            q = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            k = int(rng.integers(1, 12))
+            got = [item for __, __, item in tree.nearest(q, k)]
+            want = [item for __, __, item in brute_force_knn(entries, q, k)]
+            assert got == want
+
+    def test_radius_matches_brute_force(self, tree, entries):
+        rng = np.random.default_rng(6)
+        for __ in range(25):
+            q = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            r = float(rng.uniform(1, 25))
+            got = {item for __, item in tree.query_radius(q, r)}
+            want = {item for __, item in brute_force_radius(entries, q, r)}
+            assert got == want
+
+    def test_range_query(self, tree, entries):
+        box = BoundingBox(10, 30, 55, 70)
+        got = {item for __, item in tree.query_range(box)}
+        want = {item for point, item in entries if box.contains(point)}
+        assert got == want
+
+    def test_negative_radius(self, tree):
+        with pytest.raises(ValueError):
+            tree.query_radius(Point(0, 0), -1)
+
+    def test_k_validation(self, tree):
+        with pytest.raises(ValueError):
+            tree.nearest(Point(0, 0), 0)
+
+
+class TestAgainstScipy:
+    """Cross-validation with an independent implementation."""
+
+    def test_knn_distances_match_ckdtree(self, entries, tree):
+        coords = np.array([[p.x, p.y] for p, __ in entries])
+        reference = cKDTree(coords)
+        rng = np.random.default_rng(7)
+        for __ in range(20):
+            q = (float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            k = int(rng.integers(1, 10))
+            ref_d, __ = reference.query(q, k=k)
+            ref_d = np.atleast_1d(ref_d)
+            got_d = [d for d, __, __ in tree.nearest(Point(*q), k)]
+            assert np.allclose(sorted(got_d), sorted(ref_d))
+
+    def test_radius_counts_match_ckdtree(self, entries, tree):
+        coords = np.array([[p.x, p.y] for p, __ in entries])
+        reference = cKDTree(coords)
+        rng = np.random.default_rng(8)
+        for __ in range(20):
+            q = (float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            r = float(rng.uniform(1, 20))
+            want = len(reference.query_ball_point(q, r))
+            got = len(tree.query_radius(Point(*q), r))
+            assert got == want

@@ -1,0 +1,181 @@
+"""Server tier tests: simulated APIs, response cache, EIS, client, modes."""
+
+import pytest
+
+from repro.core.ecocharge import EcoChargeConfig
+from repro.server.api import ApiUsage
+from repro.server.cache import ResponseCache
+from repro.server.client import EcoChargeClient
+from repro.server.eis import EcoChargeInformationServer
+from repro.server.modes import (
+    LATENCY_MODELS,
+    DeploymentMode,
+    LatencyModel,
+    compare_modes,
+    simulate_mode,
+)
+from repro.spatial.geometry import Point
+
+
+class TestResponseCache:
+    def test_get_or_compute_caches(self):
+        cache = ResponseCache(ttl_h=1.0)
+        calls = []
+        for __ in range(3):
+            value = cache.get_or_compute("k", now_h=10.0, compute=lambda: calls.append(1) or 42)
+        assert value == 42
+        assert len(calls) == 1
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+    def test_ttl_expiry_recomputes(self):
+        cache = ResponseCache(ttl_h=0.5)
+        cache.get_or_compute("k", 10.0, lambda: "old")
+        assert cache.get_or_compute("k", 11.0, lambda: "new") == "new"
+
+    def test_spatial_key_buckets(self):
+        a = ResponseCache.spatial_key("w", Point(1.0, 1.0), 10.0)
+        b = ResponseCache.spatial_key("w", Point(1.5, 1.2), 10.1)
+        c = ResponseCache.spatial_key("w", Point(9.0, 9.0), 10.0)
+        assert a == b
+        assert a != c
+
+    def test_eviction_bounds_size(self):
+        cache = ResponseCache(ttl_h=10.0, max_entries=5)
+        for i in range(10):
+            cache.put(("k", i), now_h=float(i), value=i)
+        assert len(cache) == 5
+        assert cache.stats.evictions == 5
+
+    def test_eviction_drops_stalest(self):
+        cache = ResponseCache(ttl_h=10.0, max_entries=2)
+        cache.put("a", 1.0, "a")
+        cache.put("b", 2.0, "b")
+        cache.put("c", 3.0, "c")
+        assert cache.get_or_compute("b", 3.0, lambda: "recomputed") == "b"
+
+    def test_invalidate_older_than(self):
+        cache = ResponseCache(ttl_h=0.5)
+        cache.put("a", 1.0, "a")
+        cache.put("b", 2.0, "b")
+        assert cache.invalidate_older_than(2.0) == 1
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = ResponseCache()
+        cache.put("a", 1.0, "a")
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.misses == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResponseCache(ttl_h=0.0)
+        with pytest.raises(ValueError):
+            ResponseCache(max_entries=0)
+
+
+class TestEis:
+    @pytest.fixture()
+    def eis(self, small_environment):
+        return EcoChargeInformationServer(small_environment)
+
+    def test_snapshot_contents(self, eis):
+        snap = eis.region_snapshot(Point(5, 5), radius_km=6.0, eta_h=11.0, now_h=10.0)
+        assert snap.charger_count > 0
+        assert set(snap.availability) == {c.charger_id for c in snap.chargers}
+        for charger in snap.chargers:
+            assert charger.point.distance_to(Point(5, 5)) <= 6.0 + 1e-6
+
+    def test_snapshot_cached_for_nearby_requests(self, eis):
+        eis.region_snapshot(Point(5.0, 5.0), 6.0, eta_h=11.0, now_h=10.0)
+        before = eis.usage.total
+        eis.region_snapshot(Point(5.1, 5.1), 6.0, eta_h=11.05, now_h=10.0)
+        assert eis.usage.total == before  # served from cache
+        assert eis.upstream_calls_saved() >= 1
+
+    def test_distinct_regions_hit_upstream(self, eis):
+        eis.region_snapshot(Point(2, 2), 4.0, eta_h=11.0, now_h=10.0)
+        before = eis.usage.total
+        eis.region_snapshot(Point(12, 9), 4.0, eta_h=11.0, now_h=10.0)
+        assert eis.usage.total > before
+
+    def test_requests_counted(self, eis):
+        eis.region_snapshot(Point(2, 2), 4.0, 11.0, 10.0)
+        eis.region_snapshot(Point(2, 2), 4.0, 11.0, 10.0)
+        assert eis.requests_served == 2
+
+    def test_traffic_model_cached_per_slot(self, eis):
+        a = eis.traffic_model(10.0)
+        before = eis.usage.traffic_calls
+        b = eis.traffic_model(10.1)  # same quarter-hour slot
+        assert b is a and eis.usage.traffic_calls == before
+
+    def test_api_usage_counter(self):
+        usage = ApiUsage()
+        usage.weather_calls += 2
+        usage.busy_calls += 3
+        assert usage.total == 5
+
+
+class TestClient:
+    def test_plan_trip_accounts_sessions(self, small_environment, sample_trip):
+        eis = EcoChargeInformationServer(small_environment)
+        client = EcoChargeClient(
+            eis, EcoChargeConfig(k=3, radius_km=10.0, range_km=5.0)
+        )
+        run = client.plan_trip(sample_trip)
+        stats = client.stats
+        assert stats.tables_generated + stats.tables_adapted == len(run.tables)
+        assert stats.snapshots_fetched == stats.tables_generated
+        assert stats.payload_kb > 0
+
+    def test_cache_benefit_positive(self, small_environment, sample_trip):
+        eis = EcoChargeInformationServer(small_environment)
+        client = EcoChargeClient(
+            eis, EcoChargeConfig(k=3, radius_km=10.0, range_km=6.0)
+        )
+        client.plan_trip(sample_trip)
+        assert client.stats.cache_benefit > 0.0
+
+    def test_new_trip_resets_stats(self, small_environment, sample_trip):
+        eis = EcoChargeInformationServer(small_environment)
+        client = EcoChargeClient(eis, EcoChargeConfig(k=3, radius_km=10.0))
+        client.plan_trip(sample_trip)
+        first = client.stats.snapshots_fetched
+        client.plan_trip(sample_trip)
+        assert client.stats.snapshots_fetched == first  # not accumulated
+
+
+class TestModes:
+    def test_all_modes_report(self, small_environment, sample_trip):
+        reports = compare_modes(
+            small_environment, sample_trip, EcoChargeConfig(k=3, radius_km=10.0)
+        )
+        assert set(reports) == set(DeploymentMode)
+        for report in reports.values():
+            assert report.segments == len(sample_trip.segments())
+            assert report.total_ms > 0
+
+    def test_server_mode_fastest_compute(self, small_environment, sample_trip):
+        config = EcoChargeConfig(k=3, radius_km=10.0)
+        server = simulate_mode(small_environment, sample_trip, DeploymentMode.SERVER, config)
+        edge = simulate_mode(small_environment, sample_trip, DeploymentMode.EDGE, config)
+        # Phone-class compute is slower than datacenter compute.
+        assert edge.compute_ms > server.compute_ms
+
+    def test_custom_latency_model(self, small_environment, sample_trip):
+        config = EcoChargeConfig(k=3, radius_km=10.0)
+        offline = LatencyModel(round_trip_ms=0.0, per_kb_ms=0.0, compute_factor=1.0)
+        report = simulate_mode(
+            small_environment, sample_trip, DeploymentMode.EMBEDDED, config, offline
+        )
+        assert report.network_ms == 0.0
+
+    def test_per_segment_ms(self, small_environment, sample_trip):
+        report = simulate_mode(
+            small_environment, sample_trip, DeploymentMode.SERVER,
+            EcoChargeConfig(k=3, radius_km=10.0),
+        )
+        assert report.per_segment_ms == pytest.approx(report.total_ms / report.segments)
+
+    def test_latency_models_defined_for_all_modes(self):
+        assert set(LATENCY_MODELS) == set(DeploymentMode)

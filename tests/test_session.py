@@ -1,0 +1,86 @@
+"""Charging-session simulator tests."""
+
+import pytest
+
+from repro.chargers.charger import Charger, PlugType, Vehicle
+from repro.chargers.registry import ChargerRegistry
+from repro.chargers.session import ChargingSessionSimulator
+from repro.estimation.sustainable import SustainableChargingEstimator
+from repro.estimation.weather import WeatherModel
+from repro.spatial.geometry import Point
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    chargers = [
+        Charger(0, Point(0, 0), 0, rate_kw=22.0, solar_capacity_kw=40.0),
+        Charger(1, Point(1, 0), 0, rate_kw=11.0, solar_capacity_kw=5.0),
+        Charger(2, Point(2, 0), 0, rate_kw=150.0, plug_type=PlugType.CCS,
+                solar_capacity_kw=50.0),
+    ]
+    registry = ChargerRegistry(chargers)
+    estimator = SustainableChargingEstimator(registry, WeatherModel(seed=0))
+    return ChargingSessionSimulator(estimator), registry
+
+
+def _vehicle(soc=0.5, battery=60.0):
+    return Vehicle(vehicle_id=0, battery_kwh=battery, state_of_charge=soc)
+
+
+class TestSession:
+    def test_midday_session_delivers_energy(self, simulator):
+        sim, registry = simulator
+        result = sim.simulate(registry.get(0), _vehicle(), start_h=12.0, duration_h=1.0)
+        assert result.energy_kwh > 0
+        assert result.final_soc > 0.5
+        assert result.co2_avoided_kg == pytest.approx(result.energy_kwh * 0.25)
+
+    def test_night_session_delivers_nothing(self, simulator):
+        sim, registry = simulator
+        result = sim.simulate(registry.get(0), _vehicle(), start_h=2.0, duration_h=1.0)
+        assert result.energy_kwh == 0.0
+        assert result.final_soc == pytest.approx(0.5)
+
+    def test_energy_bounded_by_plug_limit(self, simulator):
+        sim, registry = simulator
+        ev = _vehicle()
+        result = sim.simulate(registry.get(2), ev, start_h=12.0, duration_h=1.0)
+        # DC fast charger: bounded by the vehicle's 100 kW DC ceiling.
+        assert result.average_kw <= ev.max_dc_kw + 1e-9
+
+    def test_ac_session_bounded_by_ac_limit(self, simulator):
+        sim, registry = simulator
+        ev = _vehicle()
+        result = sim.simulate(registry.get(0), ev, start_h=12.0, duration_h=1.0)
+        assert result.average_kw <= ev.max_ac_kw + 1e-9
+
+    def test_full_battery_stops_early(self, simulator):
+        sim, registry = simulator
+        nearly_full = _vehicle(soc=0.995, battery=10.0)
+        result = sim.simulate(registry.get(2), nearly_full, start_h=12.0, duration_h=4.0)
+        assert result.final_soc == pytest.approx(1.0)
+        assert result.duration_h < 4.0
+
+    def test_curtailment_reported(self, simulator):
+        sim, registry = simulator
+        # Tiny battery at a big-solar site: most production is curtailed.
+        tiny = _vehicle(soc=0.9, battery=5.0)
+        result = sim.simulate(registry.get(0), tiny, start_h=12.0, duration_h=2.0)
+        assert result.curtailed_kwh > 0.0
+
+    def test_longer_session_never_less_energy(self, simulator):
+        sim, registry = simulator
+        short = sim.simulate(registry.get(0), _vehicle(), 11.0, 1.0)
+        long = sim.simulate(registry.get(0), _vehicle(), 11.0, 3.0)
+        assert long.energy_kwh >= short.energy_kwh - 1e-9
+
+    def test_duration_validation(self, simulator):
+        sim, registry = simulator
+        with pytest.raises(ValueError):
+            sim.simulate(registry.get(0), _vehicle(), 12.0, 0.0)
+
+    def test_soc_never_exceeds_one(self, simulator):
+        sim, registry = simulator
+        result = sim.simulate(registry.get(2), _vehicle(soc=0.98, battery=20.0),
+                              start_h=13.0, duration_h=3.0)
+        assert result.final_soc <= 1.0

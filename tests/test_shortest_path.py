@@ -1,0 +1,186 @@
+"""Shortest-path algorithm tests: Dijkstra variants, A*, bidirectional."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network.builders import NetworkSpec, build_city_network, build_grid_network
+from repro.network.graph import EdgeWeight, RoadNetwork
+from repro.network.shortest_path import (
+    NoPathError,
+    astar,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_all,
+    dijkstra_all_backward,
+    dijkstra_to_targets,
+    path_cost,
+)
+from repro.spatial.geometry import Point
+
+
+@pytest.fixture(scope="module")
+def city():
+    return build_city_network(NetworkSpec(width_km=14, height_km=11, seed=17))
+
+
+class TestDijkstra:
+    def test_grid_manhattan_distance(self, unit_grid):
+        # Corner to corner of a 6x6 unit grid: 5 + 5 = 10 km.
+        result = dijkstra(unit_grid, 0, 35)
+        assert result.cost == pytest.approx(10.0)
+        assert result.hops == 10
+
+    def test_path_endpoints(self, unit_grid):
+        result = dijkstra(unit_grid, 0, 35)
+        assert result.nodes[0] == 0 and result.nodes[-1] == 35
+
+    def test_path_edges_exist(self, unit_grid):
+        result = dijkstra(unit_grid, 3, 32)
+        for a, b in zip(result.nodes, result.nodes[1:]):
+            assert unit_grid.has_edge(a, b)
+
+    def test_source_equals_target(self, unit_grid):
+        result = dijkstra(unit_grid, 4, 4)
+        assert result.cost == 0.0 and result.nodes == (4,)
+
+    def test_no_path_raises(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(5, 0))
+        with pytest.raises(NoPathError):
+            dijkstra(net, 0, 1)
+
+    def test_negative_cost_rejected(self, unit_grid):
+        with pytest.raises(ValueError):
+            dijkstra(unit_grid, 0, 35, weight=lambda e: -1.0)
+
+    def test_custom_cost_function(self, unit_grid):
+        doubled = dijkstra(unit_grid, 0, 35, weight=lambda e: 2 * e.length_km)
+        assert doubled.cost == pytest.approx(20.0)
+
+    def test_path_cost_consistency(self, unit_grid):
+        result = dijkstra(unit_grid, 0, 35)
+        assert path_cost(unit_grid, result.nodes) == pytest.approx(result.cost)
+
+
+class TestSingleSourceVariants:
+    def test_all_distances_include_source(self, unit_grid):
+        dist = dijkstra_all(unit_grid, 0)
+        assert dist[0] == 0.0
+        assert len(dist) == unit_grid.node_count
+
+    def test_all_matches_pointwise(self, city):
+        dist = dijkstra_all(city, 0)
+        rng = np.random.default_rng(0)
+        for target in rng.choice(list(city.node_ids()), size=10, replace=False):
+            assert dist[int(target)] == pytest.approx(dijkstra(city, 0, int(target)).cost)
+
+    def test_max_cost_prunes(self, unit_grid):
+        dist = dijkstra_all(unit_grid, 0, max_cost=2.0)
+        assert all(d <= 2.0 for d in dist.values())
+        assert len(dist) < unit_grid.node_count
+
+    def test_backward_equals_forward_on_symmetric_graph(self, unit_grid):
+        # Roads are symmetric, so distance to == distance from.
+        forward = dijkstra_all(unit_grid, 17)
+        backward = dijkstra_all_backward(unit_grid, 17)
+        assert forward == pytest.approx(backward)
+
+    def test_backward_on_one_way(self):
+        net = RoadNetwork()
+        for i in range(3):
+            net.add_node(i, Point(i, 0))
+        net.add_edge(0, 1)
+        net.add_edge(1, 2)
+        to_2 = dijkstra_all_backward(net, 2)
+        assert to_2 == {2: 0.0, 1: 1.0, 0: 2.0}
+        assert dijkstra_all(net, 2) == {2: 0.0}  # nothing reachable from 2
+
+    def test_to_targets_early_exit(self, city):
+        nodes = list(city.node_ids())
+        targets = nodes[5:10]
+        found = dijkstra_to_targets(city, nodes[0], targets)
+        assert set(found) == set(targets)
+        full = dijkstra_all(city, nodes[0])
+        for t in targets:
+            assert found[t] == pytest.approx(full[t])
+
+    def test_to_targets_empty(self, city):
+        assert dijkstra_to_targets(city, 0, []) == {}
+
+    def test_to_targets_respects_budget(self, unit_grid):
+        found = dijkstra_to_targets(unit_grid, 0, [35], max_cost=3.0)
+        assert found == {}  # node 35 is 10 km away
+
+
+class TestAStar:
+    def test_matches_dijkstra_distance(self, city):
+        nodes = list(city.node_ids())
+        rng = np.random.default_rng(1)
+        for __ in range(10):
+            s, t = rng.choice(nodes, size=2, replace=False)
+            a = astar(city, int(s), int(t), EdgeWeight.DISTANCE_KM)
+            d = dijkstra(city, int(s), int(t), EdgeWeight.DISTANCE_KM)
+            assert a.cost == pytest.approx(d.cost)
+
+    def test_matches_dijkstra_travel_time(self, city):
+        nodes = list(city.node_ids())
+        rng = np.random.default_rng(2)
+        for __ in range(10):
+            s, t = rng.choice(nodes, size=2, replace=False)
+            a = astar(city, int(s), int(t), EdgeWeight.TRAVEL_TIME_H)
+            d = dijkstra(city, int(s), int(t), EdgeWeight.TRAVEL_TIME_H)
+            assert a.cost == pytest.approx(d.cost)
+
+    def test_energy_weight_degrades_to_dijkstra(self, city):
+        a = astar(city, 0, list(city.node_ids())[-1], EdgeWeight.ENERGY_KWH)
+        d = dijkstra(city, 0, list(city.node_ids())[-1], EdgeWeight.ENERGY_KWH)
+        assert a.cost == pytest.approx(d.cost)
+
+    def test_no_path_raises(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(5, 0))
+        with pytest.raises(NoPathError):
+            astar(net, 0, 1)
+
+
+class TestBidirectional:
+    def test_matches_dijkstra(self, city):
+        nodes = list(city.node_ids())
+        rng = np.random.default_rng(3)
+        for __ in range(10):
+            s, t = rng.choice(nodes, size=2, replace=False)
+            b = bidirectional_dijkstra(city, int(s), int(t))
+            d = dijkstra(city, int(s), int(t))
+            assert b.cost == pytest.approx(d.cost)
+
+    def test_path_is_valid(self, city):
+        nodes = list(city.node_ids())
+        result = bidirectional_dijkstra(city, nodes[0], nodes[-1])
+        assert result.nodes[0] == nodes[0] and result.nodes[-1] == nodes[-1]
+        assert path_cost(city, result.nodes) == pytest.approx(result.cost)
+
+    def test_trivial_query(self, city):
+        assert bidirectional_dijkstra(city, 0, 0).cost == 0.0
+
+    def test_no_path_raises(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(5, 0))
+        with pytest.raises(NoPathError):
+            bidirectional_dijkstra(net, 0, 1)
+
+    def test_asymmetric_costs(self):
+        """Directed triangle with asymmetric weights still resolves."""
+        net = RoadNetwork()
+        for i, p in enumerate([Point(0, 0), Point(1, 0), Point(0.5, 1)]):
+            net.add_node(i, p)
+        net.add_edge(0, 1, length_km=10.0)
+        net.add_edge(0, 2, length_km=1.0)
+        net.add_edge(2, 1, length_km=1.0)
+        result = bidirectional_dijkstra(net, 0, 1)
+        assert result.cost == pytest.approx(2.0)
+        assert result.nodes == (0, 2, 1)

@@ -1,0 +1,174 @@
+"""Fleet-simulation tests: vehicle lifecycle, event log, energy accounting."""
+
+import pytest
+
+from repro.chargers.charger import Vehicle
+from repro.core.ecocharge import EcoChargeConfig
+from repro.network.path import Trip
+from repro.simulation.events import EventKind, EventLog
+from repro.simulation.fleet import (
+    FleetSimulation,
+    SimulationConfig,
+    VehiclePhase,
+)
+
+
+@pytest.fixture(scope="module")
+def sim_config():
+    return SimulationConfig(ecocharge=EcoChargeConfig(k=3, radius_km=12.0))
+
+
+@pytest.fixture()
+def single_trip(small_environment):
+    nodes = sorted(small_environment.network.node_ids())
+    return [Trip.route(small_environment.network, nodes[0], nodes[-1], 10.0)]
+
+
+class TestEventLog:
+    def test_time_ordering_enforced(self):
+        log = EventLog()
+        log.record(1.0, 0, EventKind.DEPARTED)
+        with pytest.raises(ValueError):
+            log.record(0.5, 0, EventKind.ARRIVED)
+
+    def test_queries(self):
+        log = EventLog()
+        log.record(1.0, 0, EventKind.DEPARTED)
+        log.record(1.0, 1, EventKind.DEPARTED)
+        log.record(2.0, 0, EventKind.ARRIVED)
+        assert log.count(EventKind.DEPARTED) == 2
+        assert len(log.for_vehicle(0)) == 2
+        assert [e.kind for e in log.of_kind(EventKind.ARRIVED)] == [EventKind.ARRIVED]
+        assert len(log) == 3
+
+
+class TestSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(step_h=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(charge_below_soc=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(idle_duration_h=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(max_sim_hours=0.0)
+
+
+class TestFleetSimulation:
+    def test_needs_trips(self, small_environment, sim_config):
+        with pytest.raises(ValueError):
+            FleetSimulation(small_environment, [], sim_config)
+
+    def test_vehicle_count_must_match(self, small_environment, single_trip, sim_config):
+        with pytest.raises(ValueError):
+            FleetSimulation(
+                small_environment, single_trip, sim_config,
+                vehicles=[Vehicle(0), Vehicle(1)],
+            )
+
+    def test_full_battery_drives_straight_through(
+        self, small_environment, single_trip, sim_config
+    ):
+        """A vehicle above the charge threshold never deroutes."""
+        sim = FleetSimulation(
+            small_environment, single_trip, sim_config,
+            vehicles=[Vehicle(0, state_of_charge=0.95)],
+        )
+        report = sim.run()
+        assert report.outcomes[0].phase is VehiclePhase.ARRIVED
+        assert report.events.count(EventKind.DEROUTE_STARTED) == 0
+        assert report.outcomes[0].clean_kwh == 0.0
+
+    def test_low_battery_triggers_charging_lifecycle(
+        self, small_environment, single_trip, sim_config
+    ):
+        sim = FleetSimulation(
+            small_environment, single_trip, sim_config,
+            vehicles=[Vehicle(0, state_of_charge=0.35)],
+        )
+        report = sim.run()
+        events = [e.kind for e in report.events.for_vehicle(0)]
+        assert events[0] is EventKind.DEPARTED
+        assert EventKind.DEROUTE_STARTED in events
+        assert EventKind.CHARGING_STARTED in events
+        assert EventKind.CHARGING_FINISHED in events
+        assert events[-1] is EventKind.ARRIVED
+        # Lifecycle ordering.
+        assert events.index(EventKind.DEROUTE_STARTED) < events.index(
+            EventKind.CHARGING_STARTED
+        )
+        assert events.index(EventKind.CHARGING_STARTED) < events.index(
+            EventKind.CHARGING_FINISHED
+        )
+
+    def test_energy_accounting_consistent(
+        self, small_environment, single_trip, sim_config
+    ):
+        vehicle = Vehicle(0, state_of_charge=0.35)
+        sim = FleetSimulation(small_environment, single_trip, sim_config, [vehicle])
+        report = sim.run()
+        outcome = report.outcomes[0]
+        start_kwh = vehicle.battery_kwh * vehicle.state_of_charge
+        final_kwh = vehicle.battery_kwh * outcome.final_soc
+        # start - driven + charged == final (no other sources/sinks).
+        assert final_kwh == pytest.approx(
+            start_kwh - outcome.drive_kwh + outcome.clean_kwh, abs=1e-6
+        )
+
+    def test_daylight_charging_gains_energy(
+        self, small_environment, single_trip, sim_config
+    ):
+        sim = FleetSimulation(
+            small_environment, single_trip, sim_config,
+            vehicles=[Vehicle(0, state_of_charge=0.35)],
+        )
+        report = sim.run()
+        assert report.total_clean_kwh > 0.0
+
+    def test_deterministic(self, small_environment, single_trip, sim_config):
+        def run():
+            sim = FleetSimulation(
+                small_environment, single_trip, sim_config,
+                vehicles=[Vehicle(0, state_of_charge=0.35)],
+            )
+            report = sim.run()
+            return [(e.time_h, e.vehicle_id, e.kind) for e in report.events]
+
+        assert run() == run()
+
+    def test_tiny_battery_strands(self, small_environment, single_trip, sim_config):
+        """A vehicle that cannot reach anything runs flat and strands."""
+        hopeless = Vehicle(0, battery_kwh=0.2, state_of_charge=0.1)
+        sim = FleetSimulation(small_environment, single_trip, sim_config, [hopeless])
+        report = sim.run()
+        assert report.outcomes[0].phase is VehiclePhase.STRANDED
+        assert report.events.count(EventKind.BATTERY_EMPTY) == 1
+
+    def test_multi_vehicle_fleet(self, small_environment, sim_config):
+        nodes = sorted(small_environment.network.node_ids())
+        trips = [
+            Trip.route(small_environment.network, nodes[0], nodes[-1], 10.0),
+            Trip.route(small_environment.network, nodes[-1], nodes[0], 10.2),
+            Trip.route(small_environment.network, nodes[3], nodes[-4], 10.4),
+        ]
+        sim = FleetSimulation(small_environment, trips, sim_config)
+        report = sim.run()
+        assert len(report.outcomes) == 3
+        assert report.events.count(EventKind.DEPARTED) == 3
+
+    def test_offers_counted(self, small_environment, single_trip, sim_config):
+        sim = FleetSimulation(
+            small_environment, single_trip, sim_config,
+            vehicles=[Vehicle(0, state_of_charge=0.95)],
+        )
+        report = sim.run()
+        # A through-driving vehicle replans every interval along the trip.
+        assert report.outcomes[0].offers_generated >= 2
+
+    def test_horizon_caps_runtime(self, small_environment, single_trip):
+        config = SimulationConfig(
+            max_sim_hours=0.02, ecocharge=EcoChargeConfig(k=3, radius_km=12.0)
+        )
+        sim = FleetSimulation(small_environment, single_trip, config)
+        report = sim.run()
+        assert report.simulated_until_h <= 10.0 + 0.02 + config.step_h

@@ -1,0 +1,72 @@
+"""Terminal chart rendering tests."""
+
+import pytest
+
+from repro.ui.sparkline import bar_chart, series_table, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line)
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_extremes_hit_first_and_last_glyph(self):
+        line = sparkline([0.0, 100.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart({}) == ""
+
+    def test_one_row_per_label(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0})
+        assert len(chart.splitlines()) == 2
+
+    def test_max_fills_width(self):
+        chart = bar_chart({"big": 10.0, "small": 5.0}, width=10)
+        lines = {l.split()[0]: l for l in chart.splitlines()}
+        assert lines["big"].count("█") == 10
+        assert lines["small"].count("█") == 5
+
+    def test_values_printed(self):
+        assert "12.5ms" in bar_chart({"x": 12.5}, unit="ms")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({"x": 1.0}, width=0)
+
+    def test_all_zero(self):
+        chart = bar_chart({"x": 0.0}, width=5)
+        assert "█" not in chart
+
+
+class TestSeriesTable:
+    def test_empty(self):
+        assert series_table({}) == ""
+
+    def test_shows_first_and_last(self):
+        table = series_table({"ft": [10.0, 20.0, 30.0]})
+        assert "10.0 → 30.0" in table
+
+    def test_empty_series_marked(self):
+        assert "(empty)" in series_table({"x": []})
+
+    def test_alignment(self):
+        table = series_table({"a": [1.0], "longer": [2.0]})
+        lines = table.splitlines()
+        assert lines[0].index("▄") == lines[1].index("▄")

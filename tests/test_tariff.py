@@ -1,0 +1,71 @@
+"""Time-of-use tariff tests (the smart-grid extension substrate)."""
+
+import pytest
+
+from repro.estimation.tariff import TariffBand, TariffEstimator, TimeOfUseTariff
+
+
+class TestTimeOfUseTariff:
+    TARIFF = TimeOfUseTariff()
+
+    def test_weekday_bands(self):
+        assert self.TARIFF.band_at(3.0) is TariffBand.OFF_PEAK  # Monday 03:00
+        assert self.TARIFF.band_at(10.0) is TariffBand.SHOULDER
+        assert self.TARIFF.band_at(18.0) is TariffBand.PEAK
+        assert self.TARIFF.band_at(23.0) is TariffBand.OFF_PEAK
+
+    def test_weekend_flattened(self):
+        saturday_evening = 5 * 24 + 18.0
+        assert self.TARIFF.band_at(saturday_evening) is TariffBand.SHOULDER
+
+    def test_prices_match_bands(self):
+        assert self.TARIFF.price_at(3.0) == self.TARIFF.off_peak_eur
+        assert self.TARIFF.price_at(18.0) == self.TARIFF.peak_eur
+        assert self.TARIFF.price_at(10.0) == self.TARIFF.shoulder_eur
+
+    def test_weekly_wraparound(self):
+        assert self.TARIFF.price_at(18.0) == self.TARIFF.price_at(7 * 24 + 18.0)
+
+    def test_window_price_hull(self):
+        # 16:00-18:00 spans shoulder into peak.
+        envelope = self.TARIFF.window_price(16.0, 18.0)
+        assert envelope.lo == self.TARIFF.shoulder_eur
+        assert envelope.hi == self.TARIFF.peak_eur
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            self.TARIFF.window_price(10.0, 9.0)
+
+    def test_price_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            TimeOfUseTariff(off_peak_eur=0.5, shoulder_eur=0.3, peak_eur=0.4)
+
+
+class TestTariffEstimator:
+    def test_normalised_unit_range(self):
+        estimator = TariffEstimator()
+        for eta in (3.0, 10.0, 18.0, 23.0):
+            interval = estimator.estimate(eta, now_h=2.0)
+            assert 0.0 <= interval.lo <= interval.hi <= 1.0
+
+    def test_peak_costs_more_than_off_peak(self):
+        estimator = TariffEstimator()
+        peak = estimator.estimate(18.0, now_h=17.5)
+        off = estimator.estimate(3.0, now_h=2.5)
+        assert peak.midpoint > off.midpoint
+
+    def test_horizon_widens(self):
+        estimator = TariffEstimator()
+        near = estimator.estimate(18.0, now_h=17.0)
+        far = estimator.estimate(18.0 + 96.0, now_h=17.0)
+        assert far.width >= near.width
+
+    def test_zero_horizon_tight(self):
+        estimator = TariffEstimator()
+        interval = estimator.estimate(10.0, now_h=10.0)
+        # Shoulder only within the 1-hour window on a weekday morning.
+        assert interval.is_exact
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            TariffEstimator().estimate(10.0, 9.0, window_h=0.0)

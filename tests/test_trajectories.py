@@ -1,0 +1,238 @@
+"""Trajectory substrate tests: traces, Brinkhoff generator, GPS pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.network.builders import build_grid_network
+from repro.network.path import Trip
+from repro.spatial.geometry import Point
+from repro.trajectories.brinkhoff import (
+    DEFAULT_CLASSES,
+    GeneratorSpec,
+    ObjectClass,
+    generate_dataset,
+    generate_trip,
+    trip_to_trajectory,
+)
+from repro.trajectories.gps import GpsNoiseSpec, MapMatcher, degrade
+from repro.trajectories.trajectory import Trajectory, TrajectoryDataset, TrajectoryPoint
+
+
+def _fixes(*pairs):
+    return tuple(TrajectoryPoint(t, Point(x, y)) for t, (x, y) in pairs)
+
+
+class TestTrajectory:
+    TRACE = Trajectory(
+        1, _fixes((0.0, (0, 0)), (1.0, (4, 0)), (2.0, (4, 3)))
+    )
+
+    def test_length_and_duration(self):
+        assert self.TRACE.length_km == pytest.approx(7.0)
+        assert self.TRACE.duration_h == 2.0
+
+    def test_average_speed(self):
+        assert self.TRACE.average_speed_kmh() == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(1, ())
+
+    def test_unordered_times_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(1, _fixes((1.0, (0, 0)), (0.5, (1, 1))))
+
+    def test_position_interpolation(self):
+        assert self.TRACE.position_at(0.5) == Point(2.0, 0.0)
+        assert self.TRACE.position_at(1.5) == Point(4.0, 1.5)
+
+    def test_position_clamps(self):
+        assert self.TRACE.position_at(-1.0) == Point(0, 0)
+        assert self.TRACE.position_at(99.0) == Point(4, 3)
+
+    def test_sliced(self):
+        part = self.TRACE.sliced(0.5, 1.5)
+        assert part.start_time_h >= 0.5 and part.end_time_h <= 1.5
+        assert len(part) == 1  # only the 1.0 fix lies fully inside
+
+    def test_sliced_empty_window_keeps_interpolated_fix(self):
+        part = self.TRACE.sliced(0.25, 0.30)
+        assert len(part) == 1
+        assert part.fixes[0].time_h == 0.25
+
+    def test_sliced_validation(self):
+        with pytest.raises(ValueError):
+            self.TRACE.sliced(2.0, 1.0)
+
+    def test_instantaneous_speed_zero(self):
+        single = Trajectory(1, _fixes((1.0, (0, 0))))
+        assert single.average_speed_kmh() == 0.0
+
+
+class TestTrajectoryDataset:
+    def test_aggregates(self):
+        ds = TrajectoryDataset(
+            "x",
+            (
+                Trajectory(0, _fixes((0.0, (0, 0)), (1.0, (3, 4)))),
+                Trajectory(1, _fixes((0.0, (0, 0)), (1.0, (0, 1)))),
+            ),
+        )
+        assert len(ds) == 2
+        assert ds.total_points() == 4
+        assert ds.total_length_km() == pytest.approx(6.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryDataset("x", ())
+
+    def test_sample_deterministic(self):
+        trajectories = tuple(
+            Trajectory(i, _fixes((0.0, (i, 0)))) for i in range(20)
+        )
+        ds = TrajectoryDataset("x", trajectories)
+        a = ds.sample(5, seed=1)
+        b = ds.sample(5, seed=1)
+        assert [t.object_id for t in a] == [t.object_id for t in b]
+        assert len(a) == 5
+
+    def test_sample_larger_than_size_is_identity(self):
+        ds = TrajectoryDataset("x", (Trajectory(0, _fixes((0.0, (0, 0)))),))
+        assert ds.sample(10) is ds
+
+
+class TestBrinkhoffGenerator:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return build_grid_network(8, 8, block_km=1.0, speed_kmh=50.0)
+
+    def test_generate_trip_min_length(self, grid):
+        rng = np.random.default_rng(0)
+        trip = generate_trip(grid, rng, min_trip_km=5.0, departure_time_h=9.0)
+        assert trip.length_km >= 5.0
+
+    def test_trip_to_trajectory_times(self, grid):
+        trip = Trip.route(grid, 0, 63, departure_time_h=9.0)
+        trace = trip_to_trajectory(trip, object_id=3, report_interval_h=1 / 60)
+        assert trace.start_time_h == 9.0
+        # 14 km at 50 km/h.
+        assert trace.duration_h == pytest.approx(14.0 / 50.0)
+        assert trace.node_path == trip.node_ids
+
+    def test_speed_factor_scales_duration(self, grid):
+        trip = Trip.route(grid, 0, 63)
+        slow = trip_to_trajectory(trip, 0, speed_factor=0.5)
+        fast = trip_to_trajectory(trip, 0, speed_factor=2.0)
+        assert slow.duration_h == pytest.approx(4 * fast.duration_h)
+
+    def test_trajectory_follows_network(self, grid):
+        trip = Trip.route(grid, 0, 63)
+        trace = trip_to_trajectory(trip, 0)
+        assert trace.fixes[0].point == grid.node(0).point
+        assert trace.fixes[-1].point == grid.node(63).point
+
+    def test_report_interval_densifies(self, grid):
+        trip = Trip.route(grid, 0, 63)
+        sparse = trip_to_trajectory(trip, 0, report_interval_h=1 / 10)
+        dense = trip_to_trajectory(trip, 0, report_interval_h=1 / 120)
+        assert len(dense) > len(sparse)
+
+    def test_dataset_generation_deterministic(self, grid):
+        spec = GeneratorSpec(object_count=5, seed=3)
+        a = generate_dataset(grid, spec)
+        b = generate_dataset(grid, spec)
+        assert [t.node_path for t in a] == [t.node_path for t in b]
+
+    def test_dataset_object_ids(self, grid):
+        ds = generate_dataset(grid, GeneratorSpec(object_count=6, seed=1))
+        assert [t.object_id for t in ds] == list(range(6))
+
+    def test_class_shares_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec(classes=(ObjectClass("a", 1.0, 0.5),))
+
+    def test_object_class_validation(self):
+        with pytest.raises(ValueError):
+            ObjectClass("bad", 0.0, 1.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec(object_count=0)
+        with pytest.raises(ValueError):
+            GeneratorSpec(report_interval_h=0.0)
+
+    def test_default_classes_sum_to_one(self):
+        assert sum(c.share for c in DEFAULT_CLASSES) == pytest.approx(1.0)
+
+
+class TestGpsPipeline:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return build_grid_network(8, 8, block_km=1.0, speed_kmh=50.0)
+
+    @pytest.fixture(scope="class")
+    def clean(self, grid):
+        trip = Trip.route(grid, 0, 63, departure_time_h=9.0)
+        return trip_to_trajectory(trip, object_id=0, report_interval_h=1 / 60)
+
+    def test_degrade_preserves_endpoints_in_time(self, clean):
+        noisy = degrade(clean, GpsNoiseSpec(seed=1))
+        assert noisy.start_time_h == clean.start_time_h
+        assert noisy.end_time_h == clean.end_time_h
+
+    def test_degrade_adds_noise(self, clean):
+        noisy = degrade(clean, GpsNoiseSpec(position_std_km=0.05, drop_rate=0.0, seed=1))
+        moved = [
+            a.point.distance_to(b.point)
+            for a, b in zip(clean.fixes, noisy.fixes)
+        ]
+        assert max(moved) > 0.0
+
+    def test_degrade_deterministic(self, clean):
+        spec = GpsNoiseSpec(seed=5)
+        assert degrade(clean, spec).fixes == degrade(clean, spec).fixes
+
+    def test_drop_rate_thins(self, clean):
+        thinned = degrade(clean, GpsNoiseSpec(drop_rate=0.5, seed=2))
+        assert len(thinned) < len(clean)
+
+    def test_resampling_changes_cadence(self, clean):
+        resampled = degrade(
+            clean, GpsNoiseSpec(resample_interval_h=1 / 20, drop_rate=0.0, seed=1)
+        )
+        gaps = [
+            b.time_h - a.time_h for a, b in zip(resampled.fixes, resampled.fixes[1:])
+        ]
+        assert max(gaps) <= 1 / 20 + 1e-9
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GpsNoiseSpec(position_std_km=-1.0)
+        with pytest.raises(ValueError):
+            GpsNoiseSpec(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            GpsNoiseSpec(resample_interval_h=0.0)
+
+    def test_map_matcher_snaps_to_nearest(self, grid):
+        matcher = MapMatcher(grid)
+        assert matcher.match_point(Point(3.1, 2.05)) == grid.nearest_node(
+            Point(3.1, 2.05)
+        ).node_id
+
+    def test_match_recovers_clean_path(self, grid, clean):
+        matcher = MapMatcher(grid)
+        matched = matcher.match(clean)
+        assert matched[0] == clean.node_path[0]
+        assert matched[-1] == clean.node_path[-1]
+
+    def test_match_to_path_is_routable(self, grid, clean):
+        noisy = degrade(clean, GpsNoiseSpec(position_std_km=0.03, drop_rate=0.2, seed=3))
+        matcher = MapMatcher(grid)
+        path = matcher.match_to_path(noisy)
+        assert len(path) >= 2
+        for a, b in zip(path, path[1:]):
+            assert grid.has_edge(a, b)
+
+    def test_matcher_validation(self, grid):
+        with pytest.raises(ValueError):
+            MapMatcher(grid, candidate_k=0)

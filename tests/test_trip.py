@@ -1,0 +1,142 @@
+"""Trip and segmentation tests (Step 1 of the EcoCharge pipeline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.builders import build_grid_network
+from repro.network.graph import EdgeWeight
+from repro.network.path import Trip, resample_polyline
+from repro.spatial.geometry import Point, polyline_length
+
+
+@pytest.fixture(scope="module")
+def long_trip(unit_grid):
+    """Corner-to-corner trip on the 6x6 unit grid (10 km)."""
+    return Trip.route(unit_grid, 0, 35, departure_time_h=9.0)
+
+
+class TestTrip:
+    def test_route_is_shortest(self, long_trip):
+        assert long_trip.length_km == pytest.approx(10.0)
+
+    def test_invalid_edge_rejected(self, unit_grid):
+        with pytest.raises(ValueError):
+            Trip(unit_grid, (0, 7))  # diagonal, no such edge
+
+    def test_empty_trip_rejected(self, unit_grid):
+        with pytest.raises(ValueError):
+            Trip(unit_grid, ())
+
+    def test_single_node_trip(self, unit_grid):
+        trip = Trip(unit_grid, (4,))
+        assert trip.length_km == 0.0
+        assert len(trip.segments()) == 1
+
+    def test_points_match_nodes(self, long_trip, unit_grid):
+        assert long_trip.points[0] == unit_grid.node(0).point
+        assert long_trip.points[-1] == unit_grid.node(35).point
+
+    def test_travel_time(self, long_trip):
+        # 10 km at 60 km/h.
+        assert long_trip.travel_time_h() == pytest.approx(10.0 / 60.0)
+
+    def test_route_by_travel_time(self, unit_grid):
+        trip = Trip.route(unit_grid, 0, 35, weight=EdgeWeight.TRAVEL_TIME_H)
+        assert trip.length_km == pytest.approx(10.0)  # uniform speeds: same path cost
+
+    def test_eta_at_offset(self, long_trip):
+        assert long_trip.eta_at_offset_h(0.0) == 9.0
+        assert long_trip.eta_at_offset_h(20.0, average_speed_kmh=40.0) == pytest.approx(9.5)
+
+    def test_eta_rejects_bad_speed(self, long_trip):
+        with pytest.raises(ValueError):
+            long_trip.eta_at_offset_h(1.0, average_speed_kmh=0.0)
+
+
+class TestSegmentation:
+    def test_segments_cover_whole_trip(self, long_trip):
+        segments = long_trip.segments(3.0)
+        assert segments[0].node_ids[0] == long_trip.source
+        assert segments[-1].node_ids[-1] == long_trip.destination
+        assert sum(s.length_km for s in segments) == pytest.approx(long_trip.length_km)
+
+    def test_consecutive_segments_share_boundary(self, long_trip):
+        segments = long_trip.segments(3.0)
+        for a, b in zip(segments, segments[1:]):
+            assert a.node_ids[-1] == b.node_ids[0]  # the split points SL
+
+    def test_segment_lengths_near_target(self, long_trip):
+        segments = long_trip.segments(3.0)
+        # All but the last segment reach the target length (edges are 1 km).
+        for segment in segments[:-1]:
+            assert segment.length_km >= 3.0
+            assert segment.length_km < 3.0 + 1.0 + 1e-9
+
+    def test_offsets_are_cumulative(self, long_trip):
+        segments = long_trip.segments(3.0)
+        offset = 0.0
+        for segment in segments:
+            assert segment.start_offset_km == pytest.approx(offset)
+            offset += segment.length_km
+            assert segment.end_offset_km == pytest.approx(offset)
+
+    def test_indexes_sequential(self, long_trip):
+        segments = long_trip.segments(3.0)
+        assert [s.index for s in segments] == list(range(len(segments)))
+
+    def test_large_segment_km_yields_single_segment(self, long_trip):
+        segments = long_trip.segments(1000.0)
+        assert len(segments) == 1
+        assert segments[0].length_km == pytest.approx(long_trip.length_km)
+
+    def test_invalid_segment_km(self, long_trip):
+        with pytest.raises(ValueError):
+            long_trip.segments(0.0)
+
+    def test_midpoint_lies_on_segment(self, long_trip):
+        for segment in long_trip.segments(3.0):
+            mid = segment.midpoint
+            # Midpoint must be within the segment's bounding polyline.
+            dmin = min(mid.distance_to(p) for p in segment.points)
+            assert dmin <= segment.length_km / 2 + 1e-9
+
+    def test_anchor_node_is_on_segment(self, long_trip):
+        for segment in long_trip.segments(3.0):
+            assert segment.anchor_node in segment.node_ids
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=20.0))
+    def test_property_coverage_any_segment_length(self, segment_km):
+        grid = build_grid_network(5, 5, block_km=1.3)
+        trip = Trip.route(grid, 0, 24)
+        segments = trip.segments(segment_km)
+        assert sum(s.length_km for s in segments) == pytest.approx(trip.length_km)
+        assert segments[-1].node_ids[-1] == trip.destination
+
+
+class TestResamplePolyline:
+    def test_endpoints_preserved(self):
+        pts = [Point(0, 0), Point(4, 0), Point(4, 4)]
+        out = resample_polyline(pts, 1.0)
+        assert out[0] == pts[0] and out[-1] == pts[-1]
+
+    def test_spacing_roughly_uniform(self):
+        pts = [Point(0, 0), Point(10, 0)]
+        out = resample_polyline(pts, 2.0)
+        gaps = [a.distance_to(b) for a, b in zip(out, out[1:])]
+        assert all(g == pytest.approx(2.0, abs=1e-6) for g in gaps)
+
+    def test_degenerate_inputs(self):
+        assert resample_polyline([], 1.0) == []
+        assert resample_polyline([Point(1, 1)], 1.0) == [Point(1, 1)]
+        assert resample_polyline([Point(1, 1), Point(1, 1)], 1.0) == [Point(1, 1)]
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            resample_polyline([Point(0, 0), Point(1, 0)], 0.0)
+
+    def test_total_length_preserved(self):
+        pts = [Point(0, 0), Point(3, 4), Point(6, 0)]
+        out = resample_polyline(pts, 0.7)
+        assert polyline_length(out) == pytest.approx(polyline_length(pts), rel=1e-6)
