@@ -1,0 +1,58 @@
+"""``repro.analysis`` — domain-aware static analysis + runtime contracts.
+
+The machine-checked guardrails for the paper's invariants (see
+``docs/static_analysis.md``):
+
+* :mod:`repro.analysis.rules` — the six ``repro-check`` rules R1-R6
+  (interval-endpoint comparisons, metric consistency, dataclass slots,
+  mutable defaults, cache expiry, exception hygiene).
+* :mod:`repro.analysis.engine` — AST walking, suppression pragmas,
+  reporting.
+* :mod:`repro.analysis.annotations` — the offline strict-annotation gate
+  (mypy's ``disallow_untyped_defs`` subset, always available).
+* :mod:`repro.analysis.contracts` — ``@require``/``@ensure`` runtime
+  contracts, enabled with ``REPRO_CONTRACTS=1``.
+
+CLI: ``python -m repro.analysis src/repro tests`` or the ``repro-check``
+console script.  This package is stdlib-only by design.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from .annotations import check_annotations
+from .engine import AnalysisError, AnalysisReport, Analyzer, SourceFile, Violation
+from .rules import ALL_RULES, RULES_BY_ID, select_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisError",
+    "AnalysisReport",
+    "Analyzer",
+    "RULES_BY_ID",
+    "SourceFile",
+    "Violation",
+    "check_annotations",
+    "check_paths",
+    "check_source",
+    "select_rules",
+]
+
+
+def check_paths(
+    paths: Sequence[str | Path], rule_ids: Sequence[str] | None = None
+) -> AnalysisReport:
+    """Run ``repro-check`` over files/directories and return the report."""
+    analyzer = Analyzer(select_rules(rule_ids))
+    return analyzer.check_paths([Path(p) for p in paths])
+
+
+def check_source(
+    source: str, rel_path: str = "<snippet>.py", rule_ids: Sequence[str] | None = None
+) -> list[Violation]:
+    """Run ``repro-check`` over an in-memory snippet (fixture-test entry
+    point).  ``rel_path`` controls which path-scoped rules apply."""
+    analyzer = Analyzer(select_rules(rule_ids))
+    return analyzer.check_source(source, rel_path=rel_path)

@@ -1,0 +1,105 @@
+"""``repro-check`` — the command-line front end of :mod:`repro.analysis`.
+
+Usage::
+
+    python -m repro.analysis src/repro tests
+    repro-check --select R1,R4 src/repro
+    repro-check --format json --annotations src/repro
+
+Exit codes: 0 clean, 1 violations found, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .annotations import check_annotations
+from .engine import AnalysisError, Analyzer
+from .rules import ALL_RULES, select_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description=(
+            "Domain-aware static analysis for the EcoCharge reproduction: "
+            "interval, metric, and cache safety rules R1-R6."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (e.g. R1,R4); default: all",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--annotations",
+        action="store_true",
+        help="also run the strict-annotation (TYP) check on the same paths",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.name:<20} {rule.description}")
+        return 0
+
+    try:
+        rule_ids = (
+            [token.strip() for token in options.select.split(",") if token.strip()]
+            if options.select
+            else None
+        )
+        rules = select_rules(rule_ids)
+    except KeyError as exc:
+        print(f"repro-check: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in options.paths]
+    analyzer = Analyzer(rules)
+    try:
+        report = analyzer.check_paths(paths)
+    except AnalysisError as exc:
+        print(f"repro-check: {exc}", file=sys.stderr)
+        return 2
+
+    violations = list(report.violations)
+    if options.annotations:
+        violations.extend(check_annotations(paths))
+        violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+        report.violations = violations
+
+    if options.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

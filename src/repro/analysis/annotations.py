@@ -1,0 +1,98 @@
+"""Strict-annotation checking — the offline twin of ``mypy --strict``.
+
+The typing gate for the core packages is two-layered:
+
+1. When :mod:`mypy` is importable, the lint-gate test runs the real
+   ``mypy --strict`` using the ``[tool.mypy]`` configuration in
+   ``pyproject.toml``.
+2. This module provides the always-available subset: every function and
+   method in the checked packages must fully annotate its parameters and
+   return type (the ``disallow_untyped_defs`` /
+   ``disallow_incomplete_defs`` half of strict mode), so an offline
+   environment still refuses un-annotated code on the typed surface.
+
+It reuses the engine's file walking/suppression machinery but is kept out
+of the R1-R6 rule set: annotation completeness is a *typing* gate scoped
+to the packages ``[tool.mypy]`` names, not a domain invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from .engine import SourceFile, Violation, iter_python_files
+
+#: Parameter names exempt from annotation (bound implicitly).
+_IMPLICIT_PARAMS = {"self", "cls"}
+
+RULE_ID = "TYP"
+
+
+def _unannotated_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    params = [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]
+    missing = [
+        param.arg
+        for param in params
+        if param.annotation is None and param.arg not in _IMPLICIT_PARAMS
+    ]
+    for star in (node.args.vararg, node.args.kwarg):
+        if star is not None and star.annotation is None:
+            missing.append(f"*{star.arg}")
+    return missing
+
+
+def _is_overload_or_abstract(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name in {"overload", "abstractmethod"}:
+            return True
+    return False
+
+
+def check_annotations_in_file(source: SourceFile) -> Iterator[Violation]:
+    """Yield a violation for every def with missing parameter or return
+    annotations (``__init__``-style implicit-None returns included: strict
+    mypy requires them annotated too)."""
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _is_overload_or_abstract(node):
+            continue
+        missing = _unannotated_params(node)
+        needs_return = node.returns is None
+        if not missing and not needs_return:
+            continue
+        parts = []
+        if missing:
+            parts.append(f"unannotated parameter(s): {', '.join(missing)}")
+        if needs_return:
+            parts.append("missing return annotation")
+        yield Violation(
+            rule_id=RULE_ID,
+            path=source.rel_path,
+            line=node.lineno,
+            message=f"'{node.name}' is not strictly annotated ({'; '.join(parts)})",
+        )
+
+
+def check_annotations(paths: Sequence[Path], root: Path | None = None) -> list[Violation]:
+    """Annotation-completeness violations for every file under ``paths``."""
+    violations: list[Violation] = []
+    base = root if root is not None else Path.cwd()
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        source = SourceFile.load(file_path, base)
+        if source is None:
+            continue
+        for violation in check_annotations_in_file(source):
+            if source.suppressions.is_suppressed(RULE_ID, violation.line):
+                continue
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line))
+    return violations

@@ -1,0 +1,291 @@
+"""The ``repro-check`` analysis engine.
+
+Walks a set of Python files, parses each with :mod:`ast`, runs every
+registered :class:`~repro.analysis.rules.Rule` against them, honours
+inline suppressions, and renders the violations.
+
+The engine is deliberately dependency-free (stdlib only) so it can be
+imported from anywhere in the codebase — including ``conftest.py`` and the
+tier-1 lint-gate tests — without dragging in the domain packages it
+checks.
+
+Suppression syntax (documented in ``docs/static_analysis.md``):
+
+* ``# repro-check: disable=R2`` on a line suppresses the named rule(s)
+  for that line (comma-separated ids, e.g. ``disable=R1,R4``).
+* ``# repro-check: disable-file=R2`` anywhere in the first ten lines of a
+  file suppresses the rule(s) for the whole file.
+* ``disable=all`` / ``disable-file=all`` suppress every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Lines scanned for ``disable-file`` pragmas.
+_FILE_PRAGMA_WINDOW = 10
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-check:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One finding: a rule fired at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """Parsed ``# repro-check:`` pragmas for one file."""
+
+    #: rule ids disabled for the whole file ("all" disables everything)
+    file_level: frozenset[str] = frozenset()
+    #: line number -> rule ids disabled on that line
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "all" in self.file_level or rule_id in self.file_level:
+            return True
+        on_line = self.by_line.get(line)
+        if on_line is None:
+            return False
+        return "all" in on_line or rule_id in on_line
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        file_level: set[str] = set()
+        by_line: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                token.strip().upper() if token.strip().lower() != "all" else "all"
+                for token in match.group("rules").split(",")
+                if token.strip()
+            )
+            if match.group("kind") == "disable-file":
+                if lineno <= _FILE_PRAGMA_WINDOW:
+                    file_level.update(rules)
+            else:
+                by_line[lineno] = rules
+        return cls(file_level=frozenset(file_level), by_line=by_line)
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """A parsed source file handed to every rule."""
+
+    path: Path
+    #: path relative to the analysis root, POSIX-style — what rules match
+    #: their applicability scopes against and what reports print.
+    rel_path: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @property
+    def is_test(self) -> bool:
+        name = self.path.name
+        return name.startswith(("test_", "conftest")) or "/tests/" in f"/{self.rel_path}"
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile | None":
+        """Parse ``path``; returns None for unparseable files (reported
+        separately by the analyzer as a hard error)."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(
+            path=path,
+            rel_path=rel,
+            source=source,
+            tree=tree,
+            suppressions=Suppressions.parse(source),
+        )
+
+
+_SKIP_DIR_NAMES = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    "build",
+    "dist",
+}
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories, skipping
+    caches, VCS internals, and packaging artefacts (``*.egg-info``)."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py" and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = set(candidate.parts)
+            if parts & _SKIP_DIR_NAMES:
+                continue
+            if any(part.endswith(".egg-info") for part in candidate.parts):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+class AnalysisError(Exception):
+    """Raised when a target cannot be analysed at all (missing path,
+    syntax error) — distinct from rule violations."""
+
+
+@dataclass(slots=True)
+class AnalysisReport:
+    """The outcome of one analyzer run."""
+
+    violations: list[Violation]
+    files_checked: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render_text(self) -> str:
+        lines = [violation.render() for violation in self.violations]
+        summary = (
+            f"repro-check: {len(self.violations)} violation(s) in "
+            f"{self.files_checked} file(s) [{', '.join(self.rules_run)}]"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "violations": [v.as_dict() for v in self.violations],
+                "files_checked": self.files_checked,
+                "rules": list(self.rules_run),
+                "ok": self.ok,
+            },
+            indent=2,
+        )
+
+
+class Analyzer:
+    """Runs a set of rules over a set of files."""
+
+    def __init__(self, rules: Sequence["RuleProtocol"]) -> None:
+        if not rules:
+            raise ValueError("at least one rule is required")
+        self.rules = list(rules)
+
+    def check_paths(self, paths: Sequence[Path], root: Path | None = None) -> AnalysisReport:
+        """Analyse files/directories rooted at ``root`` (defaults to the
+        common parent used for relative-path reporting)."""
+        resolved = [Path(p) for p in paths]
+        for path in resolved:
+            if not path.exists():
+                raise AnalysisError(f"no such file or directory: {path}")
+        base = root if root is not None else _common_root(resolved)
+        files: list[SourceFile] = []
+        for file_path in iter_python_files(resolved):
+            try:
+                loaded = SourceFile.load(file_path, base)
+            except SyntaxError as exc:
+                raise AnalysisError(f"cannot parse {file_path}: {exc}") from exc
+            if loaded is not None:
+                files.append(loaded)
+        return self.check_files(files)
+
+    def check_files(self, files: Sequence[SourceFile]) -> AnalysisReport:
+        violations: list[Violation] = []
+        for source in files:
+            for rule in self.rules:
+                if not rule.applies_to(source):
+                    continue
+                for violation in rule.check(source):
+                    if source.suppressions.is_suppressed(violation.rule_id, violation.line):
+                        continue
+                    violations.append(violation)
+        violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+        return AnalysisReport(
+            violations=violations,
+            files_checked=len(files),
+            rules_run=tuple(rule.rule_id for rule in self.rules),
+        )
+
+    def check_source(self, source: str, rel_path: str = "<snippet>.py") -> list[Violation]:
+        """Analyse an in-memory snippet — the fixture-test entry point."""
+        tree = ast.parse(source)
+        file = SourceFile(
+            path=Path(rel_path),
+            rel_path=rel_path,
+            source=source,
+            tree=tree,
+            suppressions=Suppressions.parse(source),
+        )
+        report = self.check_files([file])
+        return report.violations
+
+
+def _common_root(paths: Iterable[Path]) -> Path:
+    resolved = [p.resolve() for p in paths]
+    if not resolved:
+        return Path.cwd()
+    common = resolved[0] if resolved[0].is_dir() else resolved[0].parent
+    for path in resolved[1:]:
+        candidate = path if path.is_dir() else path.parent
+        while common not in (candidate, *candidate.parents):
+            if common.parent == common:
+                break
+            common = common.parent
+    return common
+
+
+class RuleProtocol:
+    """Structural interface every rule implements (kept as a plain base
+    class so the engine has zero typing-time dependencies)."""
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, source: SourceFile) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def main_stream() -> "object":
+    """Default output stream (separated for test capture)."""
+    return sys.stdout

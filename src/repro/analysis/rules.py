@@ -1,0 +1,517 @@
+"""The six domain rules enforced by ``repro-check``.
+
+Each rule encodes one invariant from the paper that Python's type system
+cannot express on its own (see ``docs/static_analysis.md`` for the
+paper-section mapping):
+
+========  ======================  =====================================================
+Rule id   Name                    Invariant
+========  ======================  =====================================================
+R1        interval-comparison     Interval endpoints are ranked via the Eq. 4-6
+                                  comparators, never by raw ``.lo``/``.hi`` floats
+R2        metric-consistency      Haversine and planar metrics never mix in one module
+                                  without an explicit :class:`LocalProjection` bridge
+R3        dataclass-slots         Hot-path dataclasses declare ``slots=True``
+R4        mutable-default         No mutable default arguments
+R5        cache-expiry            Cache writes always carry an expiry/validity signal
+R6        exception-hygiene       No bare/silently-swallowed exceptions in serving and
+                                  experiment code
+========  ======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from .engine import RuleProtocol, SourceFile, Violation
+
+# --------------------------------------------------------------------------
+# R1 — interval endpoint comparisons
+# --------------------------------------------------------------------------
+
+#: Files allowed to compare endpoints directly: the interval implementation
+#: itself (it *defines* the comparators).
+_R1_ALLOWED_SUFFIXES = ("intervals.py",)
+
+_RELATIONAL_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _is_endpoint(node: ast.expr) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr in ("lo", "hi")
+
+
+class IntervalComparisonRule(RuleProtocol):
+    """R1: no raw relational comparison against ``Interval.lo`` / ``.hi``.
+
+    The paper's ranking semantics (Eq. 4-6) are defined on whole
+    intervals; ad-hoc endpoint comparisons are where dominance bugs creep
+    in during refactors.  Code must use the named comparators
+    (``certainly_less_than``, ``intersects``, ``within_bounds``,
+    ``is_strictly_positive``, ...) which live next to their proofs in
+    ``intervals.py``.
+    """
+
+    rule_id = "R1"
+    name = "interval-comparison"
+    description = "raw float comparison against Interval.lo/.hi endpoints"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        return not source.rel_path.endswith(_R1_ALLOWED_SUFFIXES)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            if not any(_is_endpoint(op) for op in operands):
+                continue
+            if not any(isinstance(op, _RELATIONAL_OPS) for op in node.ops):
+                continue
+            endpoint = next(op for op in operands if _is_endpoint(op))
+            yield Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    f"relational comparison against interval endpoint "
+                    f"'.{endpoint.attr}' — use the Interval comparators "
+                    f"(certainly_less_than / intersects / within_bounds / "
+                    f"is_strictly_positive) instead"
+                ),
+            )
+
+
+# --------------------------------------------------------------------------
+# R2 — metric consistency
+# --------------------------------------------------------------------------
+
+#: Calls that unambiguously operate in geographic (lat/lon) space.
+_GEO_MARKERS = {"haversine_km", "GeoPoint"}
+#: Calls that unambiguously operate in the planar km system.
+_PLANAR_MARKERS = {
+    "squared_distance_to",
+    "manhattan_distance_to",
+    "chebyshev_distance_to",
+    "distance_to_point",
+    "polyline_length",
+    "hypot",
+}
+#: The sanctioned conversion layer: a module that projects explicitly may
+#: hold both coordinate systems.
+_BRIDGE_MARKERS = {"LocalProjection", "to_plane", "to_geo"}
+
+#: The module that defines both metrics (and the bridge).
+_R2_ALLOWED_SUFFIXES = ("spatial/geometry.py",)
+
+
+def _call_names(tree: ast.AST) -> Iterator[tuple[str, int]]:
+    """(name, line) of every called function/method/constructor."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            yield func.id, node.lineno
+        elif isinstance(func, ast.Attribute):
+            yield func.attr, node.lineno
+
+
+class MetricConsistencyRule(RuleProtocol):
+    """R2: haversine and planar distance calls must not mix in a module.
+
+    A module works either in the planar km system of the synthetic
+    networks or in geographic lat/lon — mixing them silently (e.g. feeding
+    degrees into a planar index) is the classic units bug of spatial
+    stacks.  Crossing between the systems is allowed only through the
+    explicit :class:`LocalProjection` bridge.
+    """
+
+    rule_id = "R2"
+    name = "metric-consistency"
+    description = "haversine and planar metrics mixed without a projection bridge"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return not source.rel_path.endswith(_R2_ALLOWED_SUFFIXES)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        geo: list[tuple[str, int]] = []
+        planar: list[tuple[str, int]] = []
+        bridged = False
+        for name, line in _call_names(source.tree):
+            if name in _GEO_MARKERS:
+                geo.append((name, line))
+            elif name in _PLANAR_MARKERS:
+                planar.append((name, line))
+            if name in _BRIDGE_MARKERS:
+                bridged = True
+        if geo and planar and not bridged:
+            geo_name, geo_line = geo[0]
+            planar_name, planar_line = planar[0]
+            yield Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=min(geo_line, planar_line),
+                message=(
+                    f"module mixes geographic metric ({geo_name}, line {geo_line}) "
+                    f"with planar metric ({planar_name}, line {planar_line}) "
+                    f"without a LocalProjection bridge"
+                ),
+            )
+
+
+# --------------------------------------------------------------------------
+# R3 — dataclass slots in hot-path packages
+# --------------------------------------------------------------------------
+
+#: Packages whose dataclasses sit on the per-segment hot path — millions
+#: of Interval / ComponentScores / candidate instances per experiment run.
+_R3_PACKAGES = ("core/", "spatial/", "estimation/")
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | None:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return decorator
+    return None
+
+
+def _has_true_keyword(call: ast.expr, keyword: str) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    for kw in call.keywords:
+        if kw.arg == keyword and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+class DataclassSlotsRule(RuleProtocol):
+    """R3: every ``@dataclass`` in ``core/``, ``spatial/``,
+    ``estimation/`` declares ``slots=True``.
+
+    These packages allocate candidate/score objects per charger per
+    segment; ``__dict__``-backed instances cost ~3x the memory and a dict
+    lookup per attribute access on the scoring hot path.
+    """
+
+    rule_id = "R3"
+    name = "dataclass-slots"
+    description = "hot-path dataclass missing slots=True"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        return any(f"/{pkg}" in f"/{source.rel_path}" for pkg in _R3_PACKAGES)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if _has_true_keyword(decorator, "slots"):
+                continue
+            yield Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    f"dataclass '{node.name}' in a hot-path package must declare "
+                    f"slots=True"
+                ),
+            )
+
+
+# --------------------------------------------------------------------------
+# R4 — mutable default arguments
+# --------------------------------------------------------------------------
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaultRule(RuleProtocol):
+    """R4: no mutable default arguments, anywhere.
+
+    A shared-by-all-calls default list/dict is state leaking across
+    queries — in a server that means across *users*.
+    """
+
+    rule_id = "R4"
+    name = "mutable-default"
+    description = "mutable default argument"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return True
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in (*args.defaults, *args.kw_defaults):
+                if default is not None and _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield Violation(
+                        rule_id=self.rule_id,
+                        path=source.rel_path,
+                        line=default.lineno,
+                        message=(
+                            f"mutable default argument in '{label}' — use None or "
+                            f"field(default_factory=...)"
+                        ),
+                    )
+
+
+# --------------------------------------------------------------------------
+# R5 — cache writes must carry validity
+# --------------------------------------------------------------------------
+
+#: The cache modules of Section IV-C (client solution cache + server EIS
+#: response cache), plus anything that looks like a new cache module.
+_R5_SUFFIXES = ("core/caching.py", "server/cache.py")
+_R5_BASENAMES = ("cache.py", "caching.py")
+
+_WRITE_METHOD_NAMES = {"store", "put", "set", "add", "insert"}
+_TEMPORAL_NAMES = {
+    "now_h",
+    "ttl_h",
+    "time_h",
+    "timestamp_h",
+    "generated_at_h",
+    "expires_at_h",
+    "valid_until_h",
+    "validity_h",
+    "expiry_h",
+}
+_TTL_ATTR_FRAGMENTS = ("ttl", "expiry", "valid")
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # string annotation, e.g. "CachedSolution"
+        return node.value.split(".")[-1].split("|")[0].strip()
+    return None
+
+
+def _temporal_dataclasses(tree: ast.Module) -> set[str]:
+    """Names of module-level classes that carry a temporal field — a value
+    annotated with one of those classes brings its own validity."""
+    names: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id in _TEMPORAL_NAMES
+            ):
+                names.add(node.name)
+                break
+    return names
+
+
+class CacheExpiryRule(RuleProtocol):
+    """R5: cache-write sites must pass an expiry/validity argument.
+
+    Section IV-C makes reuse conditional on range ``Q`` *and* temporal
+    validity ``t`` — an entry written without a validity signal can never
+    expire, which under production traffic is an unbounded-staleness (and
+    unbounded-memory) bug.  A write method satisfies the rule when it
+    takes a temporal parameter (``now_h``, ``ttl_h``, ...) or a value
+    whose class carries a temporal field (e.g. ``CachedSolution`` with its
+    ``generated_at_h``), and its cache class binds a TTL in ``__init__``.
+    """
+
+    rule_id = "R5"
+    name = "cache-expiry"
+    description = "cache write without expiry/validity argument"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        return source.rel_path.endswith(_R5_SUFFIXES) or source.path.name in _R5_BASENAMES
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        temporal_classes = _temporal_dataclasses(source.tree)
+        for node in source.tree.body:
+            if not isinstance(node, ast.ClassDef) or "Cache" not in node.name:
+                continue
+            yield from self._check_cache_class(source, node, temporal_classes)
+
+    def _check_cache_class(
+        self, source: SourceFile, cls: ast.ClassDef, temporal_classes: set[str]
+    ) -> Iterator[Violation]:
+        write_methods = [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in _WRITE_METHOD_NAMES
+        ]
+        if not write_methods:
+            return
+        if not self._binds_ttl(cls):
+            yield Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=cls.lineno,
+                message=(
+                    f"cache class '{cls.name}' has write methods but never binds a "
+                    f"TTL/validity attribute in __init__"
+                ),
+            )
+        for method in write_methods:
+            if self._method_carries_validity(method, temporal_classes):
+                continue
+            yield Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=method.lineno,
+                message=(
+                    f"cache write '{cls.name}.{method.name}' takes no "
+                    f"expiry/validity argument (expected one of "
+                    f"{sorted(_TEMPORAL_NAMES)[:3]}... or a value type with a "
+                    f"temporal field)"
+                ),
+            )
+
+    @staticmethod
+    def _binds_ttl(cls: ast.ClassDef) -> bool:
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == "__init__":
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Store)
+                        and any(frag in node.attr.lower() for frag in _TTL_ATTR_FRAGMENTS)
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _method_carries_validity(
+        method: ast.FunctionDef | ast.AsyncFunctionDef, temporal_classes: set[str]
+    ) -> bool:
+        params = [*method.args.posonlyargs, *method.args.args, *method.args.kwonlyargs]
+        for param in params:
+            if param.arg == "self":
+                continue
+            if param.arg in _TEMPORAL_NAMES:
+                return True
+            annotated = _annotation_name(param.annotation)
+            if annotated is not None and annotated in temporal_classes:
+                return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# R6 — exception hygiene in serving and experiment code
+# --------------------------------------------------------------------------
+
+#: Packages where a swallowed exception silently corrupts results: the
+#: serving layer (wrong answers to users) and the experiment harness
+#: (wrong numbers in the paper-reproduction tables).
+_R6_PACKAGES = ("server/", "experiments/")
+
+_SWALLOW_BODY_TYPES = (ast.Pass, ast.Continue)
+
+
+def _is_swallowing_body(body: Sequence[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, _SWALLOW_BODY_TYPES):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+class ExceptionHygieneRule(RuleProtocol):
+    """R6: no bare ``except:`` and no silently-swallowed exceptions in
+    ``server/`` and ``experiments/``.
+
+    A handler must either re-raise, return/record a value, or log —
+    a body of only ``pass``/``continue`` hides failures inside the
+    serving path or the experiment numbers.
+    """
+
+    rule_id = "R6"
+    name = "exception-hygiene"
+    description = "bare except or silently swallowed exception"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        return any(f"/{pkg}" in f"/{source.rel_path}" for pkg in _R6_PACKAGES)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=source.rel_path,
+                    line=node.lineno,
+                    message="bare 'except:' — catch a specific exception type",
+                )
+                continue
+            if _is_swallowing_body(node.body):
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=source.rel_path,
+                    line=node.lineno,
+                    message=(
+                        "exception handler silently swallows the error — re-raise, "
+                        "record, or log it"
+                    ),
+                )
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+
+ALL_RULES: tuple[RuleProtocol, ...] = (
+    IntervalComparisonRule(),
+    MetricConsistencyRule(),
+    DataclassSlotsRule(),
+    MutableDefaultRule(),
+    CacheExpiryRule(),
+    ExceptionHygieneRule(),
+)
+
+RULES_BY_ID: dict[str, RuleProtocol] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def select_rules(ids: Sequence[str] | None = None) -> tuple[RuleProtocol, ...]:
+    """The rule objects for ``ids`` (all six when None)."""
+    if ids is None:
+        return ALL_RULES
+    unknown = [rule_id for rule_id in ids if rule_id.upper() not in RULES_BY_ID]
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    return tuple(RULES_BY_ID[rule_id.upper()] for rule_id in ids)

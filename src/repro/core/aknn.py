@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Sequence, TypeVar
+from typing import Iterator, Sequence, TypeVar
 
 from ..spatial.bbox import BoundingBox
 from ..spatial.geometry import Point
@@ -76,7 +76,7 @@ def aknn_self_join(points: Sequence[Point], k: int) -> AknnResult:
         grid.setdefault((cx, cy), []).append(index)
         cell_of.append((cx, cy))
 
-    def ring_cells(center: tuple[int, int], radius: int):
+    def ring_cells(center: tuple[int, int], radius: int) -> Iterator[tuple[int, int]]:
         cx, cy = center
         if radius == 0:
             yield center

@@ -26,7 +26,7 @@ class BruteForceRanker:
 
     name = "brute-force"
 
-    def __init__(self, environment: ChargingEnvironment, k: int = 5, weights: Weights | None = None):
+    def __init__(self, environment: ChargingEnvironment, k: int = 5, weights: Weights | None = None) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         self._env = environment
@@ -76,7 +76,7 @@ class QuadtreeRanker:
         k: int = 5,
         weights: Weights | None = None,
         candidate_count: int | None = None,
-    ):
+    ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         self._env = environment
@@ -141,7 +141,7 @@ class RandomRanker:
         k: int = 5,
         radius_km: float = 50.0,
         seed: int = 0,
-    ):
+    ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         if radius_km <= 0:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..analysis.contracts import ensure
 from ..chargers.charger import Charger
 from ..spatial.geometry import Point
 from .scoring import ComponentScores
@@ -64,7 +65,7 @@ class CachedSolution:
 class DynamicCache:
     """Single-trip solution cache with ``Q``-range and TTL validity."""
 
-    def __init__(self, range_km: float = 5.0, ttl_h: float = 1.0):
+    def __init__(self, range_km: float = 5.0, ttl_h: float = 1.0) -> None:
         if range_km <= 0:
             raise ValueError("range_km (Q) must be positive")
         if ttl_h <= 0:
@@ -74,6 +75,15 @@ class DynamicCache:
         self.stats = CacheStats()
         self._entry: CachedSolution | None = None
 
+    @ensure(
+        lambda result, self, origin, now_h: result is None
+        or (
+            origin.distance_to(result.origin) <= self.range_km
+            and now_h - result.generated_at_h <= self.ttl_h
+        ),
+        "Section IV-C admission: a reused solution must be within Q and "
+        "temporally valid",
+    )
     def lookup(self, origin: Point, now_h: float) -> CachedSolution | None:
         """The cached solution if reusable for a query at ``origin``.
 

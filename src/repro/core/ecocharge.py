@@ -20,7 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from typing import TYPE_CHECKING, Sequence
+
+from ..analysis.contracts import ensure
 from ..chargers.charger import Charger
+from ..spatial.geometry import Point
+
+if TYPE_CHECKING:
+    from .feasibility import VehicleConstraints
 from ..estimation.derouting import REFERENCE_SPEED_KMH
 from ..network.path import DEFAULT_SEGMENT_KM, Trip, TripSegment
 from .caching import CachedSolution, CacheStats, DynamicCache
@@ -80,8 +87,8 @@ class EcoChargeRanker:
         self,
         environment: ChargingEnvironment,
         config: EcoChargeConfig | None = None,
-        constraints=None,
-    ):
+        constraints: "VehicleConstraints | None" = None,
+    ) -> None:
         """``constraints`` (a
         :class:`~repro.core.feasibility.VehicleConstraints`) optionally
         narrows the Filtering phase to chargers the specific vehicle can
@@ -109,6 +116,10 @@ class EcoChargeRanker:
 
     # -- the algorithm -------------------------------------------------------
 
+    @ensure(
+        lambda result, self: len(result.entries) <= self.config.k,
+        "an Offering Table holds at most k entries",
+    )
     def rank_segment(
         self,
         trip: Trip,
@@ -128,7 +139,7 @@ class EcoChargeRanker:
         self,
         trip: Trip,
         segment: TripSegment,
-        origin,
+        origin: Point,
         eta_h: float,
         now_h: float,
         next_segment: TripSegment | None,
@@ -165,7 +176,9 @@ class EcoChargeRanker:
         )
         return self._refine(segment.index, origin, eta_h, eta_h, pool, components)
 
-    def _reduce_for_cache(self, pool, components):
+    def _reduce_for_cache(
+        self, pool: Sequence[Charger], components: Sequence[ComponentScores]
+    ) -> tuple[tuple[Charger, ...], tuple[ComponentScores, ...]]:
         """Apply ``cache_pool_limit``: keep the most promising candidates
         (by midpoint score) so adaptation work is bounded."""
         limit = self.config.cache_pool_limit
@@ -181,7 +194,7 @@ class EcoChargeRanker:
         self,
         cached: CachedSolution,
         segment: TripSegment,
-        origin,
+        origin: Point,
         eta_h: float,
     ) -> OfferingTable:
         """Adapt a cached solution to the new location (O(|pool|), no
@@ -237,11 +250,11 @@ class EcoChargeRanker:
     def _refine(
         self,
         segment_index: int,
-        origin,
+        origin: Point,
         eta_h: float,
         generated_at_h: float,
-        pool,
-        components,
+        pool: Sequence[Charger],
+        components: Sequence[ComponentScores],
         adapted_from: int | None = None,
     ) -> OfferingTable:
         """Eq. 6 intersection + sort + table assembly (lines 16-18)."""
@@ -277,7 +290,7 @@ class EcoCharge:
             print(table.best.charger)
     """
 
-    def __init__(self, environment: ChargingEnvironment, config: EcoChargeConfig | None = None):
+    def __init__(self, environment: ChargingEnvironment, config: EcoChargeConfig | None = None) -> None:
         self.environment = environment
         self.config = config if config is not None else EcoChargeConfig()
         self.ranker = EcoChargeRanker(environment, self.config)

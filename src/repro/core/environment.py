@@ -49,7 +49,7 @@ class ChargingEnvironment:
         traffic: TrafficModel | None = None,
         seed: int = 0,
         charging_window_h: float = 1.0,
-    ):
+    ) -> None:
         self.network = network
         self.registry = registry
         self.weather = weather if weather is not None else WeatherModel(seed=seed)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 from ..chargers.charger import Charger
 from ..estimation.tariff import TariffEstimator
 from ..network.path import Trip, TripSegment
+from .caching import CacheStats
 from .ecocharge import EcoChargeConfig, EcoChargeRanker
 from .environment import ChargingEnvironment
 from .intervals import Interval
@@ -82,7 +83,7 @@ class TariffAwareRanker:
         weights: ExtendedWeights | None = None,
         tariff: TariffEstimator | None = None,
         overshoot: int = 3,
-    ):
+    ) -> None:
         if overshoot < 1:
             raise ValueError("overshoot must be at least 1")
         self.weights = weights if weights is not None else ExtendedWeights.equal()
@@ -147,7 +148,7 @@ class TariffAwareRanker:
         )
 
     @property
-    def cache_stats(self):
+    def cache_stats(self) -> CacheStats:
         return self._inner.cache_stats
 
 
@@ -162,7 +163,7 @@ class ChargerLoadBalancer:
     can share.
     """
 
-    def __init__(self, slot_h: float = 0.5, penalty_per_vehicle: float = 0.25):
+    def __init__(self, slot_h: float = 0.5, penalty_per_vehicle: float = 0.25) -> None:
         if slot_h <= 0:
             raise ValueError("slot_h must be positive")
         if penalty_per_vehicle < 0:
@@ -227,7 +228,7 @@ class BalancedEcoChargeRanker:
         environment: ChargingEnvironment,
         balancer: ChargerLoadBalancer,
         config: EcoChargeConfig | None = None,
-    ):
+    ) -> None:
         self._env = environment
         self.balancer = balancer
         self.config = config if config is not None else EcoChargeConfig()

@@ -24,7 +24,7 @@ from ..intervals import Interval
 from ..spatial.geometry import Point, Segment
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MovingQuery:
     """A query point moving along ``segment`` with uncertain speed.
 
@@ -39,7 +39,7 @@ class MovingQuery:
     start_time_h: float
 
     def __post_init__(self) -> None:
-        if self.speed_kmh.lo <= 0:
+        if not self.speed_kmh.is_strictly_positive:
             raise ValueError("speed range must be strictly positive")
 
     def offset_interval_km(self, time_h: float) -> Interval:
@@ -130,12 +130,12 @@ def uncertain_knn(
         certainly_closer = sum(
             1
             for other_id, other in intervals.items()
-            if other_id != cand_id and other.hi < interval.lo
+            if other_id != cand_id and other.certainly_less_than(interval)
         )
         possibly_closer = sum(
             1
             for other_id, other in intervals.items()
-            if other_id != cand_id and other.lo <= interval.hi
+            if other_id != cand_id and not other.certainly_greater_than(interval)
         )
         if certainly_closer < k:
             possible.add(cand_id)

@@ -33,7 +33,7 @@ class OfferingEntry:
         return self.charger.charger_id
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OfferingTable:
     """The ranked offering for one path segment.
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
+from ..analysis.contracts import ensure
 from ..chargers.charger import Charger
 from ..network.path import Trip, TripSegment
 from .environment import ChargingEnvironment
@@ -92,7 +93,7 @@ def refine_pool(
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class RankingRun:
     """The full CkNN-EC answer for one trip: one table per segment."""
 
@@ -112,6 +113,14 @@ class RankingRun:
         return sum(1 for t in self.tables if t.is_adapted)
 
 
+@ensure(
+    lambda result: len(result.tables) >= 1
+    and all(
+        a.segment_index < b.segment_index
+        for a, b in zip(result.tables, result.tables[1:])
+    ),
+    "the CkNN-EC answer is one Offering Table per segment, in trip order",
+)
 def run_over_trip(
     ranker: SegmentRanker,
     environment: ChargingEnvironment,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..analysis.contracts import ensure, require
 from .intervals import Interval
 
 
@@ -94,7 +95,7 @@ class ComponentScores:
             ("availability", self.availability),
             ("derouting", self.derouting),
         ):
-            if interval.lo < -1e-9 or interval.hi > 1.0 + 1e-9:
+            if not interval.within_bounds(0.0, 1.0, tol=1e-9):
                 raise ValueError(f"{name} interval {interval} not normalised to [0, 1]")
 
 
@@ -116,6 +117,18 @@ class ScScore:
         return min(self.sc_min, self.sc_max)
 
 
+@require(
+    lambda components: all(
+        interval.within_bounds(0.0, 1.0, tol=1e-9)
+        for interval in (components.sustainable, components.availability, components.derouting)
+    ),
+    "Eq. 4-5 need all three EC intervals normalised into [0, 1]",
+)
+@ensure(
+    lambda result: -1e-9 <= result.sc_min <= 1.0 + 1e-9
+    and -1e-9 <= result.sc_max <= 1.0 + 1e-9,
+    "scenario scores must stay in [0, 1] for normalised weights",
+)
 def sc_score(components: ComponentScores, weights: Weights) -> ScScore:
     """Evaluate Eq. 4 and Eq. 5 for one charger."""
     w1, w2, w3 = weights.as_tuple()
@@ -141,6 +154,16 @@ def sc_exact(
     return sustainable * w1 + availability * w2 + (1.0 - derouting) * w3
 
 
+@ensure(
+    lambda result, scores, k, pad: len(result) <= k
+    and len({s.charger_id for s in result}) == len(result)
+    and all(
+        (a.sc_max, a.sc_min) >= (b.sc_max, b.sc_min)
+        for a, b in zip(result, result[1:])
+    )
+    and (not pad or len(result) == min(k, len(scores))),
+    "Eq. 6 must return at most k unique chargers sorted highest-to-lowest",
+)
 def intersect_top_k(
     scores: list[ScScore], k: int, pad: bool = True
 ) -> list[ScScore]:

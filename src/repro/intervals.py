@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
+from .analysis.contracts import ensure, require
+
 
 @dataclass(frozen=True, slots=True)
 class Interval:
@@ -89,6 +91,10 @@ class Interval:
         (lower derouting cost means a better score)."""
         return Interval(1.0 - self.hi, 1.0 - self.lo)
 
+    @ensure(
+        lambda result, lo, hi: result.within_bounds(lo, hi),
+        "clamped interval must lie inside the clamp bounds",
+    )
     def clamp(self, lo: float = 0.0, hi: float = 1.0) -> "Interval":
         """Clip both endpoints into ``[lo, hi]``."""
         if lo > hi:
@@ -115,6 +121,11 @@ class Interval:
             return None
         return Interval(lo, hi)
 
+    @ensure(
+        lambda result, self, other: result.lo <= min(self.lo, other.lo)
+        and result.hi >= max(self.hi, other.hi),
+        "hull must contain both input intervals",
+    )
     def hull(self, other: "Interval") -> "Interval":
         """Smallest interval containing both."""
         return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
@@ -127,6 +138,26 @@ class Interval:
         """True when every value of self is above every value of other."""
         return self.lo > other.hi
 
+    def within_bounds(self, lo: float, hi: float, tol: float = 0.0) -> bool:
+        """True when the whole interval lies inside ``[lo - tol, hi + tol]``.
+
+        The named form of the normalisation checks (``repro-check`` rule
+        R1 forbids raw endpoint comparisons outside this module).
+        """
+        if tol < 0:
+            raise ValueError("tol must be non-negative")
+        return self.lo >= lo - tol and self.hi <= hi + tol
+
+    @property
+    def is_strictly_positive(self) -> bool:
+        """True when every value of the interval is above zero."""
+        return self.lo > 0.0
+
+    @require(lambda factor: math.isfinite(factor), "widening factor must be finite")
+    @ensure(
+        lambda result, self: result.lo <= self.lo and result.hi >= self.hi,
+        "widened interval must contain the original",
+    )
     def widened(self, factor: float) -> "Interval":
         """Grow the interval symmetrically by ``factor`` of its width.
 

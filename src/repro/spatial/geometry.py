@@ -139,7 +139,7 @@ class LocalProjection:
     hundred km).  The origin maps to ``Point(0, 0)``.
     """
 
-    def __init__(self, origin: GeoPoint):
+    def __init__(self, origin: GeoPoint) -> None:
         self.origin = origin
         self._cos_lat = math.cos(math.radians(origin.lat))
         self._deg_lat_km = math.pi * EARTH_RADIUS_KM / 180.0

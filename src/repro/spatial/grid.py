@@ -21,7 +21,7 @@ T = TypeVar("T")
 class GridIndex(Generic[T]):
     """Fixed-resolution uniform grid over a bounding box."""
 
-    def __init__(self, bounds: BoundingBox, cell_size_km: float):
+    def __init__(self, bounds: BoundingBox, cell_size_km: float) -> None:
         if cell_size_km <= 0:
             raise ValueError("cell_size_km must be positive")
         self.bounds = bounds

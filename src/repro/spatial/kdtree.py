@@ -30,7 +30,7 @@ class _KDNode(Generic[T]):
 class KDTree(Generic[T]):
     """Balanced k-d tree bulk-loaded by median splitting."""
 
-    def __init__(self, entries: Sequence[tuple[Point, T]]):
+    def __init__(self, entries: Sequence[tuple[Point, T]]) -> None:
         self._size = len(entries)
         self._root = self._build(list(entries), axis=0)
 

@@ -28,7 +28,7 @@ class _Entry(Generic[T]):
 class _Node(Generic[T]):
     __slots__ = ("bounds", "entries", "children", "depth")
 
-    def __init__(self, bounds: BoundingBox, depth: int):
+    def __init__(self, bounds: BoundingBox, depth: int) -> None:
         self.bounds = bounds
         self.entries: list[_Entry[T]] = []
         self.children: tuple["_Node[T]", ...] | None = None
@@ -53,7 +53,7 @@ class QuadTree(Generic[T]):
         Hard split limit so co-located points cannot recurse forever.
     """
 
-    def __init__(self, bounds: BoundingBox, capacity: int = 8, max_depth: int = 16):
+    def __init__(self, bounds: BoundingBox, capacity: int = 8, max_depth: int = 16) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         if max_depth < 1:

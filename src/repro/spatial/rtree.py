@@ -37,7 +37,7 @@ class _Branch(Generic[T]):
 class RTree(Generic[T]):
     """Static R-tree bulk-loaded with Sort-Tile-Recursive packing."""
 
-    def __init__(self, entries: Sequence[tuple[Point, T]], leaf_capacity: int = 16):
+    def __init__(self, entries: Sequence[tuple[Point, T]], leaf_capacity: int = 16) -> None:
         if leaf_capacity < 2:
             raise ValueError("leaf_capacity must be at least 2")
         self.leaf_capacity = leaf_capacity

@@ -1,0 +1,522 @@
+"""The ``repro.analysis`` subsystem: rules R1-R6, suppressions, CLI, and
+runtime contracts.
+
+Each rule gets (at least) one fixture snippet that triggers it and one
+clean snippet that does not — the proof that every rule both fires and
+can be satisfied.  The meta-test at the bottom asserts the real source
+tree is clean, which is what makes the analyzer a usable gate.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_paths, check_source
+from repro.analysis.__main__ import main
+from repro.analysis.annotations import check_annotations
+from repro.analysis.engine import Suppressions
+from repro.analysis.rules import ALL_RULES, select_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def rule_ids(violations):
+    return [v.rule_id for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# R1 — interval endpoint comparisons
+# ---------------------------------------------------------------------------
+
+
+class TestR1IntervalComparison:
+    CORE_PATH = "src/repro/core/example.py"
+
+    def test_fires_on_raw_endpoint_comparison(self):
+        snippet = "def f(iv):\n    return iv.lo < 0.5\n"
+        assert rule_ids(check_source(snippet, self.CORE_PATH)) == ["R1"]
+
+    def test_fires_on_endpoint_to_endpoint_comparison(self):
+        snippet = "def dominates(a, b):\n    return a.hi < b.lo\n"
+        assert rule_ids(check_source(snippet, self.CORE_PATH)) == ["R1"]
+
+    def test_clean_when_using_comparators(self):
+        snippet = (
+            "def dominates(a, b):\n"
+            "    return a.certainly_less_than(b)\n"
+            "def normalised(iv):\n"
+            "    return iv.within_bounds(0.0, 1.0, tol=1e-9)\n"
+        )
+        assert check_source(snippet, self.CORE_PATH) == []
+
+    def test_equality_comparison_is_allowed(self):
+        snippet = "def degenerate(iv):\n    return iv.lo == iv.hi\n"
+        assert check_source(snippet, self.CORE_PATH) == []
+
+    def test_intervals_module_is_exempt(self):
+        snippet = "def f(iv):\n    return iv.lo < 0.5\n"
+        assert check_source(snippet, "src/repro/intervals.py") == []
+
+    def test_arithmetic_on_endpoints_is_allowed(self):
+        snippet = "def width(iv):\n    return iv.hi - iv.lo\n"
+        assert check_source(snippet, self.CORE_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# R2 — metric consistency
+# ---------------------------------------------------------------------------
+
+
+class TestR2MetricConsistency:
+    PATH = "src/repro/spatial/example.py"
+
+    MIXED = (
+        "def bad(a, b, p, q):\n"
+        "    geo = haversine_km(a.lat, a.lon, b.lat, b.lon)\n"
+        "    planar = p.squared_distance_to(q)\n"
+        "    return geo + planar\n"
+    )
+
+    def test_fires_on_mixed_metrics(self):
+        assert rule_ids(check_source(self.MIXED, self.PATH)) == ["R2"]
+
+    def test_clean_when_single_metric(self):
+        planar_only = "def ok(p, q):\n    return p.squared_distance_to(q)\n"
+        geo_only = "def ok(a, b):\n    return haversine_km(a.lat, a.lon, b.lat, b.lon)\n"
+        assert check_source(planar_only, self.PATH) == []
+        assert check_source(geo_only, self.PATH) == []
+
+    def test_projection_bridge_sanctions_mixing(self):
+        bridged = (
+            "def ok(origin, geo, q):\n"
+            "    projection = LocalProjection(origin)\n"
+            "    p = projection.to_plane(geo)\n"
+            "    near = haversine_km(origin.lat, origin.lon, geo.lat, geo.lon)\n"
+            "    return near + p.squared_distance_to(q)\n"
+        )
+        assert check_source(bridged, self.PATH) == []
+
+    def test_geometry_module_is_exempt(self):
+        assert check_source(self.MIXED, "src/repro/spatial/geometry.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R3 — dataclass slots
+# ---------------------------------------------------------------------------
+
+
+class TestR3DataclassSlots:
+    HOT_PATH = "src/repro/estimation/example.py"
+
+    def test_fires_on_bare_dataclass_in_hot_path(self):
+        snippet = "@dataclass\nclass Foo:\n    x: int = 0\n"
+        assert rule_ids(check_source(snippet, self.HOT_PATH)) == ["R3"]
+
+    def test_fires_on_dataclass_call_without_slots(self):
+        snippet = "@dataclass(frozen=True)\nclass Foo:\n    x: int = 0\n"
+        assert rule_ids(check_source(snippet, self.HOT_PATH)) == ["R3"]
+
+    def test_clean_with_slots(self):
+        snippet = "@dataclass(frozen=True, slots=True)\nclass Foo:\n    x: int = 0\n"
+        assert check_source(snippet, self.HOT_PATH) == []
+
+    def test_cold_path_packages_are_exempt(self):
+        snippet = "@dataclass\nclass Foo:\n    x: int = 0\n"
+        assert check_source(snippet, "src/repro/io/example.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R4 — mutable defaults
+# ---------------------------------------------------------------------------
+
+
+class TestR4MutableDefault:
+    PATH = "src/repro/server/example.py"
+
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "list()", "dict()", "{1: 2}", "[x for x in ()]"]
+    )
+    def test_fires_on_mutable_default(self, default):
+        snippet = f"def f(items={default}):\n    return items\n"
+        assert rule_ids(check_source(snippet, self.PATH)) == ["R4"]
+
+    def test_fires_on_keyword_only_and_lambda_defaults(self):
+        snippet = "def f(*, items=[]):\n    return items\ng = lambda xs=[]: xs\n"
+        assert rule_ids(check_source(snippet, self.PATH)) == ["R4", "R4"]
+
+    def test_clean_with_none_sentinel_and_tuple(self):
+        snippet = (
+            "def f(items=None, shape=(1, 2)):\n"
+            "    return list(items or ()) + list(shape)\n"
+        )
+        assert check_source(snippet, self.PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# R5 — cache expiry
+# ---------------------------------------------------------------------------
+
+
+class TestR5CacheExpiry:
+    PATH = "src/repro/server/cache.py"
+
+    def test_fires_on_unbounded_cache_write(self):
+        snippet = (
+            "class BoundlessCache:\n"
+            "    def __init__(self):\n"
+            "        self._entries = {}\n"
+            "    def put(self, key, value):\n"
+            "        self._entries[key] = value\n"
+        )
+        ids = rule_ids(check_source(snippet, self.PATH))
+        # both findings: no TTL bound in __init__, and a write without validity
+        assert ids == ["R5", "R5"]
+
+    def test_clean_with_temporal_parameter(self):
+        snippet = (
+            "class TtlCache:\n"
+            "    def __init__(self, ttl_h=0.5):\n"
+            "        self.ttl_h = ttl_h\n"
+            "        self._entries = {}\n"
+            "    def put(self, key, now_h, value):\n"
+            "        self._entries[key] = (now_h, value)\n"
+        )
+        assert check_source(snippet, self.PATH) == []
+
+    def test_clean_when_value_type_carries_validity(self):
+        snippet = (
+            "class Entry:\n"
+            "    generated_at_h: float\n"
+            "class SolutionCache:\n"
+            "    def __init__(self, ttl_h=1.0):\n"
+            "        self.ttl_h = ttl_h\n"
+            "        self._entry = None\n"
+            "    def store(self, solution: Entry):\n"
+            "        self._entry = solution\n"
+        )
+        assert check_source(snippet, self.PATH) == []
+
+    def test_non_cache_modules_are_exempt(self):
+        snippet = (
+            "class BoundlessCache:\n"
+            "    def __init__(self):\n"
+            "        self._entries = {}\n"
+            "    def put(self, key, value):\n"
+            "        self._entries[key] = value\n"
+        )
+        assert check_source(snippet, "src/repro/core/scoring.py") == []
+
+
+# ---------------------------------------------------------------------------
+# R6 — exception hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestR6ExceptionHygiene:
+    PATH = "src/repro/server/api.py"
+
+    def test_fires_on_bare_except(self):
+        snippet = (
+            "def handle():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        raise RuntimeError('x')\n"
+        )
+        assert rule_ids(check_source(snippet, self.PATH)) == ["R6"]
+
+    def test_fires_on_swallowed_exception(self):
+        snippet = (
+            "def handle():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert rule_ids(check_source(snippet, self.PATH)) == ["R6"]
+
+    def test_clean_when_handled_or_recorded(self):
+        snippet = (
+            "def handle(log):\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError as exc:\n"
+            "        log.append(exc)\n"
+            "        return None\n"
+        )
+        assert check_source(snippet, self.PATH) == []
+
+    def test_other_packages_are_exempt(self):
+        snippet = (
+            "def handle():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert check_source(snippet, "src/repro/io/example.py") == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        snippet = "def f(iv):\n    return iv.lo < 0.5  # repro-check: disable=R1\n"
+        assert check_source(snippet, "src/repro/core/example.py") == []
+
+    def test_line_suppression_only_silences_named_rule(self):
+        snippet = "def f(iv, items=[]):  # repro-check: disable=R1\n    return iv.lo\n"
+        assert rule_ids(check_source(snippet, "src/repro/core/example.py")) == ["R4"]
+
+    def test_file_suppression(self):
+        snippet = (
+            "# repro-check: disable-file=R4\n"
+            "def f(items=[]):\n"
+            "    return items\n"
+        )
+        assert check_source(snippet, "src/repro/core/example.py") == []
+
+    def test_disable_all(self):
+        snippet = "def f(items=[]):  # repro-check: disable=all\n    return items\n"
+        assert check_source(snippet, "src/repro/core/example.py") == []
+
+    def test_parse_multiple_ids(self):
+        sup = Suppressions.parse("x = 1  # repro-check: disable=R1, R4\n")
+        assert sup.is_suppressed("R1", 1)
+        assert sup.is_suppressed("R4", 1)
+        assert not sup.is_suppressed("R2", 1)
+        assert not sup.is_suppressed("R1", 2)
+
+
+# ---------------------------------------------------------------------------
+# engine / CLI
+# ---------------------------------------------------------------------------
+
+
+class TestEngineAndCli:
+    def test_select_rules(self):
+        assert [r.rule_id for r in select_rules(["R1", "r4"])] == ["R1", "R4"]
+        with pytest.raises(KeyError):
+            select_rules(["R9"])
+
+    def test_all_six_rules_registered(self):
+        assert [r.rule_id for r in ALL_RULES] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+
+    def test_cli_clean_tree_exits_zero(self, capsys):
+        assert main([str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_cli_reports_violations_with_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(items=[]):\n    return items\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "R4" in out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(items=[]):\n    return items\n")
+        assert main(["--format", "json", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert '"rule": "R4"' in out
+
+    def test_cli_missing_path_exits_two(self, capsys):
+        assert main(["/no/such/path-xyz"]) == 2
+
+    def test_cli_unknown_rule_exits_two(self, capsys):
+        assert main(["--select", "R9", str(SRC)]) == 2
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in out
+
+    def test_cli_annotations_flag(self, tmp_path, capsys):
+        unannotated = tmp_path / "loose.py"
+        unannotated.write_text("def f(x):\n    return x\n")
+        assert main([str(unannotated)]) == 0  # R1-R6 clean
+        assert main(["--annotations", str(unannotated)]) == 1
+        out = capsys.readouterr().out
+        assert "TYP" in out
+
+    def test_syntax_error_is_a_hard_error(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert main([str(broken)]) == 2
+
+
+# ---------------------------------------------------------------------------
+# meta: the real tree is clean (the analyzer is a usable gate)
+# ---------------------------------------------------------------------------
+
+
+class TestRealTree:
+    def test_src_repro_is_clean(self):
+        report = check_paths([SRC])
+        assert report.ok, "repro-check violations:\n" + report.render_text()
+        assert report.files_checked > 50
+        assert report.rules_run == ("R1", "R2", "R3", "R4", "R5", "R6")
+
+    def test_tests_tree_is_clean(self):
+        report = check_paths([REPO_ROOT / "tests"])
+        assert report.ok, "repro-check violations:\n" + report.render_text()
+
+
+# ---------------------------------------------------------------------------
+# runtime contracts (REPRO_CONTRACTS=1)
+# ---------------------------------------------------------------------------
+
+
+def _run_python(code: str, contracts: bool) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    if contracts:
+        env["REPRO_CONTRACTS"] = "1"
+    else:
+        env.pop("REPRO_CONTRACTS", None)
+    return subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True, timeout=120
+    )
+
+
+class TestContracts:
+    def test_disabled_decorators_are_identity(self):
+        code = (
+            "from repro.analysis.contracts import require, ensure\n"
+            "def f(x): return x\n"
+            "assert require(lambda x: False, 'never')(f) is f\n"
+            "assert ensure(lambda result: False, 'never')(f) is f\n"
+        )
+        proc = _run_python(code, contracts=False)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_enabled_require_and_ensure_fire(self):
+        code = (
+            "from repro.analysis.contracts import require, ensure, ContractViolation\n"
+            "@require(lambda x: x >= 0, 'x must be non-negative')\n"
+            "def root(x): return x ** 0.5\n"
+            "@ensure(lambda result: result > 0, 'positive')\n"
+            "def broken(x): return -1\n"
+            "assert root(4.0) == 2.0\n"
+            "try:\n"
+            "    root(-1.0)\n"
+            "except ContractViolation as exc:\n"
+            "    assert 'x must be non-negative' in str(exc)\n"
+            "else:\n"
+            "    raise SystemExit('require did not fire')\n"
+            "try:\n"
+            "    broken(1)\n"
+            "except ContractViolation:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('ensure did not fire')\n"
+        )
+        proc = _run_python(code, contracts=True)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_domain_contracts_hold_on_happy_paths(self):
+        code = (
+            "from repro.intervals import Interval\n"
+            "from repro.core.scoring import ComponentScores, Weights, sc_score, "
+            "intersect_top_k\n"
+            "iv = Interval(0.2, 1.4).clamp(0.0, 1.0)\n"
+            "assert iv.within_bounds(0.0, 1.0)\n"
+            "wide = Interval(0.2, 0.4).widened(0.5)\n"
+            "comp = ComponentScores(7, Interval(0.1, 0.4), Interval(0.2, 0.9), "
+            "Interval(0.0, 0.3))\n"
+            "score = sc_score(comp, Weights.equal())\n"
+            "top = intersect_top_k([score], 3)\n"
+            "assert top[0].charger_id == 7\n"
+        )
+        proc = _run_python(code, contracts=True)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_cache_admission_contract_holds(self):
+        code = (
+            "from repro.core.caching import CachedSolution, DynamicCache\n"
+            "from repro.spatial.geometry import Point\n"
+            "cache = DynamicCache(range_km=5.0, ttl_h=1.0)\n"
+            "sol = CachedSolution(0, Point(0.0, 0.0), 0.0, 0.0, 50.0, (), ())\n"
+            "cache.store(sol)\n"
+            "assert cache.lookup(Point(1.0, 1.0), now_h=0.5) is not None\n"
+            "assert cache.lookup(Point(30.0, 0.0), now_h=0.5) is None\n"
+            "assert cache.lookup(Point(1.0, 1.0), now_h=5.0) is None\n"
+        )
+        proc = _run_python(code, contracts=True)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_contract_violation_detects_broken_cache_admission(self):
+        """Sabotage the admission check and watch the contract catch it —
+        the runtime twin of rule R5's 'validity rides with the value'."""
+        code = (
+            "from repro.core.caching import CachedSolution, CacheStats, DynamicCache\n"
+            "from repro.analysis.contracts import ContractViolation\n"
+            "from repro.spatial.geometry import Point\n"
+            "class Sabotaged:\n"
+            "    # Q appears huge to the implementation's admission check but\n"
+            "    # tiny to the contract's re-check: a stand-in for a refactor\n"
+            "    # that broke the Section IV-C admission logic.\n"
+            "    def __init__(self):\n"
+            "        self.ttl_h = 1.0\n"
+            "        self.stats = CacheStats()\n"
+            "        self._entry = CachedSolution(0, Point(0.0, 0.0), 0.0, 0.0, 50.0, (), ())\n"
+            "        self._reads = 0\n"
+            "    @property\n"
+            "    def range_km(self):\n"
+            "        self._reads += 1\n"
+            "        return 1e9 if self._reads == 1 else 0.5\n"
+            "try:\n"
+            "    DynamicCache.lookup(Sabotaged(), Point(3.0, 0.0), now_h=0.5)\n"
+            "except ContractViolation:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('admission contract did not fire')\n"
+        )
+        proc = _run_python(code, contracts=True)
+        assert proc.returncode == 0, proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# strict annotations (offline mypy subset)
+# ---------------------------------------------------------------------------
+
+
+class TestStrictAnnotations:
+    def test_detects_missing_annotations(self, tmp_path):
+        loose = tmp_path / "loose.py"
+        loose.write_text("def f(x, *args, flag=True):\n    return x\n")
+        violations = check_annotations([loose])
+        assert len(violations) == 1
+        message = violations[0].message
+        assert "x" in message and "*args" in message and "return" in message
+
+    def test_accepts_fully_annotated(self, tmp_path):
+        tight = tmp_path / "tight.py"
+        tight.write_text(
+            "def f(x: int, *args: str, flag: bool = True) -> int:\n    return x\n"
+        )
+        assert check_annotations([tight]) == []
+
+    def test_self_and_cls_exempt(self, tmp_path):
+        src = tmp_path / "methods.py"
+        src.write_text(
+            "class C:\n"
+            "    def m(self, x: int) -> int:\n"
+            "        return x\n"
+            "    @classmethod\n"
+            "    def c(cls) -> 'C':\n"
+            "        return cls()\n"
+        )
+        assert check_annotations([src]) == []

@@ -29,6 +29,19 @@ def unit_interval(draw):
     return Interval(a, b)
 
 
+def _improved(iv: Interval, delta: float) -> Interval:
+    """Shift both endpoints toward 1 by ``delta`` of their headroom.
+
+    The map ``x -> x + delta * (1 - x)`` is monotone in exact arithmetic
+    but not under float rounding (e.g. lo=0.18, hi=0.25,
+    delta=0.9999999999999999 rounds lo to 1.0 and hi just below it), so
+    the endpoints are re-ordered before constructing the interval.
+    """
+    lo = min(1.0, iv.lo + delta * (1 - iv.lo))
+    hi = min(1.0, iv.hi + delta * (1 - iv.hi))
+    return Interval(min(lo, hi), max(lo, hi))
+
+
 class TestScoreDominance:
     @settings(max_examples=80)
     @given(unit_interval(), unit_interval(), unit_interval(), unit, unit, unit)
@@ -40,10 +53,8 @@ class TestScoreDominance:
         a = ComponentScores(0, l_iv, a_iv, d_iv)
         better = ComponentScores(
             1,
-            Interval(min(1.0, l_iv.lo + dl * (1 - l_iv.lo)),
-                     min(1.0, l_iv.hi + dl * (1 - l_iv.hi))),
-            Interval(min(1.0, a_iv.lo + da * (1 - a_iv.lo)),
-                     min(1.0, a_iv.hi + da * (1 - a_iv.hi))),
+            _improved(l_iv, dl),
+            _improved(a_iv, da),
             Interval(d_iv.lo * (1 - dd), d_iv.hi * (1 - dd)),
         )
         for weights in ABLATION_CONFIGS.values():

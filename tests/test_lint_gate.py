@@ -1,0 +1,77 @@
+"""The tier-1 lint gate: ``repro-check`` + strict typing on the core.
+
+There is no external CI in the offline environment, so the pytest suite
+*is* the gate: these tests fail the build whenever a rule violation or an
+annotation gap lands in the checked packages.
+
+The typing gate is layered (see ``docs/static_analysis.md``):
+
+* the offline strict-annotation subset always runs, and
+* the full ``mypy --strict`` (configured by ``[tool.mypy]`` in
+  ``pyproject.toml``) runs whenever mypy is importable — it is not part
+  of the baked-in offline toolchain, so that test skips there.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_annotations, check_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+#: The strictly-typed surface: the packages [tool.mypy] names.
+STRICT_TARGETS = (
+    SRC / "intervals.py",
+    SRC / "core",
+    SRC / "spatial",
+    SRC / "analysis",
+)
+
+
+def test_repro_check_passes_on_src() -> None:
+    """All six rules, zero violations, across the whole library tree."""
+    report = check_paths([SRC])
+    assert report.rules_run == ("R1", "R2", "R3", "R4", "R5", "R6")
+    assert report.ok, "repro-check violations:\n" + report.render_text()
+
+
+def test_repro_check_passes_on_tests() -> None:
+    report = check_paths([REPO_ROOT / "tests"])
+    assert report.ok, "repro-check violations:\n" + report.render_text()
+
+
+def test_repro_check_cli_matches_library_verdict() -> None:
+    """`python -m repro.analysis src/repro tests` is the documented gate
+    command; it must agree with the library API."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(SRC), str(REPO_ROOT / "tests")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_strict_annotations_on_core_packages() -> None:
+    """Offline ``disallow_untyped_defs`` subset of ``mypy --strict``."""
+    violations = check_annotations(list(STRICT_TARGETS))
+    rendered = "\n".join(v.render() for v in violations)
+    assert not violations, f"strict-annotation gaps:\n{rendered}"
+
+
+def test_mypy_strict_on_core_packages() -> None:
+    """Full ``mypy --strict`` via the [tool.mypy] table, when available."""
+    pytest.importorskip("mypy", reason="mypy not installed in this environment")
+    from mypy import api as mypy_api
+
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO_ROOT / "pyproject.toml"), *map(str, STRICT_TARGETS)]
+    )
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
