@@ -1,4 +1,4 @@
-"""The six domain rules enforced by ``repro-check``.
+"""The seven domain rules enforced by ``repro-check``.
 
 Each rule encodes one invariant from the paper that Python's type system
 cannot express on its own (see ``docs/static_analysis.md`` for the
@@ -16,6 +16,8 @@ R4        mutable-default         No mutable default arguments
 R5        cache-expiry            Cache writes always carry an expiry/validity signal
 R6        exception-hygiene       No bare/silently-swallowed exceptions in serving and
                                   experiment code
+R7        resilience-bypass       Server-tier code reaches external APIs only through
+                                  the resilience gateway, never directly
 ========  ======================  =====================================================
 """
 
@@ -492,6 +494,87 @@ class ExceptionHygieneRule(RuleProtocol):
 
 
 # --------------------------------------------------------------------------
+# R7 — server tier must not bypass the resilience gateway
+# --------------------------------------------------------------------------
+
+#: The tier whose upstream access must ride the degradation ladder.
+_R7_PACKAGES = ("server/",)
+#: The definitions module itself (it *is* the raw API layer) is exempt.
+_R7_ALLOWED_SUFFIXES = ("server/api.py",)
+
+#: Raw provider client constructors — only the gateway factory may build
+#: them (``ResilienceGateway.build`` wraps each in a fault injector, a
+#: retry policy, and a circuit breaker before anything can call it).
+_RAW_API_CONSTRUCTORS = {"WeatherApi", "BusyTimesApi", "TrafficApi", "ChargerCatalogApi"}
+#: Provider entry points, flagged when invoked on a raw ``*_api`` client.
+_RAW_API_METHODS = {"forecast", "window_forecast", "availability", "model_snapshot", "nearby"}
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class ResilienceBypassRule(RuleProtocol):
+    """R7: server-tier code reaches providers only through the gateway.
+
+    A direct ``WeatherApi(...)`` construction or an ``xyz_api.forecast``
+    call in ``server/`` skips retry, breaker, health accounting, and the
+    serve-stale/fallback ladder — one such call path is enough to turn a
+    provider outage back into a user-facing failure.  The raw clients are
+    built exactly once, inside :meth:`ResilienceGateway.build`.
+    """
+
+    rule_id = "R7"
+    name = "resilience-bypass"
+    description = "direct external-API access bypassing the resilience gateway"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        if source.rel_path.endswith(_R7_ALLOWED_SUFFIXES):
+            return False
+        return any(f"/{pkg}" in f"/{source.rel_path}" for pkg in _R7_PACKAGES)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if called in _RAW_API_CONSTRUCTORS:
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=source.rel_path,
+                    line=node.lineno,
+                    message=(
+                        f"raw provider client '{called}' constructed in the server "
+                        f"tier — build it through ResilienceGateway.build so calls "
+                        f"get retry/breaker/degradation handling"
+                    ),
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and called in _RAW_API_METHODS
+                and (_receiver_name(func.value) or "").endswith("_api")
+            ):
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=source.rel_path,
+                    line=node.lineno,
+                    message=(
+                        f"direct provider call '.{called}()' on a raw API client — "
+                        f"route it through the ResilienceGateway ladder instead"
+                    ),
+                )
+
+
+# --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
 
@@ -502,13 +585,14 @@ ALL_RULES: tuple[RuleProtocol, ...] = (
     MutableDefaultRule(),
     CacheExpiryRule(),
     ExceptionHygieneRule(),
+    ResilienceBypassRule(),
 )
 
 RULES_BY_ID: dict[str, RuleProtocol] = {rule.rule_id: rule for rule in ALL_RULES}
 
 
 def select_rules(ids: Sequence[str] | None = None) -> tuple[RuleProtocol, ...]:
-    """The rule objects for ``ids`` (all six when None)."""
+    """The rule objects for ``ids`` (all seven when None)."""
     if ids is None:
         return ALL_RULES
     unknown = [rule_id for rule_id in ids if rule_id.upper() not in RULES_BY_ID]

@@ -14,6 +14,7 @@ from typing import Protocol, Sequence, runtime_checkable
 from ..analysis.contracts import ensure
 from ..chargers.charger import Charger
 from ..network.path import Trip, TripSegment
+from ..resilience.errors import UpstreamError
 from .environment import ChargingEnvironment
 from .intervals import Interval
 from .offering import OfferingTable, build_table
@@ -95,11 +96,21 @@ def refine_pool(
 
 @dataclass(slots=True)
 class RankingRun:
-    """The full CkNN-EC answer for one trip: one table per segment."""
+    """The full CkNN-EC answer for one trip: one table per segment.
+
+    ``failed_segments`` lists segment indices whose ranking could not be
+    produced even through the degradation ladder (upstream fault past
+    every fallback); a clean run has none.
+    """
 
     ranker_name: str
     trip: Trip
     tables: list[OfferingTable] = field(default_factory=list)
+    failed_segments: list[int] = field(default_factory=list)
+
+    @property
+    def completed_cleanly(self) -> bool:
+        return not self.failed_segments
 
     def table_for(self, segment_index: int) -> OfferingTable:
         """The Offering Table of ``segment_index`` (KeyError if absent)."""
@@ -140,15 +151,28 @@ def run_over_trip(
     segments = trip.segments(resolved_km)
     etas = environment.eta.segment_etas(trip, segment_km=resolved_km)
     run = RankingRun(ranker_name=ranker.name, trip=trip)
+    last_error: UpstreamError | None = None
     for i, segment in enumerate(segments):
         next_segment = segments[i + 1] if i + 1 < len(segments) else None
-        run.tables.append(
-            ranker.rank_segment(
+        try:
+            table = ranker.rank_segment(
                 trip,
                 segment,
                 eta_h=etas[i].expected_h,
                 now_h=trip.departure_time_h,
                 next_segment=next_segment,
             )
-        )
+        except UpstreamError as error:
+            # A ranker running behind the resilience gateway never gets
+            # here (the ladder bottoms out at the fallback interval); a
+            # raw-estimator ranker degrades to skipping the segment, and
+            # the continuous query carries on with the rest of the trip.
+            run.failed_segments.append(segment.index)
+            last_error = error
+            continue
+        run.tables.append(table)
+    if not run.tables and last_error is not None:
+        # Nothing rankable at all: surface the fault rather than return
+        # an answer that violates the one-table-minimum contract.
+        raise last_error
     return run

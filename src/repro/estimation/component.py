@@ -66,6 +66,46 @@ class ForecastConfidence:
         clamped into the admissible range ``[lo, hi]``."""
         return Interval.around(center, self.half_width(horizon_h)).clamp(lo, hi)
 
+    # -- graceful degradation (serve-stale / no-data fallbacks) -------------
+
+    def degraded_half_width(self, age_h: float = 0.0) -> float:
+        """Extra half-width for an estimate served *past* its validity.
+
+        The floor tail mass ``1 - floor_accuracy`` is the uncertainty we
+        admit even at infinite forecast horizon; staleness compounds it
+        linearly with the age of the served data, because a stale
+        estimate suffers both forecast error *and* drift since it was
+        fetched.
+        """
+        if age_h < 0:
+            raise ValueError("age_h must be non-negative")
+        return (1.0 - self.floor_accuracy) * (1.0 + age_h)
+
+    def stale_interval(
+        self, stale: Interval, age_h: float, lo: float = 0.0, hi: float = 1.0
+    ) -> Interval:
+        """Honest widening of a stale estimate served on upstream error.
+
+        The served interval contains the original and grows by
+        :meth:`degraded_half_width` on each side — wider-but-correct
+        rather than fresh-but-unavailable.
+        """
+        margin = self.degraded_half_width(age_h)
+        return Interval(stale.lo - margin, stale.hi + margin).clamp(lo, hi)
+
+    def fallback_interval(self, lo: float = 0.0, hi: float = 1.0) -> Interval:
+        """The no-data degradation floor.
+
+        With neither a fresh response nor a stale one there is nothing
+        to centre an estimate on, so the only interval guaranteed to
+        contain the truth is the whole admissible range ``[lo, hi]`` —
+        the conservative bound every estimator degrades to when its
+        provider is fully unavailable.
+        """
+        if lo > hi:
+            raise ValueError("fallback bounds must satisfy lo <= hi")
+        return Interval(lo, hi)
+
 
 #: Shared default used by every estimator unless overridden.
 DEFAULT_CONFIDENCE = ForecastConfidence()

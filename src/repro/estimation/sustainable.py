@@ -85,6 +85,20 @@ class SustainableChargingEstimator:
     ) -> Interval:
         """Deliverable clean power (kW interval) during the charging window
         ``[eta_h, eta_h + window_h]`` as forecast from ``now_h``."""
+        attenuation = self._weather.window_attenuation(eta_h, eta_h + window_h, now_h)
+        return self.power_with_attenuation(charger, eta_h, window_h, attenuation)
+
+    def power_with_attenuation(
+        self, charger: Charger, eta_h: float, window_h: float, attenuation: Interval
+    ) -> Interval:
+        """Deliverable clean power for a *given* attenuation interval.
+
+        The clear-sky envelope is pure local computation; only the
+        attenuation needs the weather provider — which is why the
+        resilient serving stack can keep the diurnal shape even when the
+        weather endpoint is down and the attenuation degrades to its
+        conservative bounds.
+        """
         if window_h <= 0:
             raise ValueError("charging window must be positive")
         profile = self._profile(charger)
@@ -94,11 +108,18 @@ class SustainableChargingEstimator:
             profile.clear_sky_kw(eta_h + window_h * i / 4.0) for i in range(5)
         ]
         clear_sky = Interval(min(samples), max(samples))
-        attenuation = self._weather.window_attenuation(eta_h, eta_h + window_h, now_h)
         produced = clear_sky * attenuation
         # A charger can never push more than its rated power.
         return Interval(
             min(produced.lo, charger.rate_kw), min(produced.hi, charger.rate_kw)
+        )
+
+    def normalised_level(self, charger: Charger, power: Interval) -> SustainableLevel:
+        """Assemble a :class:`SustainableLevel` from a power interval."""
+        return SustainableLevel(
+            charger_id=charger.charger_id,
+            power_kw=power,
+            normalised=power.scaled_by_max(self._max_power_kw).clamp(0.0, 1.0),
         )
 
     def estimate(
@@ -106,11 +127,7 @@ class SustainableChargingEstimator:
     ) -> SustainableLevel:
         """Full ``L`` estimate: raw kW interval plus the normalised one."""
         power = self.power_interval_kw(charger, eta_h, now_h, window_h)
-        return SustainableLevel(
-            charger_id=charger.charger_id,
-            power_kw=power,
-            normalised=power.scaled_by_max(self._max_power_kw).clamp(0.0, 1.0),
-        )
+        return self.normalised_level(charger, power)
 
     def true_power_kw(self, charger: Charger, time_h: float) -> float:
         """Ground-truth deliverable clean power (no forecast error) —

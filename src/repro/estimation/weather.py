@@ -53,11 +53,17 @@ _TRANSITIONS = np.array(
 
 @dataclass(frozen=True, slots=True)
 class WeatherForecast:
-    """A forecast for a single future hour."""
+    """A forecast for a single future hour.
+
+    ``degraded`` marks forecasts assembled by the resilient serving path
+    from stale or absent provider data (interval widened accordingly)
+    rather than from a live upstream response.
+    """
 
     time_h: float
     expected_state: SkyState
     attenuation: Interval
+    degraded: bool = False
 
     @property
     def horizon_certain(self) -> bool:

@@ -13,7 +13,7 @@ import argparse
 import sys
 from typing import Callable
 
-from . import figure6, figure7, figure8, figure9, modes_report
+from . import figure6, figure7, figure8, figure9, modes_report, resilience_report
 from .harness import HarnessConfig
 
 _DRIVERS: dict[str, Callable[[HarnessConfig], str]] = {
@@ -22,6 +22,7 @@ _DRIVERS: dict[str, Callable[[HarnessConfig], str]] = {
     "figure8": figure8.main,
     "figure9": figure9.main,
     "modes": modes_report.main,
+    "resilience": resilience_report.main,
 }
 
 

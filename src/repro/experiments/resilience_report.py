@@ -1,0 +1,178 @@
+"""Ranking quality versus upstream fault rate (robustness experiment).
+
+Not a figure in the paper, which assumes providers always answer; this
+driver quantifies the serving story's missing half: as transient provider
+failures climb from 0 % to 50 %, the EIS keeps completing every
+continuous query through the degradation ladder, the delivered Offering
+Tables stay *interval-sound* (the oracle component value lies inside
+every served interval — the whole point of widening instead of guessing),
+and the ground-truth SC of the selections decays gracefully instead of
+collapsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.ecocharge import EcoChargeConfig
+from ..core.scoring import Weights
+from ..resilience import FaultInjector, FaultProfile
+from ..server.eis import EcoChargeInformationServer
+from ..trajectories.datasets import DATASET_ORDER
+from .harness import HarnessConfig, load_workloads
+from .metrics import oracle_truths_for_tables, sc_percent, true_sc_of_selection
+
+#: Transient per-call failure probabilities swept by the experiment.
+DEFAULT_ERROR_RATES: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.5)
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One (dataset, fault-rate) cell of the sweep."""
+
+    dataset: str
+    error_rate: float
+    tables: int
+    failed_segments: int
+    degraded_share: float
+    breaker_openings: int
+    mean_true_sc: float
+    sc_vs_clean: float
+    interval_soundness: float
+    accounting_ok: bool
+
+
+def _grade_run(
+    environment, run, trip, segment_km: float, grading: Weights
+) -> tuple[list[float], int, int]:
+    """(per-table true SC, sound component intervals, total intervals)."""
+    segments = run.trip.segments(segment_km)
+    etas = environment.eta.segment_etas(trip, segment_km=segment_km)
+    by_index = {segment.index: i for i, segment in enumerate(segments)}
+    sc_samples: list[float] = []
+    sound = 0
+    total = 0
+    for table in run.tables:
+        i = by_index[table.segment_index]
+        segment = segments[i]
+        next_segment = segments[i + 1] if i + 1 < len(segments) else None
+        eta_h = etas[i].expected_h
+        truths = oracle_truths_for_tables(
+            environment, segment, [table], eta_h, next_segment
+        )
+        sc_samples.append(true_sc_of_selection(truths, table.charger_ids(), grading))
+        if table.is_adapted:
+            # Adapted tables reuse intervals computed for an earlier
+            # segment (Section IV-C's precision-for-reuse trade), so
+            # containment at *this* segment is not a claim they make —
+            # soundness is graded on freshly generated tables only.
+            continue
+        for entry in table.entries:
+            truth = truths[entry.charger_id]
+            for interval, value in (
+                (entry.sustainable, truth.sustainable),
+                (entry.availability, truth.availability),
+                (entry.derouting, truth.derouting),
+            ):
+                total += 1
+                sound += int(value in interval)
+    return sc_samples, sound, total
+
+
+def run_resilience(
+    config: HarnessConfig | None = None,
+    datasets: Sequence[str] = DATASET_ORDER,
+    error_rates: Sequence[float] = DEFAULT_ERROR_RATES,
+) -> list[ResilienceRow]:
+    """Sweep fault rates; grade every delivered table against the oracle."""
+    config = config if config is not None else HarnessConfig()
+    eco = EcoChargeConfig(k=config.k)
+    grading = Weights.equal()
+    workloads = load_workloads(datasets, config)
+
+    rows: list[ResilienceRow] = []
+    for name in datasets:
+        workload = workloads[name]
+        environment = workload.environment
+        trips = workload.trips[: config.trips_per_dataset]
+        clean_sc: float | None = None
+        for rate in error_rates:
+            injector = FaultInjector(
+                seed=config.seed, default=FaultProfile(error_rate=rate)
+            )
+            server = EcoChargeInformationServer(environment, injector=injector)
+            sc_samples: list[float] = []
+            sound = 0
+            total = 0
+            tables = 0
+            failed = 0
+            for trip in trips:
+                run = server.rank_trip(trip, eco)
+                tables += len(run.tables)
+                failed += len(run.failed_segments)
+                trip_sc, trip_sound, trip_total = _grade_run(
+                    environment, run, trip, eco.segment_km, grading
+                )
+                sc_samples.extend(trip_sc)
+                sound += trip_sound
+                total += trip_total
+            mean_sc = sum(sc_samples) / len(sc_samples) if sc_samples else 0.0
+            if clean_sc is None:
+                clean_sc = mean_sc
+            health = server.health
+            rows.append(
+                ResilienceRow(
+                    dataset=name,
+                    error_rate=rate,
+                    tables=tables,
+                    failed_segments=failed,
+                    degraded_share=(
+                        health.total_degraded / health.total_calls
+                        if health.total_calls
+                        else 0.0
+                    ),
+                    breaker_openings=sum(
+                        endpoint.breaker.times_opened
+                        for endpoint in server.gateway.endpoints.values()
+                    ),
+                    mean_true_sc=mean_sc,
+                    sc_vs_clean=sc_percent(mean_sc, clean_sc),
+                    interval_soundness=sound / total if total else 1.0,
+                    accounting_ok=server.gateway.accounting_ok(),
+                )
+            )
+    return rows
+
+
+def main(config: HarnessConfig | None = None) -> str:
+    rows = run_resilience(config)
+    lines = [
+        "Resilience — ranking quality vs. upstream fault rate "
+        "(graceful degradation, Section IV architecture under stress)",
+        "=" * 98,
+        (
+            f"{'dataset':<12}{'fault %':>8}{'tables':>8}{'failed':>8}"
+            f"{'degraded %':>12}{'breaker':>9}{'true SC':>9}{'SC vs clean %':>15}"
+            f"{'sound %':>9}{'books ok':>10}"
+        ),
+        "-" * 98,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.dataset:<12}{row.error_rate * 100:>7.0f}%{row.tables:>8}"
+            f"{row.failed_segments:>8}{row.degraded_share * 100:>11.1f}%"
+            f"{row.breaker_openings:>9}{row.mean_true_sc:>9.3f}"
+            f"{row.sc_vs_clean:>14.1f}%{row.interval_soundness * 100:>8.1f}%"
+            f"{'yes' if row.accounting_ok else 'NO':>10}"
+        )
+    lines.append("-" * 98)
+    lines.append(
+        "sound % = oracle component value inside the served interval, over "
+        "freshly generated tables (adapted tables reuse earlier-segment "
+        "intervals by design); the ladder widens intervals instead of "
+        "guessing, so degraded answers stay correct — just less precise."
+    )
+    text = "\n".join(lines)
+    print(text)
+    return text

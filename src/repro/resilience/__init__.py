@@ -1,0 +1,84 @@
+"""Fault tolerance for the EIS serving stack.
+
+Fault injection (:mod:`.faults`), retry with backoff (:mod:`.retry`),
+circuit breakers (:mod:`.breaker`), health accounting (:mod:`.health`),
+and the graceful-degradation gateway (:mod:`.gateway`) that ties them
+into the fresh → live → retried → stale → fallback ladder described in
+``docs/resilience.md``.
+"""
+
+from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+from .endpoint import ResilientEndpoint
+from .environment import FaultTolerantEnvironment
+from .errors import (
+    CircuitOpenError,
+    RetriesExhaustedError,
+    TransientUpstreamError,
+    UpstreamError,
+    UpstreamOutageError,
+    UpstreamTimeoutError,
+)
+from .faults import (
+    FaultInjector,
+    FaultProfile,
+    FaultStats,
+    FaultyBusyTimesApi,
+    FaultyChargerCatalogApi,
+    FaultyTrafficApi,
+    FaultyWeatherApi,
+    NO_FAULTS,
+    OutageWindow,
+)
+from .gateway import FetchResult, ResilienceGateway, ServiceLevel
+from .health import EndpointHealth, HealthRegistry
+from .policy import (
+    BUSY,
+    CATALOG,
+    DEFAULT_RESILIENCE,
+    ENDPOINTS,
+    EndpointPolicy,
+    ResilienceConfig,
+    StalenessPolicy,
+    TRAFFIC,
+    WEATHER,
+)
+from .retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "BUSY",
+    "CATALOG",
+    "DEFAULT_RESILIENCE",
+    "ENDPOINTS",
+    "NO_FAULTS",
+    "NO_RETRY",
+    "TRAFFIC",
+    "WEATHER",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "EndpointHealth",
+    "EndpointPolicy",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultStats",
+    "FaultTolerantEnvironment",
+    "FaultyBusyTimesApi",
+    "FaultyChargerCatalogApi",
+    "FaultyTrafficApi",
+    "FaultyWeatherApi",
+    "FetchResult",
+    "HealthRegistry",
+    "OutageWindow",
+    "ResilienceConfig",
+    "ResilienceGateway",
+    "ResilientEndpoint",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+    "ServiceLevel",
+    "StalenessPolicy",
+    "TransientUpstreamError",
+    "UpstreamError",
+    "UpstreamOutageError",
+    "UpstreamTimeoutError",
+]

@@ -1,0 +1,96 @@
+"""The resilient call path of one endpoint: breaker -> retry -> health.
+
+:class:`ResilientEndpoint` owns an endpoint's circuit breaker, retry
+policy, and health counters, and executes provider thunks under them.
+It knows nothing about caching or payload semantics — the degradation
+ladder above it (``gateway.py``) decides what to serve when the resilient
+call itself gives up.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, TypeVar
+
+from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+from .errors import CircuitOpenError, RetriesExhaustedError, UpstreamError
+from .health import EndpointHealth
+from .retry import RetryPolicy
+
+T = TypeVar("T")
+
+
+class ResilientEndpoint:
+    """Retry/backoff + circuit breaking around one endpoint's calls."""
+
+    def __init__(
+        self,
+        name: str,
+        policy: RetryPolicy | None = None,
+        breaker: BreakerConfig | CircuitBreaker | None = None,
+        health: EndpointHealth | None = None,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.policy = policy if policy is not None else RetryPolicy()
+        if isinstance(breaker, CircuitBreaker):
+            self.breaker = breaker
+        else:
+            self.breaker = CircuitBreaker(breaker)
+        self.health = health if health is not None else EndpointHealth(endpoint=name)
+        self._rng = Random(f"{seed}:retry:{name}")
+
+    @property
+    def state(self) -> BreakerState:
+        return self.breaker.state
+
+    def call(self, fn: Callable[[], T], now_h: float) -> T:
+        """Execute ``fn`` with retries under the breaker at ``now_h``.
+
+        Raises :class:`CircuitOpenError` without any upstream attempt
+        when the breaker rejects, and :class:`RetriesExhaustedError`
+        when every admitted attempt fails or the deadline runs out.
+        Non-upstream exceptions (programming errors) propagate untouched
+        and are not charged to the breaker.
+        """
+        self.health.calls += 1
+        if not self.breaker.allow(now_h):
+            self.health.breaker_rejections += 1
+            raise CircuitOpenError(self.name, "circuit breaker open")
+
+        elapsed_ms = 0.0
+        attempts = 0
+        last_error: UpstreamError | None = None
+        while attempts < self.policy.max_attempts:
+            attempts += 1
+            self.health.attempts += 1
+            try:
+                value = fn()
+            except UpstreamError as error:
+                self.health.failures += 1
+                elapsed_ms += error.latency_ms
+                self.breaker.record_failure(now_h)
+                last_error = error
+                if not error.retryable:
+                    break
+                if attempts >= self.policy.max_attempts:
+                    break
+                backoff = self.policy.backoff_ms(attempts, self._rng)
+                if elapsed_ms + backoff > self.policy.deadline_ms:
+                    break  # the deadline would pass before the next try
+                elapsed_ms += backoff
+                self.health.retries += 1
+                continue
+            else:
+                self.health.successes += 1
+                self.breaker.record_success(now_h)
+                if attempts > 1:
+                    self.health.retried += 1
+                else:
+                    self.health.live += 1
+                self.health.simulated_ms += elapsed_ms
+                return value
+        assert last_error is not None
+        self.health.exhausted += 1
+        self.health.simulated_ms += elapsed_ms
+        raise RetriesExhaustedError(self.name, attempts, elapsed_ms, last_error)

@@ -1,0 +1,174 @@
+"""A :class:`ChargingEnvironment` whose estimators survive upstream faults.
+
+The ranking algorithms (``core/ranking.py``) query the environment's
+estimators directly, so making ``run_over_trip`` fault-tolerant means the
+*estimator* layer — not just the snapshot layer — must ride the
+degradation ladder.  :class:`FaultTolerantEnvironment` shares the inner
+environment's network/registry/ground-truth models but swaps the three
+Estimated Component services for proxies that fetch their upstream inputs
+through a :class:`~repro.resilience.gateway.ResilienceGateway`:
+
+* sustainable ``L`` — the clear-sky envelope is local computation; only
+  the weather attenuation travels the ladder, so a weather outage costs
+  interval width, never the diurnal shape;
+* availability ``A`` — the busy-times interval travels the ladder and
+  degrades to the full ``[0, 1]`` admissible range;
+* derouting ``D`` — computed on the on-board map, but when the traffic
+  feed is stale or down the congestion-derived intervals are widened to
+  honour what the client genuinely no longer knows.
+
+The oracle view (``true_components*``) intentionally bypasses the ladder:
+evaluation grades against ground truth, which no outage can corrupt.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..core.environment import ChargingEnvironment
+from ..estimation.derouting import DeroutingCost
+from ..intervals import Interval
+from .gateway import ResilienceGateway, ServiceLevel
+
+if TYPE_CHECKING:
+    from ..chargers.charger import Charger
+    from ..estimation.availability import AvailabilityEstimator
+    from ..estimation.derouting import DeroutingEstimator
+    from ..estimation.sustainable import SustainableChargingEstimator, SustainableLevel
+    from ..network.path import TripSegment
+
+
+class _ResilientSustainable:
+    """``L`` estimator fetching weather attenuation through the ladder."""
+
+    def __init__(self, inner: "SustainableChargingEstimator", gateway: ResilienceGateway):
+        self._inner = inner
+        self._gateway = gateway
+
+    def estimate(
+        self, charger: "Charger", eta_h: float, now_h: float, window_h: float = 1.0
+    ) -> "SustainableLevel":
+        fetch = self._gateway.window_attenuation(
+            charger.point, eta_h, eta_h + window_h, now_h
+        )
+        power = self._inner.power_with_attenuation(charger, eta_h, window_h, fetch.value)
+        return self._inner.normalised_level(charger, power)
+
+    def __getattr__(self, name: str) -> Any:
+        # Oracle methods and parameters (true_power_kw, max_power_kw, ...)
+        # pass straight through to the real estimator.
+        return getattr(self._inner, name)
+
+
+class _ResilientAvailability:
+    """``A`` estimator fetching busy-times intervals through the ladder."""
+
+    def __init__(self, inner: "AvailabilityEstimator", gateway: ResilienceGateway):
+        self._inner = inner
+        self._gateway = gateway
+
+    def estimate(self, charger: "Charger", eta_h: float, now_h: float) -> Interval:
+        return self._gateway.availability(charger, eta_h, now_h).value
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class _ResilientDerouting:
+    """``D`` estimator honouring traffic-feed degradation.
+
+    Routing always runs on the on-board static map (a real navigator
+    keeps working offline), but the *congestion* bounds come from the
+    traffic feed — so a stale feed widens the cost intervals with age,
+    and a dead feed degrades them to the full admissible range.
+    """
+
+    def __init__(self, inner: "DeroutingEstimator", gateway: ResilienceGateway):
+        self._inner = inner
+        self._gateway = gateway
+
+    def batch_estimate(
+        self,
+        segment: "TripSegment",
+        chargers: Iterable["Charger"],
+        time_h: float,
+        now_h: float,
+        next_segment: "TripSegment | None" = None,
+        search_budget_h: float | None = None,
+    ) -> dict[int, DeroutingCost]:
+        fetch = self._gateway.traffic_snapshot(now_h)
+        base = self._inner.batch_estimate(
+            segment,
+            chargers,
+            time_h=time_h,
+            now_h=now_h,
+            next_segment=next_segment,
+            search_budget_h=search_budget_h,
+        )
+        if fetch.level is ServiceLevel.FALLBACK:
+            return {cid: self._floor_cost(cid) for cid in base}
+        if fetch.level is ServiceLevel.STALE:
+            return {
+                cid: self._widened_cost(cost, fetch.age_h) for cid, cost in base.items()
+            }
+        return base
+
+    def _floor_cost(self, charger_id: int) -> DeroutingCost:
+        conf = self._gateway.confidence
+        max_h = self._inner.max_derouting_h
+        return DeroutingCost(
+            charger_id=charger_id,
+            hours=Interval(0.0, max_h),
+            normalised=conf.fallback_interval(0.0, 1.0),
+        )
+
+    def _widened_cost(self, cost: DeroutingCost, age_h: float) -> DeroutingCost:
+        conf = self._gateway.confidence
+        max_h = self._inner.max_derouting_h
+        # Absolute margin, not Interval.widened (which scales the width
+        # and so would leave a saturated exact cost un-widened).
+        margin_h = conf.degraded_half_width(age_h) * max_h
+        return DeroutingCost(
+            charger_id=cost.charger_id,
+            hours=Interval(cost.hours.lo - margin_h, cost.hours.hi + margin_h).clamp(
+                0.0, max_h
+            ),
+            normalised=conf.stale_interval(cost.normalised, age_h),
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class FaultTolerantEnvironment(ChargingEnvironment):
+    """The inner environment with ladder-backed estimators.
+
+    Everything the oracle and the routing layer need (network, registry,
+    ground-truth weather/traffic, ETA) is shared with the inner
+    environment; only the three forecast-view estimators are proxied.
+    """
+
+    def __init__(self, inner: ChargingEnvironment, gateway: ResilienceGateway):
+        # Deliberately no super().__init__(): the inner environment
+        # already built and validated every component; re-running the
+        # constructor would duplicate estimator state and RNG streams.
+        self.inner = inner
+        self.gateway = gateway
+        self.network = inner.network
+        self.registry = inner.registry
+        self.weather = inner.weather
+        self.traffic = inner.traffic
+        self.eta = inner.eta
+        self.charging_window_h = inner.charging_window_h
+        self.sustainable = _ResilientSustainable(inner.sustainable, gateway)
+        self.availability = _ResilientAvailability(inner.availability, gateway)
+        self.derouting = _ResilientDerouting(inner.derouting, gateway)
+
+    @classmethod
+    def build(
+        cls, inner: ChargingEnvironment, gateway: ResilienceGateway | None = None, **kwargs: Any
+    ) -> "FaultTolerantEnvironment":
+        """Wrap ``inner``; extra kwargs go to :meth:`ResilienceGateway.build`."""
+        if gateway is None:
+            gateway = ResilienceGateway.build(inner, **kwargs)
+        return cls(inner, gateway)

@@ -1,0 +1,87 @@
+"""Typed upstream failure taxonomy.
+
+The production EIS depends on four external providers (weather, busy
+times, traffic, charger catalog — Section IV / Figure 4).  Every way a
+provider call can fail is a distinct exception type so the retry policy,
+the circuit breaker, and the degradation ladder can each react to exactly
+the failures they are responsible for:
+
+* transient errors and timeouts are *retryable* — backoff and try again;
+* scheduled outages are retryable in principle but usually outlast the
+  per-call deadline, which is what trips the breaker;
+* an open breaker fails fast *locally* — no upstream attempt is made.
+"""
+
+from __future__ import annotations
+
+
+class UpstreamError(Exception):
+    """Base class for every failure of an external-provider call.
+
+    ``endpoint`` names the logical provider ("weather", "busy",
+    "traffic", "catalog"); ``latency_ms`` is the simulated wall time the
+    failing attempt consumed, which the retry executor charges against
+    its per-call deadline.
+    """
+
+    retryable: bool = False
+
+    def __init__(self, endpoint: str, message: str = "", latency_ms: float = 0.0):
+        detail = f"{endpoint}: {message}" if message else endpoint
+        super().__init__(detail)
+        self.endpoint = endpoint
+        self.latency_ms = latency_ms
+
+
+class TransientUpstreamError(UpstreamError):
+    """A one-off provider failure (HTTP 5xx / connection reset)."""
+
+    retryable = True
+
+
+class UpstreamTimeoutError(UpstreamError):
+    """The provider answered too slowly (latency spike past the client
+    timeout); the response, if any, was discarded."""
+
+    retryable = True
+
+
+class UpstreamOutageError(UpstreamError):
+    """The provider is inside a scheduled/extended outage window."""
+
+    retryable = True
+
+
+class CircuitOpenError(UpstreamError):
+    """Raised locally when the endpoint's circuit breaker is open: the
+    call is rejected *without* contacting the provider."""
+
+    retryable = False
+
+
+class RetriesExhaustedError(UpstreamError):
+    """Every retry attempt failed (or the per-call deadline ran out).
+
+    Wraps the last underlying failure as ``__cause__`` so callers can
+    still classify it; ``attempts`` records how many were made.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        endpoint: str,
+        attempts: int,
+        elapsed_ms: float,
+        last_error: UpstreamError,
+    ):
+        super().__init__(
+            endpoint,
+            f"{attempts} attempt(s) failed in {elapsed_ms:.0f} ms "
+            f"(last: {type(last_error).__name__})",
+            latency_ms=elapsed_ms,
+        )
+        self.attempts = attempts
+        self.elapsed_ms = elapsed_ms
+        self.last_error = last_error
+        self.__cause__ = last_error

@@ -1,0 +1,243 @@
+"""Deterministic, seedable fault injection for the simulated providers.
+
+Chaos testing needs faults that are *reproducible*: the same seed and the
+same call sequence must produce the same failures, or a degraded-mode bug
+can never be replayed.  The :class:`FaultInjector` draws per-endpoint
+streams from :class:`random.Random` seeded with ``(seed, endpoint)``, so
+endpoints fail independently and adding calls on one endpoint never
+shifts another's schedule.
+
+Three fault classes mirror what real provider SDKs defend against:
+
+* **transient errors** — per-call probability of an HTTP-5xx-style
+  failure (:class:`TransientUpstreamError`);
+* **latency spikes** — per-call probability that the response exceeds the
+  client timeout (:class:`UpstreamTimeoutError`);
+* **outage windows** — scheduled ``[start_h, end_h)`` intervals of
+  simulated clock time during which every call fails
+  (:class:`UpstreamOutageError`).
+
+The ``Faulty*Api`` wrappers mirror the four provider interfaces of
+``server/api.py`` one-to-one and roll the injector *before* delegating:
+an injected fault therefore never reaches the real provider and never
+increments its :class:`~repro.server.api.ApiUsage` counter — exactly the
+accounting a failed network call would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import TYPE_CHECKING, Any
+
+from .errors import TransientUpstreamError, UpstreamOutageError, UpstreamTimeoutError
+
+if TYPE_CHECKING:  # avoid a runtime repro.server import cycle
+    from ..chargers.charger import Charger
+    from ..intervals import Interval
+    from ..server.api import BusyTimesApi, ChargerCatalogApi, TrafficApi, WeatherApi
+    from ..spatial.geometry import Point
+
+
+@dataclass(frozen=True, slots=True)
+class OutageWindow:
+    """A scheduled provider outage over simulated clock time."""
+
+    start_h: float
+    end_h: float
+
+    def __post_init__(self) -> None:
+        if self.end_h <= self.start_h:
+            raise ValueError("outage window must end after it starts")
+
+    def covers(self, time_h: float) -> bool:
+        return self.start_h <= time_h < self.end_h
+
+
+@dataclass(frozen=True, slots=True)
+class FaultProfile:
+    """Failure characteristics of one endpoint.
+
+    ``latency_ms`` is the nominal round trip charged on success and on
+    transient errors; ``spike_latency_ms`` is what a timed-out call
+    costs the caller before it gives up.
+    """
+
+    error_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_ms: float = 40.0
+    spike_latency_ms: float = 1500.0
+    outages: tuple[OutageWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        for rate in (self.error_rate, self.latency_spike_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("fault rates must be in [0, 1]")
+        if self.latency_ms < 0 or self.spike_latency_ms < 0:
+            raise ValueError("latencies must be non-negative")
+
+    def in_outage(self, now_h: float) -> bool:
+        return any(window.covers(now_h) for window in self.outages)
+
+
+#: A profile that never fails — the default when no chaos is requested.
+NO_FAULTS = FaultProfile(latency_ms=0.0)
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """Per-endpoint injection accounting."""
+
+    rolls: int = 0
+    delivered: int = 0
+    transients: int = 0
+    timeouts: int = 0
+    outage_hits: int = 0
+    total_latency_ms: float = 0.0
+
+    @property
+    def injected(self) -> int:
+        return self.transients + self.timeouts + self.outage_hits
+
+
+class FaultInjector:
+    """Seeded fault source shared by all wrapped endpoints.
+
+    ``profiles`` maps endpoint names to :class:`FaultProfile`; endpoints
+    without an entry use ``default`` (no faults unless configured).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        profiles: dict[str, FaultProfile] | None = None,
+        default: FaultProfile = NO_FAULTS,
+    ):
+        self._seed = seed
+        self._profiles = dict(profiles) if profiles is not None else {}
+        self._default = default
+        self._rngs: dict[str, Random] = {}
+        self.stats: dict[str, FaultStats] = {}
+
+    def profile(self, endpoint: str) -> FaultProfile:
+        return self._profiles.get(endpoint, self._default)
+
+    def stats_for(self, endpoint: str) -> FaultStats:
+        stats = self.stats.get(endpoint)
+        if stats is None:
+            stats = FaultStats()
+            self.stats[endpoint] = stats
+        return stats
+
+    def _rng(self, endpoint: str) -> Random:
+        rng = self._rngs.get(endpoint)
+        if rng is None:
+            # Seeding with a string keeps the stream stable across runs
+            # and independent per endpoint.
+            rng = Random(f"{self._seed}:{endpoint}")
+            self._rngs[endpoint] = rng
+        return rng
+
+    @property
+    def total_injected(self) -> int:
+        return sum(stats.injected for stats in self.stats.values())
+
+    def roll(self, endpoint: str, now_h: float) -> float:
+        """One provider call at simulated time ``now_h``.
+
+        Returns the simulated latency on success; raises the scheduled
+        typed :class:`~repro.resilience.errors.UpstreamError` otherwise.
+        """
+        profile = self.profile(endpoint)
+        stats = self.stats_for(endpoint)
+        stats.rolls += 1
+        if profile.in_outage(now_h):
+            stats.outage_hits += 1
+            raise UpstreamOutageError(
+                endpoint, f"scheduled outage at t={now_h:.2f}h",
+                latency_ms=profile.spike_latency_ms,
+            )
+        rng = self._rng(endpoint)
+        if profile.latency_spike_rate > 0 and rng.random() < profile.latency_spike_rate:
+            stats.timeouts += 1
+            raise UpstreamTimeoutError(
+                endpoint, "latency spike past client timeout",
+                latency_ms=profile.spike_latency_ms,
+            )
+        if profile.error_rate > 0 and rng.random() < profile.error_rate:
+            stats.transients += 1
+            raise TransientUpstreamError(
+                endpoint, "transient provider failure", latency_ms=profile.latency_ms
+            )
+        stats.delivered += 1
+        stats.total_latency_ms += profile.latency_ms
+        return profile.latency_ms
+
+
+# ---------------------------------------------------------------------------
+# Faulty wrappers — one per provider interface of server/api.py
+# ---------------------------------------------------------------------------
+
+
+class FaultyWeatherApi:
+    """Fault-injecting proxy over :class:`~repro.server.api.WeatherApi`."""
+
+    ENDPOINT = "weather"
+
+    def __init__(self, inner: "WeatherApi", injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+
+    def forecast(self, location: "Point", target_h: float, now_h: float) -> Any:
+        self._injector.roll(self.ENDPOINT, now_h)
+        return self._inner.forecast(location, target_h, now_h)
+
+    def window_forecast(
+        self, location: "Point", start_h: float, end_h: float, now_h: float
+    ) -> "Interval":
+        self._injector.roll(self.ENDPOINT, now_h)
+        return self._inner.window_forecast(location, start_h, end_h, now_h)
+
+
+class FaultyBusyTimesApi:
+    """Fault-injecting proxy over :class:`~repro.server.api.BusyTimesApi`."""
+
+    ENDPOINT = "busy"
+
+    def __init__(self, inner: "BusyTimesApi", injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+
+    def availability(self, charger: "Charger", eta_h: float, now_h: float) -> "Interval":
+        self._injector.roll(self.ENDPOINT, now_h)
+        return self._inner.availability(charger, eta_h, now_h)
+
+
+class FaultyTrafficApi:
+    """Fault-injecting proxy over :class:`~repro.server.api.TrafficApi`."""
+
+    ENDPOINT = "traffic"
+
+    def __init__(self, inner: "TrafficApi", injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+
+    def model_snapshot(self, time_h: float) -> Any:
+        self._injector.roll(self.ENDPOINT, time_h)
+        return self._inner.model_snapshot(time_h)
+
+
+class FaultyChargerCatalogApi:
+    """Fault-injecting proxy over :class:`~repro.server.api.ChargerCatalogApi`."""
+
+    ENDPOINT = "catalog"
+
+    def __init__(self, inner: "ChargerCatalogApi", injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+
+    def nearby(
+        self, location: "Point", radius_km: float, now_h: float = 0.0
+    ) -> list["Charger"]:
+        self._injector.roll(self.ENDPOINT, now_h)
+        return self._inner.nearby(location, radius_km)

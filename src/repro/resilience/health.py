@@ -1,0 +1,134 @@
+"""Endpoint health accounting, exposed alongside ``ApiUsage``.
+
+``ApiUsage`` counts what the *providers* saw; :class:`EndpointHealth`
+counts what the *resilience layer* did — every logical call, every
+upstream attempt, every retry, breaker rejection, stale serve, and
+interval-widened fallback.  The two reconcile exactly (see
+:meth:`EndpointHealth.accounts_for`): a chaos run can prove that no
+upstream call went unaccounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(slots=True)
+class EndpointHealth:
+    """Counters for one logical endpoint.
+
+    Ladder outcome of a logical fetch (exactly one per fetch):
+
+    * ``cache_hits`` — answered from the fresh response cache;
+    * ``live`` — upstream success on the first attempt;
+    * ``retried`` — upstream success after at least one retry;
+    * ``stale_served`` — upstream failed, bounded-stale cache entry
+      served (interval payloads widened);
+    * ``fallbacks`` — upstream failed and no stale entry: the honest
+      wide-interval floor was served.
+
+    Upstream accounting: ``attempts = successes + failures`` always, and
+    ``successes`` equals the provider's own usage counter because a
+    fault fires *before* the provider is reached.
+    """
+
+    endpoint: str
+    calls: int = 0
+    cache_hits: int = 0
+    live: int = 0
+    retried: int = 0
+    stale_served: int = 0
+    fallbacks: int = 0
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    retries: int = 0
+    breaker_rejections: int = 0
+    exhausted: int = 0
+    simulated_ms: float = 0.0
+
+    @property
+    def degraded(self) -> int:
+        """Fetches answered below full freshness."""
+        return self.stale_served + self.fallbacks
+
+    @property
+    def availability_ratio(self) -> float:
+        """Fraction of logical calls answered without degradation."""
+        if self.calls == 0:
+            return 1.0
+        return (self.calls - self.degraded) / self.calls
+
+    def accounts_for(self, provider_calls: int) -> bool:
+        """Verify the counters reconcile with the provider's counter.
+
+        Three identities must hold:
+
+        1. every attempt either succeeded or failed;
+        2. every logical call landed on exactly one ladder rung;
+        3. every *delivered* upstream call is a recorded success
+           (``provider_calls`` is the matching ``ApiUsage`` counter).
+        """
+        ladder = (
+            self.cache_hits + self.live + self.retried + self.stale_served + self.fallbacks
+        )
+        return (
+            self.attempts == self.successes + self.failures
+            and self.calls == ladder
+            and self.successes == provider_calls
+            and self.degraded == self.exhausted + self.breaker_rejections
+        )
+
+
+@dataclass(slots=True)
+class HealthRegistry:
+    """All endpoint healths of one resilient serving stack."""
+
+    endpoints: dict[str, EndpointHealth] = field(default_factory=dict)
+
+    def for_endpoint(self, endpoint: str) -> EndpointHealth:
+        health = self.endpoints.get(endpoint)
+        if health is None:
+            health = EndpointHealth(endpoint=endpoint)
+            self.endpoints[endpoint] = health
+        return health
+
+    @property
+    def total_degraded(self) -> int:
+        return sum(h.degraded for h in self.endpoints.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(h.calls for h in self.endpoints.values())
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Plain-dict snapshot for reports and logs."""
+        out: dict[str, dict[str, float]] = {}
+        for name, health in sorted(self.endpoints.items()):
+            out[name] = {
+                f.name: getattr(health, f.name)
+                for f in fields(health)
+                if f.name != "endpoint"
+            }
+        return out
+
+    def render(self) -> str:
+        """Aligned text table of all endpoint counters."""
+        header = (
+            "endpoint", "calls", "cache", "live", "retried", "stale",
+            "fallback", "attempts", "fail", "rej",
+        )
+        rows = [header]
+        for name, h in sorted(self.endpoints.items()):
+            rows.append(
+                (
+                    name, str(h.calls), str(h.cache_hits), str(h.live),
+                    str(h.retried), str(h.stale_served), str(h.fallbacks),
+                    str(h.attempts), str(h.failures), str(h.breaker_rejections),
+                )
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        return "\n".join(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            for row in rows
+        )

@@ -47,6 +47,17 @@ class WeatherApi:
         self._usage.weather_calls += 1
         return self._model.forecast(target_h, now_h)
 
+    def window_forecast(
+        self, location: Point, start_h: float, end_h: float, now_h: float
+    ) -> Interval:
+        """Attenuation hull over a charging window, as one counted call.
+
+        Real forecast providers return multi-hour payloads per request;
+        counting the window as a single upstream call keeps the caching
+        experiments' accounting faithful."""
+        self._usage.weather_calls += 1
+        return self._model.window_attenuation(start_h, end_h, now_h)
+
 
 class BusyTimesApi:
     """Google-Maps-popular-times stand-in: availability per charger."""

@@ -5,6 +5,14 @@ intelligently employing a smart caching mechanism" (Section IV).  This is
 a TTL keyed cache with spatial bucketing: requests for nearby locations at
 nearby times share entries, which is what collapses the per-client API
 fan-out when many vehicles traverse the same area.
+
+Beyond freshness, the cache is the middle rung of the resilience
+degradation ladder (``docs/resilience.md``): entries past their TTL are
+retained up to the eviction bound and can be served *stale* when the
+upstream provider is failing — ``lookup_stale`` with an explicit
+staleness bound, so serve-stale-on-error is bounded, observable
+(``stats.stale_hits``), and never silently substitutes for a fresh
+response on the happy path.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ class ResponseCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    stale_hits: int = 0
+    compute_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -28,11 +38,32 @@ class ResponseCacheStats:
         return self.hits / total if total else 0.0
 
 
+@dataclass(frozen=True, slots=True)
+class CachedValue:
+    """A cache read: the stored value plus how old it is."""
+
+    value: Any
+    stored_h: float
+    age_h: float
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One stored response: write time, last read time, payload."""
+
+    stored_h: float
+    last_access_h: float
+    value: Any
+
+
 class ResponseCache:
-    """TTL cache with LRU-ish size bounding.
+    """TTL cache with a true LRU size bound.
 
     Keys are arbitrary hashables; :meth:`spatial_key` buckets locations
     and times so continuous queries quantise onto shared entries.
+    Recency is tracked per *access* (reads refresh it), so a hot entry
+    is never evicted in favour of a cold one merely because the cold one
+    was written later.
     """
 
     def __init__(self, ttl_h: float = 0.5, max_entries: int = 4096):
@@ -43,7 +74,7 @@ class ResponseCache:
         self.ttl_h = ttl_h
         self.max_entries = max_entries
         self.stats = ResponseCacheStats()
-        self._entries: dict[Hashable, tuple[float, Any]] = {}
+        self._entries: dict[Hashable, _Entry] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -60,29 +91,80 @@ class ResponseCache:
             math.floor(time_h / slot_h),
         )
 
-    def get_or_compute(self, key: Hashable, now_h: float, compute: Callable[[], Any]) -> Any:
-        """Cached value if fresh, else compute, store, and return."""
+    def _fresh_entry(self, key: Hashable, now_h: float) -> _Entry | None:
         entry = self._entries.get(key)
-        if entry is not None and now_h - entry[0] <= self.ttl_h:
+        if entry is not None and now_h - entry.stored_h <= self.ttl_h:
+            return entry
+        return None
+
+    def lookup(self, key: Hashable, now_h: float) -> CachedValue | None:
+        """Fresh entry under ``key`` or None; counts a hit or a miss."""
+        entry = self._fresh_entry(key, now_h)
+        if entry is not None:
             self.stats.hits += 1
-            return entry[1]
+            entry.last_access_h = now_h
+            return CachedValue(entry.value, entry.stored_h, now_h - entry.stored_h)
         self.stats.misses += 1
-        value = compute()
+        return None
+
+    def lookup_stale(
+        self, key: Hashable, now_h: float, max_stale_h: float | None = None
+    ) -> CachedValue | None:
+        """Any entry under ``key`` no older than ``max_stale_h``.
+
+        The error-path read of the degradation ladder: unlike
+        :meth:`lookup` it ignores the TTL (``max_stale_h=None`` accepts
+        any retained entry) and counts ``stale_hits`` instead of
+        hits/misses, so serve-stale never distorts the hit rate the
+        caching experiments measure.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        age_h = now_h - entry.stored_h
+        if max_stale_h is not None and age_h > max_stale_h:
+            return None
+        self.stats.stale_hits += 1
+        entry.last_access_h = now_h
+        return CachedValue(entry.value, entry.stored_h, max(0.0, age_h))
+
+    def get_or_compute(self, key: Hashable, now_h: float, compute: Callable[[], Any]) -> Any:
+        """Cached value if fresh, else compute, store, and return.
+
+        A ``compute()`` failure is counted as ``compute_errors`` (not a
+        miss), leaves any previous entry in place for serve-stale, and
+        propagates to the caller — the cache never swallows upstream
+        errors and never stores a placeholder for a failed computation.
+        """
+        entry = self._fresh_entry(key, now_h)
+        if entry is not None:
+            self.stats.hits += 1
+            entry.last_access_h = now_h
+            return entry.value
+        try:
+            value = compute()
+        except Exception:
+            self.stats.compute_errors += 1
+            raise
+        self.stats.misses += 1
         self.put(key, now_h, value)
         return value
 
     def put(self, key: Hashable, now_h: float, value: Any) -> None:
-        """Store ``value`` under ``key``, evicting the stalest entry if full."""
+        """Store ``value`` under ``key``, evicting the least recently
+        *used* entry if full (reads refresh recency, so hot entries
+        survive write bursts)."""
         if len(self._entries) >= self.max_entries and key not in self._entries:
-            # Evict the stalest entry (smallest timestamp).
-            oldest = min(self._entries, key=lambda k: self._entries[k][0])
-            del self._entries[oldest]
+            coldest = min(self._entries, key=lambda k: self._entries[k].last_access_h)
+            del self._entries[coldest]
             self.stats.evictions += 1
-        self._entries[key] = (now_h, value)
+        self._entries[key] = _Entry(stored_h=now_h, last_access_h=now_h, value=value)
 
     def invalidate_older_than(self, now_h: float) -> int:
         """Drop expired entries; returns how many were removed."""
-        stale = [k for k, (t, __) in self._entries.items() if now_h - t > self.ttl_h]
+        stale = [
+            k for k, entry in self._entries.items() if now_h - entry.stored_h > self.ttl_h
+        ]
         for key in stale:
             del self._entries[key]
         return len(stale)

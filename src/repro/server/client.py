@@ -27,6 +27,16 @@ class SessionStats:
     tables_generated: int = 0
     tables_adapted: int = 0
     payload_kb: float = 0.0
+    degraded_snapshots: int = 0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of fetched snapshots served stale or from fallback."""
+        return (
+            self.degraded_snapshots / self.snapshots_fetched
+            if self.snapshots_fetched
+            else 0.0
+        )
 
     @property
     def cache_benefit(self) -> float:
@@ -78,6 +88,8 @@ class EcoChargeClient:
             eta_h=table.generated_at_h,
             now_h=trip.departure_time_h,
         )
+        if snapshot.is_degraded:
+            self.stats.degraded_snapshots += 1
         self.stats.payload_kb += (
             REQUEST_KB + SNAPSHOT_KB_PER_CHARGER * snapshot.charger_count + OFFERING_TABLE_KB
         )

@@ -7,7 +7,10 @@ from .scenarios import (
     SHOPPING_TRIP,
     TAXI_IDLE,
     WAITING_PARENT,
+    ChaosReport,
+    ChaosSpec,
     Scenario,
+    run_chaos,
     run_scenario,
     scenario_comparison,
 )
@@ -20,6 +23,8 @@ from .fleet import (
 )
 
 __all__ = [
+    "ChaosReport",
+    "ChaosSpec",
     "ChargerOccupancy",
     "EventKind",
     "EventLog",
@@ -35,6 +40,7 @@ __all__ = [
     "VehicleOutcome",
     "VehiclePhase",
     "WAITING_PARENT",
+    "run_chaos",
     "run_scenario",
     "scenario_comparison",
 ]

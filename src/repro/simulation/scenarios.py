@@ -17,6 +17,7 @@ from typing import Callable
 from ..chargers.charger import Vehicle
 from ..core.ecocharge import EcoChargeConfig
 from ..network.path import Trip
+from ..resilience.faults import OutageWindow
 from ..trajectories.datasets import Workload
 from .fleet import FleetReport, FleetSimulation, SimulationConfig
 
@@ -116,3 +117,112 @@ def scenario_comparison(
     """Run every scenario on the same workload for side-by-side stats."""
     scenarios = scenarios if scenarios is not None else SCENARIOS
     return {name: run_scenario(s, workload) for name, s in scenarios.items()}
+
+
+# ---------------------------------------------------------------------------
+# Chaos scenario: the serving stack under provider faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosSpec:
+    """A fault-injection scenario for the EIS serving stack.
+
+    ``error_rate`` is the per-call transient failure probability of every
+    upstream endpoint; the weather endpoint additionally suffers a hard
+    outage window (forecasts are the component most exposed to provider
+    downtime in practice).  The point of the scenario is the paper's
+    serving story under stress: every trip must still receive a complete
+    CkNN-EC answer — with honestly wider intervals — and zero unhandled
+    exceptions.
+    """
+
+    name: str = "provider-chaos"
+    description: str = "EIS serving a fleet through faulty providers"
+    error_rate: float = 0.25
+    latency_spike_rate: float = 0.05
+    weather_outage: "OutageWindow | None" = None
+    seed: int = 0
+    fleet_size: int = 3
+    k: int = 3
+    radius_km: float = 15.0
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosReport:
+    """What happened when the fleet was served through faults."""
+
+    scenario: str
+    trips_ranked: int
+    tables_produced: int
+    failed_segments: int
+    snapshots_served: int
+    degraded_snapshots: int
+    faults_injected: int
+    degraded_served: int
+    breaker_openings: dict[str, int]
+    accounting_ok: bool
+
+    @property
+    def completed_cleanly(self) -> bool:
+        """Every segment of every trip got an Offering Table."""
+        return self.failed_segments == 0
+
+
+def run_chaos(workload: Workload, spec: ChaosSpec | None = None) -> ChaosReport:
+    """Serve a fleet centrally (Mode 2) while providers misbehave.
+
+    Each trip gets a full :func:`~repro.core.ranking.run_over_trip` pass
+    plus one region snapshot per produced table, so all four endpoints
+    (weather, busy, traffic, catalog) see traffic under the configured
+    fault regime.  The report reconciles health counters against
+    ``ApiUsage`` — every upstream call is accounted for.
+    """
+    from ..resilience import FaultInjector, FaultProfile
+    from ..server.eis import EcoChargeInformationServer
+
+    spec = spec if spec is not None else ChaosSpec()
+    profile = FaultProfile(
+        error_rate=spec.error_rate, latency_spike_rate=spec.latency_spike_rate
+    )
+    profiles = {}
+    if spec.weather_outage is not None:
+        profiles["weather"] = replace(profile, outages=(spec.weather_outage,))
+    injector = FaultInjector(seed=spec.seed, profiles=profiles, default=profile)
+    server = EcoChargeInformationServer(workload.environment, injector=injector)
+    config = EcoChargeConfig(k=spec.k, radius_km=spec.radius_km)
+
+    trips = workload.trips[: spec.fleet_size]
+    tables = 0
+    failed = 0
+    snapshots = 0
+    degraded_snapshots = 0
+    for trip in trips:
+        run = server.rank_trip(trip, config)
+        tables += len(run.tables)
+        failed += len(run.failed_segments)
+        for table in run.tables:
+            snapshot = server.region_snapshot(
+                table.origin,
+                spec.radius_km,
+                eta_h=table.generated_at_h,
+                now_h=trip.departure_time_h,
+            )
+            snapshots += 1
+            if snapshot.is_degraded:
+                degraded_snapshots += 1
+    return ChaosReport(
+        scenario=spec.name,
+        trips_ranked=len(trips),
+        tables_produced=tables,
+        failed_segments=failed,
+        snapshots_served=snapshots,
+        degraded_snapshots=degraded_snapshots,
+        faults_injected=server.gateway.injector.total_injected,
+        degraded_served=server.health.total_degraded,
+        breaker_openings={
+            name: endpoint.breaker.times_opened
+            for name, endpoint in sorted(server.gateway.endpoints.items())
+        },
+        accounting_ok=server.gateway.accounting_ok(),
+    )

@@ -1,4 +1,4 @@
-"""The ``repro.analysis`` subsystem: rules R1-R6, suppressions, CLI, and
+"""The ``repro.analysis`` subsystem: rules R1-R7, suppressions, CLI, and
 runtime contracts.
 
 Each rule gets (at least) one fixture snippet that triggers it and one
@@ -298,6 +298,58 @@ class TestSuppressions:
 
 
 # ---------------------------------------------------------------------------
+# R7 — resilience bypass
+# ---------------------------------------------------------------------------
+
+
+class TestR7ResilienceBypass:
+    PATH = "src/repro/server/eis.py"
+
+    def test_fires_on_raw_api_construction(self):
+        snippet = (
+            "class Server:\n"
+            "    def __init__(self, environment, usage):\n"
+            "        self._weather_api = WeatherApi(environment.weather, usage)\n"
+        )
+        assert rule_ids(check_source(snippet, self.PATH)) == ["R7"]
+
+    def test_fires_on_direct_api_call(self):
+        snippet = (
+            "def build(self, origin, eta_h, now_h):\n"
+            "    return self._weather_api.forecast(origin, eta_h, now_h)\n"
+        )
+        assert rule_ids(check_source(snippet, self.PATH)) == ["R7"]
+
+    def test_clean_when_routed_through_gateway(self):
+        snippet = (
+            "def build(self, origin, eta_h, now_h):\n"
+            "    return self.gateway.forecast(origin, eta_h, now_h)\n"
+        )
+        assert check_source(snippet, self.PATH) == []
+
+    def test_api_definitions_module_is_exempt(self):
+        snippet = (
+            "def make(model, usage):\n"
+            "    return WeatherApi(model, usage)\n"
+        )
+        assert check_source(snippet, "src/repro/server/api.py") == []
+
+    def test_other_packages_are_exempt(self):
+        snippet = (
+            "def make(model, usage):\n"
+            "    return WeatherApi(model, usage)\n"
+        )
+        assert check_source(snippet, "src/repro/resilience/gateway.py") == []
+
+    def test_pragma_suppresses(self):
+        snippet = (
+            "def make(model, usage):\n"
+            "    return WeatherApi(model, usage)  # repro-check: disable=R7\n"
+        )
+        assert check_source(snippet, self.PATH) == []
+
+
+# ---------------------------------------------------------------------------
 # engine / CLI
 # ---------------------------------------------------------------------------
 
@@ -308,8 +360,8 @@ class TestEngineAndCli:
         with pytest.raises(KeyError):
             select_rules(["R9"])
 
-    def test_all_six_rules_registered(self):
-        assert [r.rule_id for r in ALL_RULES] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+    def test_all_seven_rules_registered(self):
+        assert [r.rule_id for r in ALL_RULES] == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
 
     def test_cli_clean_tree_exits_zero(self, capsys):
         assert main([str(SRC)]) == 0
@@ -340,13 +392,13 @@ class TestEngineAndCli:
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
             assert rule_id in out
 
     def test_cli_annotations_flag(self, tmp_path, capsys):
         unannotated = tmp_path / "loose.py"
         unannotated.write_text("def f(x):\n    return x\n")
-        assert main([str(unannotated)]) == 0  # R1-R6 clean
+        assert main([str(unannotated)]) == 0  # R1-R7 clean
         assert main(["--annotations", str(unannotated)]) == 1
         out = capsys.readouterr().out
         assert "TYP" in out
@@ -367,7 +419,7 @@ class TestRealTree:
         report = check_paths([SRC])
         assert report.ok, "repro-check violations:\n" + report.render_text()
         assert report.files_checked > 50
-        assert report.rules_run == ("R1", "R2", "R3", "R4", "R5", "R6")
+        assert report.rules_run == ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
 
     def test_tests_tree_is_clean(self):
         report = check_paths([REPO_ROOT / "tests"])

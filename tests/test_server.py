@@ -53,6 +53,53 @@ class TestResponseCache:
         cache.put("c", 3.0, "c")
         assert cache.get_or_compute("b", 3.0, lambda: "recomputed") == "b"
 
+    def test_lru_reads_refresh_recency(self):
+        cache = ResponseCache(ttl_h=10.0, max_entries=2)
+        cache.put("hot", 1.0, "hot")
+        cache.put("cold", 2.0, "cold")
+        # Reading "hot" makes it the most recently *used* even though
+        # "cold" was written later; the next insert must evict "cold".
+        assert cache.lookup("hot", 3.0) is not None
+        cache.put("new", 4.0, "new")
+        assert cache.lookup("hot", 4.0) is not None
+        assert cache.lookup("cold", 4.0) is None
+
+    def test_get_or_compute_error_counted_not_cached(self):
+        cache = ResponseCache(ttl_h=0.5)
+
+        def boom():
+            raise RuntimeError("upstream down")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", 10.0, boom)
+        assert cache.stats.compute_errors == 1
+        assert cache.stats.misses == 0  # an error is not a miss
+        assert len(cache) == 0  # no placeholder was stored
+        # The cache recovers: the next successful compute is stored.
+        assert cache.get_or_compute("k", 10.0, lambda: 42) == 42
+
+    def test_get_or_compute_error_retains_stale_entry(self):
+        cache = ResponseCache(ttl_h=0.5)
+        cache.get_or_compute("k", 10.0, lambda: "old")
+
+        def boom():
+            raise RuntimeError("upstream down")
+
+        # Past the TTL the compute runs again; its failure must leave
+        # the expired entry in place for the serve-stale error path.
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", 11.0, boom)
+        stale = cache.lookup_stale("k", 11.0, max_stale_h=2.0)
+        assert stale is not None and stale.value == "old"
+        assert stale.age_h == pytest.approx(1.0)
+
+    def test_lookup_stale_respects_bound(self):
+        cache = ResponseCache(ttl_h=0.5)
+        cache.put("k", 10.0, "v")
+        assert cache.lookup_stale("k", 13.0, max_stale_h=2.0) is None
+        assert cache.lookup_stale("k", 13.0, max_stale_h=None) is not None
+        assert cache.stats.stale_hits == 1
+
     def test_invalidate_older_than(self):
         cache = ResponseCache(ttl_h=0.5)
         cache.put("a", 1.0, "a")
