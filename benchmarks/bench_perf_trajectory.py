@@ -1,0 +1,51 @@
+"""Engine backend benchmarks — the serving workload behind BENCH_perf.json.
+
+Times the same cold EcoCharge serving pass as
+``python -m repro.experiments perf``, per backend, on the smoke-sized
+scenario so the suite stays fast; the committed full-scale numbers live
+in BENCH_perf.json at the repo root.  The customisation-only benchmark
+isolates the stacked triangle sweep that dominates CH per-segment cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chargers.plugshare import CatalogSpec, generate_catalog
+from repro.core.environment import ChargingEnvironment
+from repro.estimation.traffic import TrafficModel
+from repro.experiments.perf_trajectory import _serve, _trips, smoke_scenarios
+from repro.network.contraction import ContractionHierarchy
+from repro.network.distance_engine import BACKENDS, DistanceEngine
+
+SCENARIO = smoke_scenarios()[0]
+NETWORK = SCENARIO.build()
+REGISTRY = generate_catalog(
+    NETWORK, CatalogSpec(charger_count=SCENARIO.charger_count, seed=7)
+)
+TRIPS = _trips(NETWORK, SCENARIO.trip_count, SCENARIO.segment_km)
+HIERARCHY = ContractionHierarchy.build(NETWORK)
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_cold_serving_pass(benchmark, backend):
+    def run():
+        engine = DistanceEngine(NETWORK, backend=backend, hierarchy=HIERARCHY)
+        environment = ChargingEnvironment(NETWORK, REGISTRY, seed=0, engine=engine)
+        return _serve(environment, TRIPS, SCENARIO)
+
+    segments = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["nodes"] = NETWORK.node_count
+    benchmark.extra_info["segments"] = segments
+
+
+def test_stacked_customisation(benchmark):
+    traffic = TrafficModel(seed=0)
+    lo, hi = traffic.travel_time_bound_specs(9.0, 8.0)
+    rows = [spec.batch(HIERARCHY.original_edges) for spec in (lo, hi)]
+    HIERARCHY.customize_many(rows)  # materialise the sweep plan once
+
+    benchmark.pedantic(lambda: HIERARCHY.customize_many(rows), rounds=5, iterations=2)
+    benchmark.extra_info["triangles"] = HIERARCHY.stats.triangles
+    benchmark.extra_info["metrics_per_sweep"] = len(rows)

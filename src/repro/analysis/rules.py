@@ -1,4 +1,4 @@
-"""The seven domain rules enforced by ``repro-check``.
+"""The eight domain rules enforced by ``repro-check``.
 
 Each rule encodes one invariant from the paper that Python's type system
 cannot express on its own (see ``docs/static_analysis.md`` for the
@@ -18,6 +18,9 @@ R6        exception-hygiene       No bare/silently-swallowed exceptions in servi
                                   experiment code
 R7        resilience-bypass       Server-tier code reaches external APIs only through
                                   the resilience gateway, never directly
+R8        engine-bypass           Ranking hot loops (``core/``, ``estimation/``) run
+                                  shortest paths only through the shared
+                                  :class:`DistanceEngine`, never raw ``dijkstra*``
 ========  ======================  =====================================================
 """
 
@@ -575,6 +578,68 @@ class ResilienceBypassRule(RuleProtocol):
 
 
 # --------------------------------------------------------------------------
+# R8 — ranking hot loops must use the shared distance engine
+# --------------------------------------------------------------------------
+
+#: Packages whose shortest-path queries sit on the per-segment hot path —
+#: every call here runs once per segment per query mode per evaluation rep.
+_R8_PACKAGES = ("core/", "estimation/")
+
+#: Raw search entry points that bypass the engine's memoisation and its
+#: backend switch.  Point-to-point helpers (``dijkstra``, ``astar``, ...)
+#: are deliberately excluded: they answer one-off path reconstructions, not
+#: the batch pricing loops the engine exists for.
+_RAW_SEARCH_FUNCTIONS = {
+    "dijkstra_all",
+    "dijkstra_all_backward",
+    "dijkstra_to_targets",
+}
+
+
+class EngineBypassRule(RuleProtocol):
+    """R8: no direct batch ``dijkstra_*`` calls in ``core/`` or
+    ``estimation/`` — hot loops must go through the DistanceEngine.
+
+    A raw ``dijkstra_all`` in the pricing path recomputes a ball the
+    engine already holds, ignores the backend flag (the CH speedup
+    silently evaporates), and its un-quantised distances break the
+    bit-equality contract between backends.  The engine facade
+    (:class:`repro.network.distance_engine.DistanceEngine`) is the single
+    sanctioned entry point for pool pricing.
+    """
+
+    rule_id = "R8"
+    name = "engine-bypass"
+    description = "raw dijkstra_* call in a ranking hot loop (use DistanceEngine)"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        return any(f"/{pkg}" in f"/{source.rel_path}" for pkg in _R8_PACKAGES)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if called in _RAW_SEARCH_FUNCTIONS:
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=source.rel_path,
+                    line=node.lineno,
+                    message=(
+                        f"raw '{called}' call in a ranking hot loop — route it "
+                        f"through the shared DistanceEngine (one_to_many / "
+                        f"many_to_one) so results are cached, quantised, and "
+                        f"backend-switchable"
+                    ),
+                )
+
+
+# --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
 
@@ -586,13 +651,14 @@ ALL_RULES: tuple[RuleProtocol, ...] = (
     CacheExpiryRule(),
     ExceptionHygieneRule(),
     ResilienceBypassRule(),
+    EngineBypassRule(),
 )
 
 RULES_BY_ID: dict[str, RuleProtocol] = {rule.rule_id: rule for rule in ALL_RULES}
 
 
 def select_rules(ids: Sequence[str] | None = None) -> tuple[RuleProtocol, ...]:
-    """The rule objects for ``ids`` (all seven when None)."""
+    """The rule objects for ``ids`` (all eight when None)."""
     if ids is None:
         return ALL_RULES
     unknown = [rule_id for rule_id in ids if rule_id.upper() not in RULES_BY_ID]

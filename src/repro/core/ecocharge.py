@@ -62,6 +62,11 @@ class EcoChargeConfig:
     #: small quality cost (a charger outside the kept set cannot surface
     #: later).  Measured in benchmarks/bench_ablation_cache.py.
     cache_pool_limit: int | None = None
+    #: Shortest-path backend for the environment's distance engine: None
+    #: leaves the environment's current backend untouched, "dijkstra" the
+    #: truncated-Dijkstra fallback, "ch" the contraction hierarchy (same
+    #: quantised distances, measured in benchmarks/bench_perf_trajectory).
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -76,6 +81,8 @@ class EcoChargeConfig:
             raise ValueError("cache_ttl_h must be positive")
         if self.cache_pool_limit is not None and self.cache_pool_limit < self.k:
             raise ValueError("cache_pool_limit must be at least k")
+        if self.engine is not None and self.engine not in ("dijkstra", "ch"):
+            raise ValueError("engine must be None, 'dijkstra', or 'ch'")
 
 
 class EcoChargeRanker:
@@ -96,6 +103,8 @@ class EcoChargeRanker:
         self._env = environment
         self.config = config if config is not None else EcoChargeConfig()
         self.constraints = constraints
+        if self.config.engine is not None:
+            environment.set_engine_backend(self.config.engine)
         self._cache = DynamicCache(
             range_km=self.config.range_km, ttl_h=self.config.cache_ttl_h
         )

@@ -23,6 +23,7 @@ from ..estimation.eta import EtaEstimator
 from ..estimation.sustainable import SustainableChargingEstimator
 from ..estimation.traffic import TrafficModel
 from ..estimation.weather import WeatherModel
+from ..network.distance_engine import DistanceEngine
 from ..network.graph import RoadNetwork
 from ..network.path import TripSegment
 from .scoring import ComponentScores
@@ -49,6 +50,7 @@ class ChargingEnvironment:
         traffic: TrafficModel | None = None,
         seed: int = 0,
         charging_window_h: float = 1.0,
+        engine: str | DistanceEngine = "dijkstra",
     ) -> None:
         self.network = network
         self.registry = registry
@@ -56,11 +58,21 @@ class ChargingEnvironment:
         self.traffic = traffic if traffic is not None else TrafficModel(seed=seed)
         self.sustainable = SustainableChargingEstimator(registry, self.weather)
         self.availability = AvailabilityEstimator(registry, seed=seed)
-        self.derouting = DeroutingEstimator(network, self.traffic)
+        #: One shared distance engine: every shortest-path query made on
+        #: behalf of this environment (forecast pricing, oracle grading,
+        #: chaos re-rankings) funnels through the same memoised instance.
+        self.engine = (
+            engine if isinstance(engine, DistanceEngine) else DistanceEngine(network, backend=engine)
+        )
+        self.derouting = DeroutingEstimator(network, self.traffic, engine=self.engine)
         self.eta = EtaEstimator(self.traffic)
         if charging_window_h <= 0:
             raise ValueError("charging window must be positive")
         self.charging_window_h = charging_window_h
+
+    def set_engine_backend(self, backend: str) -> None:
+        """Switch the shared distance engine backend ("dijkstra" | "ch")."""
+        self.engine.set_backend(backend)
 
     # -- forecast view (what the algorithms see) ----------------------------
 
@@ -130,15 +142,15 @@ class ChargingEnvironment:
     ) -> dict[int, TrueComponents]:
         """Batch oracle components (one shortest-path pass for the pool)."""
         pool = list(chargers)
-        fn = self.traffic.travel_time_fn(time_h)
-        from ..network.shortest_path import dijkstra_all, dijkstra_all_backward
+        spec = self.traffic.travel_time_spec(time_h)
 
         max_h = self.derouting.max_derouting_h
-        out = dijkstra_all(self.network, segment.anchor_node, fn, max_cost=max_h)
-        back_same = dijkstra_all_backward(self.network, segment.node_ids[-1], fn, max_cost=max_h)
+        nodes = {charger.node_id for charger in pool}
+        out = self.engine.one_to_many(segment.anchor_node, nodes, spec, max_cost=max_h)
+        back_same = self.engine.many_to_one(nodes, segment.node_ids[-1], spec, max_cost=max_h)
         if next_segment is not None and next_segment.node_ids[-1] != segment.node_ids[-1]:
-            back_next = dijkstra_all_backward(
-                self.network, next_segment.node_ids[-1], fn, max_cost=max_h
+            back_next = self.engine.many_to_one(
+                nodes, next_segment.node_ids[-1], spec, max_cost=max_h
             )
         else:
             back_next = back_same

@@ -6,6 +6,12 @@ segment or joining the next one (Section III-C, Filtering phase).  Costs
 are travel-time hours under the traffic model's optimistic/pessimistic
 bounds, so ``D`` is an interval; it is normalised by an environment-wide
 maximum so every method scores against the same yardstick.
+
+All shortest-path work goes through the shared
+:class:`~repro.network.distance_engine.DistanceEngine` (repro-check rule
+R8): the engine memoises distance maps across segments, query modes, and
+re-rankings, and transparently swaps truncated Dijkstra for the
+contraction-hierarchy backend.
 """
 
 from __future__ import annotations
@@ -16,9 +22,9 @@ from typing import Iterable, Mapping
 
 from ..chargers.charger import Charger
 from ..intervals import Interval
+from ..network.distance_engine import DistanceEngine
 from ..network.graph import RoadNetwork
 from ..network.path import TripSegment
-from ..network.shortest_path import dijkstra_all, dijkstra_all_backward
 from .traffic import TrafficModel
 
 #: Reference speed used to convert the environment diameter into the
@@ -42,7 +48,10 @@ class DeroutingEstimator:
     this one prices an entire pool with four single-source searches per
     segment (optimistic and pessimistic, outbound and return), which is
     what keeps the Brute-Force baseline's per-point cost linear in |B|
-    rather than |B| x Dijkstra.
+    rather than |B| x Dijkstra.  The searches themselves ride the shared
+    :class:`DistanceEngine`, so repeated pricings of the same segment time
+    (by other query modes, the oracle grader, or chaos re-runs) are cache
+    hits rather than new searches.
     """
 
     def __init__(
@@ -50,9 +59,11 @@ class DeroutingEstimator:
         network: RoadNetwork,
         traffic: TrafficModel,
         max_derouting_h: float | None = None,
+        engine: DistanceEngine | None = None,
     ):
         self._network = network
         self._traffic = traffic
+        self._engine = engine if engine is not None else DistanceEngine(network)
         if max_derouting_h is None:
             bounds = network.bounds()
             diameter = math.hypot(bounds.width, bounds.height)
@@ -61,6 +72,10 @@ class DeroutingEstimator:
         if max_derouting_h <= 0:
             raise ValueError("max_derouting_h must be positive")
         self.max_derouting_h = max_derouting_h
+
+    @property
+    def engine(self) -> DistanceEngine:
+        return self._engine
 
     def batch_estimate(
         self,
@@ -83,19 +98,23 @@ class DeroutingEstimator:
         if not pool:
             return {}
         budget = search_budget_h if search_budget_h is not None else self.max_derouting_h
-        low_fn, high_fn = self._traffic.travel_time_bounds(time_h, now_h)
+        spec_low, spec_high = self._traffic.travel_time_bound_specs(time_h, now_h)
+        # One stacked sweep customises both bound metrics (CH backend).
+        self._engine.prepare(spec_low, spec_high)
 
         origin = segment.anchor_node
         rejoin_same = segment.node_ids[-1]
         rejoin_next = next_segment.node_ids[-1] if next_segment is not None else None
+        nodes = {charger.node_id for charger in pool}
 
-        out_low = dijkstra_all(self._network, origin, low_fn, max_cost=budget)
-        out_high = dijkstra_all(self._network, origin, high_fn, max_cost=budget)
-        back_same_low = dijkstra_all_backward(self._network, rejoin_same, low_fn, max_cost=budget)
-        back_same_high = dijkstra_all_backward(self._network, rejoin_same, high_fn, max_cost=budget)
+        engine = self._engine
+        out_low = engine.one_to_many(origin, nodes, spec_low, max_cost=budget)
+        out_high = engine.one_to_many(origin, nodes, spec_high, max_cost=budget)
+        back_same_low = engine.many_to_one(nodes, rejoin_same, spec_low, max_cost=budget)
+        back_same_high = engine.many_to_one(nodes, rejoin_same, spec_high, max_cost=budget)
         if rejoin_next is not None and rejoin_next != rejoin_same:
-            back_next_low = dijkstra_all_backward(self._network, rejoin_next, low_fn, max_cost=budget)
-            back_next_high = dijkstra_all_backward(self._network, rejoin_next, high_fn, max_cost=budget)
+            back_next_low = engine.many_to_one(nodes, rejoin_next, spec_low, max_cost=budget)
+            back_next_high = engine.many_to_one(nodes, rejoin_next, spec_high, max_cost=budget)
         else:
             back_next_low = back_same_low
             back_next_high = back_same_high
@@ -140,16 +159,18 @@ class DeroutingEstimator:
         next_segment: TripSegment | None = None,
     ) -> float:
         """Ground-truth derouting time (oracle view, exact traffic)."""
-        fn = self._traffic.travel_time_fn(time_h)
-        out = dijkstra_all(self._network, segment.anchor_node, fn, max_cost=self.max_derouting_h)
+        spec = self._traffic.travel_time_spec(time_h)
+        max_h = self.max_derouting_h
+        out = self._engine.one_to_many(
+            segment.anchor_node, (charger.node_id,), spec, max_cost=max_h
+        )
         cost_out = out.get(charger.node_id)
         if cost_out is None:
-            return self.max_derouting_h
-        back = dijkstra_all(self._network, charger.node_id, fn, max_cost=self.max_derouting_h)
-        candidates = [back.get(segment.node_ids[-1])]
+            return max_h
+        rejoins = {segment.node_ids[-1]}
         if next_segment is not None:
-            candidates.append(back.get(next_segment.node_ids[-1]))
-        returns = [c for c in candidates if c is not None]
-        if not returns:
-            return self.max_derouting_h
-        return min(self.max_derouting_h, cost_out + min(returns))
+            rejoins.add(next_segment.node_ids[-1])
+        back = self._engine.one_to_many(charger.node_id, rejoins, spec, max_cost=max_h)
+        if not back:
+            return max_h
+        return min(max_h, cost_out + min(back.values()))

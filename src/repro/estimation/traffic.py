@@ -15,7 +15,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Sequence
+
 from ..intervals import Interval
+from ..network.distance_engine import WeightSpec
 from ..network.graph import EdgeWeight, RoadEdge
 from ..network.shortest_path import CostFn
 from .component import DEFAULT_CONFIDENCE, ForecastConfidence
@@ -60,6 +63,10 @@ class TrafficModel:
         self.confidence = confidence
         self._rng_seed = seed
         self._noise_cache: dict[tuple[int, int], float] = {}
+        #: Static per-edge arrays for the vectorised spec evaluators, keyed
+        #: by the identity of the (stable) edge sequence a DistanceEngine
+        #: hierarchy hands us.  Tiny: one entry per hierarchy.
+        self._batch_arrays: dict[int, tuple[object, tuple]] = {}
 
     def _diurnal_gain(self, time_h: float) -> float:
         p = self.params
@@ -132,6 +139,94 @@ class TrafficModel:
             ).hi
 
         return low, high
+
+    # -- keyed weight specs for the DistanceEngine -------------------------
+
+    def travel_time_spec(self, time_h: float) -> WeightSpec:
+        """True travel-time metric with a cache identity (oracle view)."""
+        return WeightSpec(
+            key=("travel_time", time_h),
+            fn=self.travel_time_fn(time_h),
+            batch=lambda edges: self._batch_travel_time(edges, time_h, time_h, "true"),
+        )
+
+    def travel_time_bound_specs(
+        self, time_h: float, now_h: float
+    ) -> tuple[WeightSpec, WeightSpec]:
+        """(optimistic, pessimistic) keyed metrics for ``[D_min, D_max]``.
+
+        The spec keys make one segment's four searches, the baselines'
+        re-pricings, and chaos re-rankings share cached distance maps; the
+        ``batch`` evaluators mirror the scalar cost functions operation-
+        for-operation so CH customisation is bitwise-consistent with the
+        Dijkstra fallback.
+        """
+        low, high = self.travel_time_bounds(time_h, now_h)
+        return (
+            WeightSpec(
+                key=("travel_time_lo", time_h, now_h),
+                fn=low,
+                batch=lambda edges: self._batch_travel_time(edges, time_h, now_h, "lo"),
+            ),
+            WeightSpec(
+                key=("travel_time_hi", time_h, now_h),
+                fn=high,
+                batch=lambda edges: self._batch_travel_time(edges, time_h, now_h, "hi"),
+            ),
+        )
+
+    def _edge_arrays(self, edges: "Sequence[RoadEdge | None]") -> tuple:
+        """Static (index, length, speed, noise) arrays for an arc list."""
+        key = id(edges)
+        cached = self._batch_arrays.get(key)
+        if cached is not None and cached[0] is edges:
+            return cached[1]
+        index = [i for i, edge in enumerate(edges) if edge is not None]
+        real = [edges[i] for i in index]
+        arrays = (
+            np.asarray(index, dtype=np.intp),
+            len(edges),
+            np.array([edge.length_km for edge in real], dtype=np.float64),
+            np.array([edge.speed_kmh for edge in real], dtype=np.float64),
+            np.array([self._edge_noise(edge) for edge in real], dtype=np.float64),
+        )
+        if len(self._batch_arrays) > 8:
+            self._batch_arrays.clear()
+        self._batch_arrays[key] = (edges, arrays)
+        return arrays
+
+    def _batch_travel_time(
+        self,
+        edges: "Sequence[RoadEdge | None]",
+        time_h: float,
+        now_h: float,
+        bound: str,
+    ) -> "np.ndarray":
+        """Vectorised travel-time costs over an arc list (inf for shortcuts).
+
+        Every operation replays :meth:`multiplier` /
+        :meth:`multiplier_interval` in the same order and association so
+        each element is bitwise equal to the scalar cost function —
+        verified by ``tests/test_distance_engine.py``.
+        """
+        index, total, length, speed, noise = self._edge_arrays(edges)
+        p = self.params
+        speed_factor = np.maximum(
+            0.5, 1.0 + p.speed_sensitivity * (speed - 30.0) / 50.0
+        )
+        truth = 1.0 + self._diurnal_gain(time_h) * speed_factor * noise
+        horizon = time_h - now_h
+        if bound == "true" or horizon <= 0:
+            multiplier = truth
+        else:
+            rel = self.confidence.half_width(horizon)
+            if bound == "lo":
+                multiplier = np.maximum(1.0, truth * (1.0 - rel))
+            else:
+                multiplier = truth * (1.0 + rel)
+        out = np.full(total, math.inf, dtype=np.float64)
+        out[index] = (length / speed) * multiplier
+        return out
 
     def energy_fn(self, time_h: float, congestion_energy_gain: float = 0.25) -> CostFn:
         """Energy cost (kWh) at ``time_h``.

@@ -13,7 +13,15 @@ import argparse
 import sys
 from typing import Callable
 
-from . import figure6, figure7, figure8, figure9, modes_report, resilience_report
+from . import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    modes_report,
+    perf_trajectory,
+    resilience_report,
+)
 from .harness import HarnessConfig
 
 _DRIVERS: dict[str, Callable[[HarnessConfig], str]] = {
@@ -22,6 +30,7 @@ _DRIVERS: dict[str, Callable[[HarnessConfig], str]] = {
     "figure8": figure8.main,
     "figure9": figure9.main,
     "modes": modes_report.main,
+    "perf": perf_trajectory.main,
     "resilience": resilience_report.main,
 }
 

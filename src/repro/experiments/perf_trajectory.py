@@ -1,0 +1,298 @@
+"""Performance trajectory — Dijkstra vs contraction-hierarchy serving.
+
+A routing-dominated serving workload (continuous EcoCharge ranking over
+several trips sharing one :class:`~repro.network.distance_engine.DistanceEngine`)
+is priced under both engine backends and the speedup is recorded to
+``BENCH_perf.json`` at the working directory, together with a bounded
+history of previous runs so the trajectory of the number across commits
+stays visible.
+
+The two backends must agree *bitwise* on every delivered offering-table
+interval (the :mod:`~repro.network.distance_engine` quantisation
+contract); any disagreement aborts the run with a non-zero exit, so the
+benchmark doubles as an end-to-end equivalence check (the CI
+``perf-smoke`` job runs it at a reduced scale).
+
+Timing protocol: the CH topology is preprocessed once per scenario
+(metric-independent, reported as ``preprocess_s``); each repetition then
+serves every trip cold (fresh engine caches, all customisations paid)
+and again warm (same engine, caches hot).  The headline ``speedup`` is
+cold Dijkstra time over cold CH time on the best scenario — the
+steady-state serving comparison, with preprocessing reported alongside.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..chargers.plugshare import CatalogSpec, generate_catalog
+from ..core.ecocharge import EcoChargeConfig, EcoChargeRanker
+from ..core.environment import ChargingEnvironment
+from ..core.ranking import run_over_trip
+from ..network.builders import build_grid_network, build_radial_network
+from ..network.contraction import ContractionHierarchy
+from ..network.distance_engine import BACKENDS, DistanceEngine
+from ..network.graph import RoadNetwork
+from ..network.path import Trip
+from .harness import HarnessConfig
+
+#: Most recent runs kept in the persistent report.
+HISTORY_LIMIT = 20
+
+REPORT_FULL = "BENCH_perf.json"
+REPORT_SMOKE = "BENCH_perf_smoke.json"
+
+
+@dataclass(frozen=True, slots=True)
+class PerfScenario:
+    """One network + charger + trip workload shape."""
+
+    name: str
+    build: Callable[[], RoadNetwork]
+    charger_count: int
+    trip_count: int
+    segment_km: float = 3.0
+    radius_km: float = 60.0
+    k: int = 5
+
+
+def _grid(cols: int, rows: int) -> Callable[[], RoadNetwork]:
+    return lambda: build_grid_network(cols, rows, block_km=1.0, speed_kmh=50.0)
+
+
+def _radial(rings: int, spokes: int) -> Callable[[], RoadNetwork]:
+    return lambda: build_radial_network(
+        rings=rings, spokes=spokes, ring_gap_km=1.0, speed_kmh=50.0
+    )
+
+
+def full_scenarios() -> list[PerfScenario]:
+    """The committed-report workloads, headline first."""
+    return [
+        PerfScenario("grid30-sparse", _grid(30, 30), charger_count=6, trip_count=6),
+        PerfScenario("grid30-dense", _grid(30, 30), charger_count=12, trip_count=4),
+        PerfScenario("radial16x48", _radial(16, 48), charger_count=8, trip_count=4),
+    ]
+
+
+def smoke_scenarios() -> list[PerfScenario]:
+    """Tiny variants for CI: exercises both backends end to end."""
+    return [
+        PerfScenario("grid10-smoke", _grid(10, 10), charger_count=4, trip_count=2),
+    ]
+
+
+def _trips(network: RoadNetwork, count: int, segment_km: float) -> list[Trip]:
+    """Deterministic far-apart origin/destination pairs across the network."""
+    nodes = sorted(network.node_ids())
+    n = len(nodes)
+    pairs = [
+        (nodes[0], nodes[-1]),
+        (nodes[n // 4], nodes[3 * n // 4]),
+        (nodes[n // 2], nodes[-1]),
+        (nodes[0], nodes[2 * n // 3]),
+        (nodes[n // 3], nodes[-1]),
+        (nodes[n // 5], nodes[4 * n // 5]),
+    ]
+    trips = []
+    for i, (src, dst) in enumerate(pairs[:count]):
+        trips.append(Trip.route(network, src, dst, departure_time_h=8.0 + 0.35 * i))
+    return trips
+
+
+def _serve(
+    environment: ChargingEnvironment,
+    trips: list[Trip],
+    scenario: PerfScenario,
+) -> int:
+    """One pass of the serving workload; returns segments ranked."""
+    config = EcoChargeConfig(
+        k=scenario.k,
+        radius_km=scenario.radius_km,
+        range_km=1.0,
+        segment_km=scenario.segment_km,
+    )
+    ranker = EcoChargeRanker(environment, config)
+    segments = 0
+    for trip in trips:
+        run_over_trip(ranker, environment, trip, segment_km=scenario.segment_km)
+        segments += len(trip.segments(scenario.segment_km))
+    return segments
+
+
+def _measure_backend(
+    scenario: PerfScenario,
+    backend: str,
+    repetitions: int,
+    seed: int,
+    hierarchy: ContractionHierarchy | None,
+) -> dict:
+    """Min-over-repetitions cold and warm serving times for one backend."""
+    network = scenario.build()
+    registry = generate_catalog(
+        network, CatalogSpec(charger_count=scenario.charger_count, seed=7)
+    )
+    trips = _trips(network, scenario.trip_count, scenario.segment_km)
+    cold_s = math.inf
+    warm_s = math.inf
+    segments = 0
+    stats: dict[str, float] = {}
+    for __ in range(max(1, repetitions)):
+        engine = DistanceEngine(network, backend=backend, hierarchy=hierarchy)
+        environment = ChargingEnvironment(network, registry, seed=seed, engine=engine)
+        start = time.perf_counter()
+        segments = _serve(environment, trips, scenario)
+        cold_s = min(cold_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        _serve(environment, trips, scenario)
+        warm_s = min(warm_s, time.perf_counter() - start)
+        stats = engine.stats.as_dict()
+    return {
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "segments": segments,
+        "engine_stats": stats,
+    }
+
+
+def _check_backends_agree(scenario: PerfScenario, seed: int) -> None:
+    """Abort (exit 1) unless both backends produce identical intervals."""
+    network = scenario.build()
+    registry = generate_catalog(
+        network, CatalogSpec(charger_count=scenario.charger_count, seed=7)
+    )
+    trip = _trips(network, 1, scenario.segment_km)[0]
+    segments = trip.segments(scenario.segment_km)
+    probes = [segments[0], segments[len(segments) // 2]]
+    estimates = {}
+    for backend in BACKENDS:
+        environment = ChargingEnvironment(network, registry, seed=seed, engine=backend)
+        rows = []
+        for i, segment in enumerate(probes):
+            costs = environment.derouting.batch_estimate(
+                segment,
+                registry.all(),
+                time_h=trip.departure_time_h + 0.2 * (i + 1),
+                now_h=trip.departure_time_h,
+            )
+            rows.append(
+                {
+                    cid: (cost.hours.lo, cost.hours.hi, cost.normalised)
+                    for cid, cost in costs.items()
+                }
+            )
+        estimates[backend] = rows
+    if estimates["dijkstra"] != estimates["ch"]:
+        raise SystemExit(
+            f"perf: backend mismatch on scenario {scenario.name!r} — "
+            "'ch' and 'dijkstra' derouting intervals differ"
+        )
+
+
+def run_scenario(scenario: PerfScenario, repetitions: int, seed: int) -> dict:
+    """Measure one scenario under every backend and cross-check them."""
+    _check_backends_agree(scenario, seed)
+    network = scenario.build()
+    start = time.perf_counter()
+    hierarchy = ContractionHierarchy.build(network)
+    preprocess_s = time.perf_counter() - start
+    ch_stats = hierarchy.stats
+    backends = {
+        "dijkstra": _measure_backend(scenario, "dijkstra", repetitions, seed, None),
+        "ch": _measure_backend(scenario, "ch", repetitions, seed, hierarchy),
+    }
+    backends["ch"]["preprocess_s"] = round(preprocess_s, 4)
+    dijkstra_cold = backends["dijkstra"]["cold_s"]
+    ch_cold = backends["ch"]["cold_s"]
+    return {
+        "name": scenario.name,
+        "nodes": network.node_count,
+        "edges": network.edge_count,
+        "chargers": scenario.charger_count,
+        "trips": scenario.trip_count,
+        "ch_shortcut_arcs": ch_stats.shortcut_arcs,
+        "ch_triangles": ch_stats.triangles,
+        "backends": backends,
+        "speedup_cold": round(dijkstra_cold / ch_cold, 3) if ch_cold > 0 else None,
+        "speedup_warm": (
+            round(backends["dijkstra"]["warm_s"] / backends["ch"]["warm_s"], 3)
+            if backends["ch"]["warm_s"] > 0
+            else None
+        ),
+        "backends_agree": True,
+    }
+
+
+def _merge_history(path: Path, headline: float | None) -> list[dict]:
+    """Previous runs' headline numbers, oldest dropped past the limit."""
+    history: list[dict] = []
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        history = [h for h in previous.get("history", []) if isinstance(h, dict)]
+    history.append({"at": time.time(), "speedup": headline})
+    return history[-HISTORY_LIMIT:]
+
+
+def run_perf(config: HarnessConfig | None = None) -> dict:
+    """Run the benchmark suite and write the persistent JSON report."""
+    config = config if config is not None else HarnessConfig()
+    smoke = config.dataset_scale < 1.0
+    scenarios = smoke_scenarios() if smoke else full_scenarios()
+    rows = [
+        run_scenario(scenario, repetitions=config.repetitions, seed=config.seed)
+        for scenario in scenarios
+    ]
+    speedups = [row["speedup_cold"] for row in rows if row["speedup_cold"]]
+    headline = max(speedups) if speedups else None
+    path = Path.cwd() / (REPORT_SMOKE if smoke else REPORT_FULL)
+    report = {
+        "report": "perf",
+        "smoke": smoke,
+        "repetitions": config.repetitions,
+        "speedup": headline,
+        "scenarios": {row["name"]: row for row in rows},
+        "history": _merge_history(path, headline),
+    }
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def _format_report(report: dict) -> str:
+    lines = [
+        "Perf trajectory — engine backends on routing-dominated serving",
+        f"  headline speedup (cold, best scenario): "
+        f"{report['speedup']:.2f}x" if report["speedup"] else "  no speedup measured",
+    ]
+    header = (
+        f"  {'scenario':<16} {'nodes':>6} {'dijkstra':>10} {'ch':>10} "
+        f"{'prep':>7} {'cold x':>7} {'warm x':>7}"
+    )
+    lines.append(header)
+    for name, row in sorted(report["scenarios"].items()):
+        dijkstra = row["backends"]["dijkstra"]
+        ch = row["backends"]["ch"]
+        lines.append(
+            f"  {name:<16} {row['nodes']:>6} {dijkstra['cold_s']*1000:>8.0f}ms "
+            f"{ch['cold_s']*1000:>8.0f}ms {ch['preprocess_s']*1000:>5.0f}ms "
+            f"{row['speedup_cold']:>6.2f}x {row['speedup_warm']:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(config: HarnessConfig | None = None) -> str:
+    report = run_perf(config)
+    text = _format_report(report)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,13 @@
 """Road-network substrate: graphs, shortest paths, builders, and trips."""
 
+from .contraction import CHStats, ContractionHierarchy, CustomizedHierarchy
+from .distance_engine import (
+    BACKENDS,
+    DISTANCE_DECIMALS,
+    DistanceEngine,
+    EngineStats,
+    WeightSpec,
+)
 from .builders import (
     ARTERIAL_KMH,
     COLLECTOR_KMH,
@@ -26,17 +34,25 @@ from .shortest_path import (
     bidirectional_dijkstra,
     dijkstra,
     dijkstra_all,
+    dijkstra_all_backward,
     dijkstra_to_targets,
     path_cost,
 )
 
 __all__ = [
     "ARTERIAL_KMH",
+    "BACKENDS",
+    "CHStats",
     "COLLECTOR_KMH",
+    "ContractionHierarchy",
+    "CustomizedHierarchy",
     "DEFAULT_CO2_KG_PER_KWH",
     "DEFAULT_KWH_PER_KM",
     "DEFAULT_SEGMENT_KM",
+    "DISTANCE_DECIMALS",
+    "DistanceEngine",
     "EdgeWeight",
+    "EngineStats",
     "LandmarkSet",
     "NetworkSpec",
     "NoPathError",
@@ -47,6 +63,7 @@ __all__ = [
     "RoadNode",
     "Trip",
     "TripSegment",
+    "WeightSpec",
     "alt_astar",
     "astar",
     "bidirectional_dijkstra",
@@ -55,6 +72,7 @@ __all__ = [
     "build_radial_network",
     "dijkstra",
     "dijkstra_all",
+    "dijkstra_all_backward",
     "dijkstra_to_targets",
     "path_cost",
     "resample_polyline",

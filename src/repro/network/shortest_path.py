@@ -93,6 +93,8 @@ def dijkstra_all(
     out: dict[int, float] = {}
     while heap:
         d, node = heapq.heappop(heap)
+        if d > max_cost:
+            break  # heap is cost-ordered: everything left is over budget
         if node in settled:
             continue
         settled.add(node)
@@ -114,9 +116,12 @@ def dijkstra_to_targets(
 ) -> dict[int, float]:
     """Shortest distances from ``source`` to each of ``targets``.
 
-    Stops as soon as every reachable target within ``max_cost`` is settled.
-    Targets that are unreachable (or farther than ``max_cost``) are simply
-    absent from the result.
+    Terminates as soon as every reachable target is settled *or* the cost
+    budget is exceeded — once the heap minimum passes ``max_cost`` no
+    unsettled target can still be reached in budget, so the search stops
+    instead of draining the remaining frontier.  Targets that are
+    unreachable (or farther than ``max_cost``) are simply absent from the
+    result.
     """
     remaining = set(targets)
     if not remaining:
@@ -128,6 +133,8 @@ def dijkstra_to_targets(
     found: dict[int, float] = {}
     while heap and remaining:
         d, node = heapq.heappop(heap)
+        if d > max_cost:
+            break  # cost budget exceeded: no remaining target is in reach
         if node in settled:
             continue
         settled.add(node)
@@ -163,6 +170,8 @@ def dijkstra_all_backward(
     out: dict[int, float] = {}
     while heap:
         d, node = heapq.heappop(heap)
+        if d > max_cost:
+            break  # budget short-circuit: never scan the rest of the heap
         if node in settled:
             continue
         settled.add(node)

@@ -156,6 +156,7 @@ class FaultTolerantEnvironment(ChargingEnvironment):
         self.gateway = gateway
         self.network = inner.network
         self.registry = inner.registry
+        self.engine = inner.engine
         self.weather = inner.weather
         self.traffic = inner.traffic
         self.eta = inner.eta

@@ -1,4 +1,4 @@
-"""The ``repro.analysis`` subsystem: rules R1-R7, suppressions, CLI, and
+"""The ``repro.analysis`` subsystem: rules R1-R8, suppressions, CLI, and
 runtime contracts.
 
 Each rule gets (at least) one fixture snippet that triggers it and one
@@ -350,6 +350,67 @@ class TestR7ResilienceBypass:
 
 
 # ---------------------------------------------------------------------------
+# R8 — hot loops must use the DistanceEngine
+# ---------------------------------------------------------------------------
+
+
+class TestR8EngineBypass:
+    CORE_PATH = "src/repro/core/example.py"
+    EST_PATH = "src/repro/estimation/example.py"
+
+    def test_fires_on_dijkstra_all_in_core(self):
+        snippet = (
+            "def price(network, origin, fn):\n"
+            "    return dijkstra_all(network, origin, fn, max_cost=1.0)\n"
+        )
+        assert rule_ids(check_source(snippet, self.CORE_PATH)) == ["R8"]
+
+    def test_fires_on_backward_search_in_estimation(self):
+        snippet = (
+            "def back(network, target, fn):\n"
+            "    return dijkstra_all_backward(network, target, fn)\n"
+        )
+        assert rule_ids(check_source(snippet, self.EST_PATH)) == ["R8"]
+
+    def test_fires_on_attribute_style_call(self):
+        snippet = (
+            "def price(sp, network, origin, pool, fn):\n"
+            "    return sp.dijkstra_to_targets(network, origin, pool, fn)\n"
+        )
+        assert rule_ids(check_source(snippet, self.CORE_PATH)) == ["R8"]
+
+    def test_clean_when_using_engine(self):
+        snippet = (
+            "def price(engine, origin, pool, spec, budget):\n"
+            "    out = engine.one_to_many(origin, pool, spec, max_cost=budget)\n"
+            "    back = engine.many_to_one(pool, origin, spec, max_cost=budget)\n"
+            "    return out, back\n"
+        )
+        assert check_source(snippet, self.CORE_PATH) == []
+
+    def test_point_to_point_dijkstra_is_allowed(self):
+        snippet = (
+            "def route(network, a, b):\n"
+            "    return dijkstra(network, a, b)\n"
+        )
+        assert check_source(snippet, self.CORE_PATH) == []
+
+    def test_network_package_is_exempt(self):
+        snippet = (
+            "def ball(network, origin, fn):\n"
+            "    return dijkstra_all(network, origin, fn)\n"
+        )
+        assert check_source(snippet, "src/repro/network/distance_engine.py") == []
+
+    def test_tests_are_exempt(self):
+        snippet = (
+            "def test_ball(network):\n"
+            "    assert dijkstra_all(network, 0, None)\n"
+        )
+        assert check_source(snippet, "tests/core/test_example.py") == []
+
+
+# ---------------------------------------------------------------------------
 # engine / CLI
 # ---------------------------------------------------------------------------
 
@@ -360,8 +421,10 @@ class TestEngineAndCli:
         with pytest.raises(KeyError):
             select_rules(["R9"])
 
-    def test_all_seven_rules_registered(self):
-        assert [r.rule_id for r in ALL_RULES] == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
+    def test_all_eight_rules_registered(self):
+        assert [r.rule_id for r in ALL_RULES] == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"
+        ]
 
     def test_cli_clean_tree_exits_zero(self, capsys):
         assert main([str(SRC)]) == 0
@@ -392,13 +455,13 @@ class TestEngineAndCli:
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
             assert rule_id in out
 
     def test_cli_annotations_flag(self, tmp_path, capsys):
         unannotated = tmp_path / "loose.py"
         unannotated.write_text("def f(x):\n    return x\n")
-        assert main([str(unannotated)]) == 0  # R1-R7 clean
+        assert main([str(unannotated)]) == 0  # R1-R8 clean
         assert main(["--annotations", str(unannotated)]) == 1
         out = capsys.readouterr().out
         assert "TYP" in out
@@ -419,7 +482,7 @@ class TestRealTree:
         report = check_paths([SRC])
         assert report.ok, "repro-check violations:\n" + report.render_text()
         assert report.files_checked > 50
-        assert report.rules_run == ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
+        assert report.rules_run == ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8")
 
     def test_tests_tree_is_clean(self):
         report = check_paths([REPO_ROOT / "tests"])

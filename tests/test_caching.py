@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.caching import CachedSolution, DynamicCache
+from repro.core.caching import CachedSolution, CacheStats, DynamicCache
 from repro.spatial.geometry import Point
 
 
@@ -65,6 +65,12 @@ class TestDynamicCache:
         cache.clear()
         assert cache.current is None
         assert cache.stats.lookups == 0
+
+    def test_hit_rate_zero_lookups_is_zero(self):
+        # Regression: a never-queried cache reports 0.0, never ZeroDivisionError.
+        stats = CacheStats()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
 
     def test_hit_rate(self):
         cache = DynamicCache(range_km=5.0, ttl_h=1.0)

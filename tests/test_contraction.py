@@ -1,0 +1,208 @@
+"""Contraction hierarchy: preprocessing, customisation, and query shapes.
+
+The load-bearing property is *exact* agreement with Dijkstra under every
+metric — the hierarchy answers the same distances (same floats up to
+summation order), merely faster.  Everything else (stats, bucket search,
+budget truncation) hangs off that.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.estimation.traffic import TrafficModel
+from repro.network.builders import NetworkSpec, build_city_network, build_grid_network, build_radial_network
+from repro.network.contraction import ContractionHierarchy, combine_spaces
+from repro.network.graph import EdgeWeight
+from repro.network.shortest_path import dijkstra_all
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_grid_network(7, 7, block_km=1.0, speed_kmh=60.0)
+
+
+@pytest.fixture(scope="module")
+def grid_ch(grid):
+    return ContractionHierarchy.build(grid)
+
+
+def _distance_metric(ch):
+    return ch.customize(lambda e: e.weight(EdgeWeight.DISTANCE_KM))
+
+
+class TestBuild:
+    def test_every_node_ranked_uniquely(self, grid, grid_ch):
+        ranks = {grid_ch.rank_of(n) for n in grid.node_ids()}
+        assert ranks == set(range(len(list(grid.node_ids()))))
+
+    def test_stats_shape(self, grid, grid_ch):
+        stats = grid_ch.stats
+        assert stats.nodes == len(list(grid.node_ids()))
+        assert stats.original_arcs > 0
+        assert stats.shortcut_arcs >= 0
+        assert stats.triangles >= stats.shortcut_arcs
+
+    def test_original_edges_align_with_arcs(self, grid_ch):
+        edges = grid_ch.original_edges
+        originals = [e for e in edges if e is not None]
+        assert len(originals) == grid_ch.stats.original_arcs
+        # All original arcs come first, shortcuts after.
+        assert all(e is None for e in edges[grid_ch.stats.original_arcs :])
+
+    def test_build_is_deterministic(self, grid):
+        a = ContractionHierarchy.build(grid)
+        b = ContractionHierarchy.build(grid)
+        assert all(a.rank_of(n) == b.rank_of(n) for n in grid.node_ids())
+        assert a.stats == b.stats
+
+
+class TestCustomize:
+    def test_point_to_point_matches_dijkstra(self, grid, grid_ch):
+        custom = _distance_metric(grid_ch)
+        ref = dijkstra_all(grid, 0, EdgeWeight.DISTANCE_KM)
+        for node in grid.node_ids():
+            got = custom.distance(0, node)
+            assert got is not None
+            assert got == pytest.approx(ref[node], abs=1e-12)
+
+    def test_matches_dijkstra_under_traffic_metric(self, grid, grid_ch):
+        traffic = TrafficModel(seed=3)
+        fn = traffic.travel_time_fn(8.25)  # morning peak: non-uniform costs
+        custom = grid_ch.customize(fn)
+        source = 17
+        ref = dijkstra_all(grid, source, fn)
+        for node in grid.node_ids():
+            assert custom.distance(source, node) == pytest.approx(ref[node], abs=1e-12)
+
+    def test_negative_cost_rejected(self, grid_ch):
+        with pytest.raises(ValueError, match="negative"):
+            grid_ch.customize(lambda e: -1.0)
+
+    def test_negative_arc_cost_rejected(self, grid_ch):
+        costs = [-1.0] * len(grid_ch.original_edges)
+        with pytest.raises(ValueError, match="negative"):
+            grid_ch.customize(lambda e: 1.0, arc_costs=costs)
+
+    def test_arc_costs_fast_path_matches_callable(self, grid_ch):
+        fn = lambda e: e.weight(EdgeWeight.DISTANCE_KM)
+        precomputed = [
+            math.inf if e is None else fn(e) for e in grid_ch.original_edges
+        ]
+        a = grid_ch.customize(fn)
+        b = grid_ch.customize(fn, arc_costs=precomputed)
+        for target in (0, 11, 30, 48):
+            assert a.distance(3, target) == b.distance(3, target)
+
+
+class TestCustomizeMany:
+    """The stacked sweep is bitwise-equal to row-by-row customisation."""
+
+    def test_rows_match_solo_customize_bitwise(self, grid_ch):
+        traffic = TrafficModel(seed=9)
+        specs = traffic.travel_time_bound_specs(9.0, 8.0)
+        rows = [spec.batch(grid_ch.original_edges) for spec in specs]
+        joint = grid_ch.customize_many(rows)
+        for row, custom in zip(rows, joint):
+            solo = grid_ch.customize(lambda e: math.inf, arc_costs=row)
+            for target in (0, 13, 27, 48):
+                # Equality of floats, not approx: identical op sequences.
+                assert custom.distance(3, target) == solo.distance(3, target)
+
+    def test_three_rows(self, grid_ch):
+        fn = lambda e: e.weight(EdgeWeight.DISTANCE_KM)
+        row = [math.inf if e is None else fn(e) for e in grid_ch.original_edges]
+        doubled = [c * 2.0 for c in row]
+        tripled = [c * 3.0 for c in row]
+        a, b, c = grid_ch.customize_many([row, doubled, tripled])
+        assert b.distance(0, 48) == 2.0 * a.distance(0, 48)
+        assert c.distance(0, 48) == 3.0 * a.distance(0, 48)
+
+    def test_empty_input(self, grid_ch):
+        assert grid_ch.customize_many([]) == []
+
+    def test_negative_row_rejected(self, grid_ch):
+        good = [1.0] * len(grid_ch.original_edges)
+        bad = [1.0] * len(grid_ch.original_edges)
+        bad[3] = -0.5
+        with pytest.raises(ValueError, match="negative"):
+            grid_ch.customize_many([good, bad])
+
+
+class TestQueries:
+    def test_one_to_many_matches_dijkstra(self, grid, grid_ch):
+        custom = _distance_metric(grid_ch)
+        targets = list(grid.node_ids())[::4]
+        ref = dijkstra_all(grid, 5, EdgeWeight.DISTANCE_KM, max_cost=4.0)
+        got = custom.one_to_many(5, targets, max_cost=4.0)
+        expected = {t: ref[t] for t in targets if t in ref and ref[t] <= 4.0}
+        assert set(got) == set(expected)
+        for t, d in got.items():
+            assert d == pytest.approx(expected[t], abs=1e-12)
+
+    def test_many_to_one_on_symmetric_grid(self, grid, grid_ch):
+        custom = _distance_metric(grid_ch)
+        sources = [0, 10, 20, 33]
+        got = custom.many_to_one(sources, 24, max_cost=10.0)
+        ref = dijkstra_all(grid, 24, EdgeWeight.DISTANCE_KM)
+        for s in sources:  # grid edges are bidirectional: d(s,t) == d(t,s)
+            assert got[s] == pytest.approx(ref[s], abs=1e-12)
+
+    def test_many_to_many_matches_pairwise(self, grid, grid_ch):
+        custom = _distance_metric(grid_ch)
+        sources, targets = [0, 8, 25], [3, 30, 44, 48]
+        matrix = custom.many_to_many(sources, targets, max_cost=12.0)
+        for s in sources:
+            for t in targets:
+                single = custom.distance(s, t, max_cost=12.0)
+                assert matrix.get((s, t)) == pytest.approx(single, abs=1e-12)
+
+    def test_budget_excludes_far_targets(self, grid_ch):
+        custom = _distance_metric(grid_ch)
+        # Opposite corners of a 7x7 unit grid are 12 km apart.
+        assert custom.distance(0, 48, max_cost=5.0) is None
+        assert 48 not in custom.one_to_many(0, [48], max_cost=5.0)
+
+    def test_combine_spaces_empty(self):
+        assert math.isinf(combine_spaces({}, {1: 0.5}))
+        assert math.isinf(combine_spaces({1: 0.5}, {}))
+
+
+class TestRandomNetworks:
+    """Property-style sweep: CH == Dijkstra on varied topologies/metrics."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_city_networks(self, seed):
+        net = build_city_network(
+            NetworkSpec(width_km=8.0, height_km=6.0, block_km=1.2, seed=seed)
+        )
+        ch = ContractionHierarchy.build(net)
+        traffic = TrafficModel(seed=seed)
+        fn = traffic.travel_time_fn(17.5)
+        custom = ch.customize(fn)
+        rng = random.Random(seed)
+        nodes = sorted(net.node_ids())
+        for source in rng.sample(nodes, 4):
+            ref = dijkstra_all(net, source, fn)
+            for target in rng.sample(nodes, 12):
+                got = custom.distance(source, target)
+                if target in ref:
+                    assert got == pytest.approx(ref[target], abs=1e-12)
+                else:
+                    assert got is None
+
+    def test_radial_network(self):
+        net = build_radial_network(rings=4, spokes=8)
+        ch = ContractionHierarchy.build(net)
+        custom = ch.customize(lambda e: e.weight(EdgeWeight.TRAVEL_TIME_H))
+        nodes = sorted(net.node_ids())
+        ref = dijkstra_all(net, nodes[0], EdgeWeight.TRAVEL_TIME_H)
+        for target in nodes[::3]:
+            got = custom.distance(nodes[0], target)
+            if target in ref:
+                assert got == pytest.approx(ref[target], abs=1e-12)
+            else:
+                assert got is None

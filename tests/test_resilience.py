@@ -400,6 +400,31 @@ class TestDegradationLadder:
         assert gateway.accounting_ok()
 
 
+class TestEndpointHealthRatios:
+    """Zero-traffic endpoints must report well-defined ratios (no division
+    by zero on a dashboard scrape before the first request lands)."""
+
+    def test_zero_calls_availability_is_one(self):
+        from repro.resilience.health import EndpointHealth
+
+        health = EndpointHealth(endpoint="weather")
+        assert health.calls == 0
+        assert health.availability_ratio == 1.0
+        assert health.degraded == 0
+
+    def test_zero_calls_accounts_for_zero_provider_calls(self):
+        from repro.resilience.health import EndpointHealth
+
+        health = EndpointHealth(endpoint="weather")
+        assert health.accounts_for(0)
+
+    def test_ratio_after_traffic(self):
+        from repro.resilience.health import EndpointHealth
+
+        health = EndpointHealth(endpoint="traffic", calls=4, stale_served=1)
+        assert health.availability_ratio == pytest.approx(0.75)
+
+
 class TestFaultTolerantEnvironment:
     def test_total_outage_floors_availability(self, small_environment, small_registry):
         injector = FaultInjector(default=FaultProfile(error_rate=1.0))

@@ -115,6 +115,60 @@ class TestSingleSourceVariants:
         assert found == {}  # node 35 is 10 km away
 
 
+class TestBudgetTermination:
+    """The budgeted searches stop *at the budget*, not after draining the
+    frontier — regression tests counting cost-function invocations."""
+
+    @staticmethod
+    def _counting(weight_fn):
+        calls = [0]
+
+        def cost(edge):
+            calls[0] += 1
+            return weight_fn(edge)
+
+        return cost, calls
+
+    def test_dijkstra_all_stops_at_budget(self, city):
+        by_length = lambda e: e.length_km
+        cost, calls = self._counting(by_length)
+        pruned = dijkstra_all(city, 0, cost, max_cost=2.0)
+        pruned_calls = calls[0]
+        cost, calls = self._counting(by_length)
+        full = dijkstra_all(city, 0, cost)
+        assert pruned == {n: d for n, d in full.items() if d <= 2.0}
+        assert pruned_calls < calls[0] / 2  # small ball, not the whole city
+
+    def test_to_targets_stops_when_all_settled(self, city):
+        nodes = sorted(city.node_ids())
+        full = dijkstra_all(city, nodes[0], lambda e: e.length_km)
+        near = sorted(full, key=full.get)[1:4]
+        cost, calls = self._counting(lambda e: e.length_km)
+        found = dijkstra_to_targets(city, nodes[0], near, cost)
+        assert set(found) == set(near)
+        # Settling three nearby targets must not expand the whole graph.
+        assert calls[0] < city.node_count
+
+    def test_to_targets_stops_on_budget_with_unreachable_target(self, city):
+        # A target that is never found must not force a full drain once
+        # the heap minimum passes the budget.
+        cost, calls = self._counting(lambda e: e.length_km)
+        found = dijkstra_to_targets(city, 0, [-1], cost, max_cost=1.5)
+        assert found == {}
+        cost, calls_full = self._counting(lambda e: e.length_km)
+        dijkstra_all(city, 0, cost)
+        assert calls[0] < calls_full[0]
+
+    def test_backward_stops_at_budget(self, city):
+        cost, calls = self._counting(lambda e: e.length_km)
+        pruned = dijkstra_all_backward(city, 0, cost, max_cost=2.0)
+        pruned_calls = calls[0]
+        cost, calls = self._counting(lambda e: e.length_km)
+        full = dijkstra_all_backward(city, 0, cost)
+        assert pruned == {n: d for n, d in full.items() if d <= 2.0}
+        assert pruned_calls < calls[0] / 2
+
+
 class TestAStar:
     def test_matches_dijkstra_distance(self, city):
         nodes = list(city.node_ids())
