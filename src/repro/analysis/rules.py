@@ -1,4 +1,4 @@
-"""The eight domain rules enforced by ``repro-check``.
+"""The nine domain rules enforced by ``repro-check``.
 
 Each rule encodes one invariant from the paper that Python's type system
 cannot express on its own (see ``docs/static_analysis.md`` for the
@@ -21,6 +21,9 @@ R7        resilience-bypass       Server-tier code reaches external APIs only th
 R8        engine-bypass           Ranking hot loops (``core/``, ``estimation/``) run
                                   shortest paths only through the shared
                                   :class:`DistanceEngine`, never raw ``dijkstra*``
+R9        journal-bypass          Server-tier code mutates durable session state only
+                                  through :class:`SessionManager` transactions, never
+                                  by touching caches or run lists directly
 ========  ======================  =====================================================
 """
 
@@ -640,6 +643,98 @@ class EngineBypassRule(RuleProtocol):
 
 
 # --------------------------------------------------------------------------
+# R9 — server tier must not mutate session state outside the journal
+# --------------------------------------------------------------------------
+
+#: The tier whose durable-session mutations must ride the journal.
+_R9_PACKAGES = ("server/",)
+#: The EIS response cache is its own (non-session) cache layer.
+_R9_ALLOWED_SUFFIXES = ("server/cache.py",)
+
+#: Per-trip session state containers — only the core ranker (inside a
+#: SessionManager transaction) may build one.
+_SESSION_STATE_CONSTRUCTORS = {"DynamicCache"}
+#: Cache checkpoint/restore entry points: the durability tier's rollback
+#: primitives, never a serving-layer affordance.
+_SESSION_STATE_METHODS = {"checkpoint_state", "restore_state"}
+#: RankingRun accumulators that the journal must witness every write to.
+_RUN_STATE_ATTRS = {"tables", "failed_segments"}
+
+
+class JournalBypassRule(RuleProtocol):
+    """R9: server-tier code mutates session state only through
+    :class:`~repro.durability.SessionManager` transactions.
+
+    The recovery guarantee — a resumed session reproduces the remaining
+    rankings bitwise — holds only if the journal witnesses *every*
+    session-state mutation.  A ``DynamicCache`` built in ``server/``, a
+    direct ``checkpoint_state``/``restore_state`` call, or an append to a
+    run's ``tables``/``failed_segments`` from the serving layer creates
+    state the journal never saw: after a crash it is silently gone, and
+    replay diverges.  The sanctioned path is
+    ``DurableSessionService`` → ``SessionManager`` → session hooks.
+    """
+
+    rule_id = "R9"
+    name = "journal-bypass"
+    description = "server-tier session-state mutation outside a SessionManager transaction"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        if source.rel_path.endswith(_R9_ALLOWED_SUFFIXES):
+            return False
+        return any(f"/{pkg}" in f"/{source.rel_path}" for pkg in _R9_PACKAGES)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if called in _SESSION_STATE_CONSTRUCTORS:
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=source.rel_path,
+                    line=node.lineno,
+                    message=(
+                        f"session-state container '{called}' constructed in the "
+                        f"server tier — sessions own their cache; open one through "
+                        f"SessionManager so every mutation is journaled"
+                    ),
+                )
+            elif isinstance(func, ast.Attribute) and called in _SESSION_STATE_METHODS:
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=source.rel_path,
+                    line=node.lineno,
+                    message=(
+                        f"direct '.{called}()' call in the server tier — cache "
+                        f"checkpoint/rollback is a durability-tier transaction "
+                        f"primitive, not a serving-layer affordance"
+                    ),
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and called == "append"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in _RUN_STATE_ATTRS
+            ):
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=source.rel_path,
+                    line=node.lineno,
+                    message=(
+                        f"append to '.{func.value.attr}' in the server tier — run "
+                        f"state grows only inside SessionManager transactions, or "
+                        f"the journal misses it and replay diverges after a crash"
+                    ),
+                )
+
+
+# --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
 
@@ -652,13 +747,14 @@ ALL_RULES: tuple[RuleProtocol, ...] = (
     ExceptionHygieneRule(),
     ResilienceBypassRule(),
     EngineBypassRule(),
+    JournalBypassRule(),
 )
 
 RULES_BY_ID: dict[str, RuleProtocol] = {rule.rule_id: rule for rule in ALL_RULES}
 
 
 def select_rules(ids: Sequence[str] | None = None) -> tuple[RuleProtocol, ...]:
-    """The rule objects for ``ids`` (all eight when None)."""
+    """The rule objects for ``ids`` (all nine when None)."""
     if ids is None:
         return ALL_RULES
     unknown = [rule_id for rule_id in ids if rule_id.upper() not in RULES_BY_ID]

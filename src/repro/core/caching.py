@@ -18,7 +18,7 @@ solution cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..analysis.contracts import ensure
 from ..chargers.charger import Charger
@@ -118,3 +118,29 @@ class DynamicCache:
     @property
     def current(self) -> CachedSolution | None:
         return self._entry
+
+    # -- transactional state (durability / torn-segment rollback) -----------
+
+    def checkpoint(self) -> "CacheState":
+        """An immutable copy of the full cache state.
+
+        The entry is already frozen; the stats are copied so later lookups
+        cannot mutate the checkpoint.  Used as the per-segment transaction
+        boundary: a segment that fails mid-mutation is rolled back to its
+        checkpoint, and the durability journal records the state a
+        recovered session must restore.
+        """
+        return CacheState(entry=self._entry, stats=replace(self.stats))
+
+    def restore(self, state: "CacheState") -> None:
+        """Reset the cache to a previously captured :class:`CacheState`."""
+        self._entry = state.entry
+        self.stats = replace(state.stats)
+
+
+@dataclass(frozen=True, slots=True)
+class CacheState:
+    """A point-in-time copy of a :class:`DynamicCache`'s state."""
+
+    entry: CachedSolution | None
+    stats: CacheStats

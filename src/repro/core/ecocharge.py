@@ -30,7 +30,7 @@ if TYPE_CHECKING:
     from .feasibility import VehicleConstraints
 from ..estimation.derouting import REFERENCE_SPEED_KMH
 from ..network.path import DEFAULT_SEGMENT_KM, Trip, TripSegment
-from .caching import CachedSolution, CacheStats, DynamicCache
+from .caching import CachedSolution, CacheState, CacheStats, DynamicCache
 from .environment import ChargingEnvironment
 from .intervals import Interval
 from .offering import OfferingTable, build_table
@@ -119,9 +119,26 @@ class EcoChargeRanker:
     def cache_stats(self) -> CacheStats:
         return self._cache.stats
 
+    @property
+    def cache_entry(self) -> CachedSolution | None:
+        """The live cached solution (what a durability journal records)."""
+        return self._cache.current
+
     def reset(self) -> None:
         """Drop per-trip state: clears the dynamic cache."""
         self._cache.clear()
+
+    # -- transactional state (durability integration) -----------------------
+
+    def checkpoint_state(self) -> CacheState:
+        """Capture the per-trip mutable state (the dynamic cache)."""
+        return self._cache.checkpoint()
+
+    def restore_state(self, state: CacheState) -> None:
+        """Roll the per-trip state back to ``state`` (segment rollback or
+        crash recovery — the two callers of the journal transaction
+        boundary)."""
+        self._cache.restore(state)
 
     # -- the algorithm -------------------------------------------------------
 

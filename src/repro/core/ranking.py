@@ -44,6 +44,56 @@ class SegmentRanker(Protocol):
         ...
 
 
+class SessionLog(Protocol):
+    """Durability hooks a :class:`~repro.durability.session.RankingSession`
+    plugs into :func:`run_over_trip`.
+
+    The protocol lives here (not in ``repro.durability``) so the core
+    ranking loop stays import-free of the durability subsystem: core
+    defines the transaction boundary, durability implements it.
+    """
+
+    def begin(
+        self, ranker: SegmentRanker, trip: Trip, segments: Sequence[TripSegment]
+    ) -> tuple["RankingRun", int]:
+        """Open (or resume) the session; the run so far and the position in
+        ``segments`` to rank next."""
+        ...
+
+    def begin_segment(
+        self, position: int, segment: TripSegment, ranker: SegmentRanker
+    ) -> None:
+        """Mark the start of one segment transaction."""
+        ...
+
+    def record_table(
+        self,
+        position: int,
+        segment: TripSegment,
+        table: OfferingTable,
+        ranker: SegmentRanker,
+    ) -> None:
+        """Commit one segment transaction (journal append + snapshot cadence)."""
+        ...
+
+    def record_failure(
+        self, position: int, segment: TripSegment, error: UpstreamError
+    ) -> None:
+        """Journal a failed segment (state already rolled back)."""
+        ...
+
+    def finish(self, run: "RankingRun") -> None:
+        """The trip completed; seal the session."""
+        ...
+
+
+def _state_checkpoint(ranker: SegmentRanker) -> object | None:
+    """Pre-segment state token for rankers that support transactional
+    rollback (duck-typed so baseline rankers need not implement it)."""
+    capture = getattr(ranker, "checkpoint_state", None)
+    return capture() if callable(capture) else None
+
+
 def refine_pool(
     environment: ChargingEnvironment,
     trip: Trip,
@@ -137,23 +187,40 @@ def run_over_trip(
     environment: ChargingEnvironment,
     trip: Trip,
     segment_km: float | None = None,
+    session: SessionLog | None = None,
 ) -> RankingRun:
     """Drive a ranker over every segment of a trip (the continuous query).
 
     ETAs come from the traffic-aware estimator; the decision time ``now``
     is the trip departure (the driver consults the app when setting off
     and the app re-ranks each upcoming segment, Section IV-A).
+
+    Each segment is one transaction: a segment that raises after partially
+    mutating the ranker's per-trip state (dynamic cache) is rolled back to
+    its pre-segment checkpoint, so a ``failed_segments`` entry never
+    leaves half-applied mutations behind.  With a ``session`` the same
+    boundary is journaled (and, on resume, replayed) by the durability
+    subsystem; an injected :class:`~repro.resilience.SessionCrash`
+    propagates out of this loop uncaught — it models the process dying.
     """
     from ..network.path import DEFAULT_SEGMENT_KM
 
-    ranker.reset()
     resolved_km = segment_km if segment_km is not None else DEFAULT_SEGMENT_KM
     segments = trip.segments(resolved_km)
     etas = environment.eta.segment_etas(trip, segment_km=resolved_km)
-    run = RankingRun(ranker_name=ranker.name, trip=trip)
+    if session is None:
+        ranker.reset()
+        run = RankingRun(ranker_name=ranker.name, trip=trip)
+        start = 0
+    else:
+        run, start = session.begin(ranker, trip, segments)
     last_error: UpstreamError | None = None
-    for i, segment in enumerate(segments):
+    for i in range(start, len(segments)):
+        segment = segments[i]
         next_segment = segments[i + 1] if i + 1 < len(segments) else None
+        checkpoint = _state_checkpoint(ranker)
+        if session is not None:
+            session.begin_segment(i, segment, ranker)
         try:
             table = ranker.rank_segment(
                 trip,
@@ -167,12 +234,22 @@ def run_over_trip(
             # here (the ladder bottoms out at the fallback interval); a
             # raw-estimator ranker degrades to skipping the segment, and
             # the continuous query carries on with the rest of the trip.
+            # The transaction rolls back first: a partially mutated cache
+            # must not leak into the next segment (or the journal).
+            if checkpoint is not None:
+                ranker.restore_state(checkpoint)  # type: ignore[attr-defined]
+            if session is not None:
+                session.record_failure(i, segment, error)
             run.failed_segments.append(segment.index)
             last_error = error
             continue
+        if session is not None:
+            session.record_table(i, segment, table, ranker)
         run.tables.append(table)
     if not run.tables and last_error is not None:
         # Nothing rankable at all: surface the fault rather than return
         # an answer that violates the one-table-minimum contract.
         raise last_error
+    if session is not None:
+        session.finish(run)
     return run

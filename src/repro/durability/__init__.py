@@ -1,0 +1,91 @@
+"""Durable continuous queries: journaling, snapshots, recovery, replay.
+
+The durability tier makes a trip-long CkNN-EC session crash-safe:
+
+* :mod:`.journal` — append-only, CRC-checksummed write-ahead log of
+  per-segment ranking transactions (torn tails detected and discarded);
+* :mod:`.snapshot` — atomic, versioned full-state snapshots that bound
+  recovery latency;
+* :mod:`.codecs` — explicit pickle-free codecs with hex-float encoding,
+  so restored state is **bitwise** identical to what was persisted;
+* :mod:`.session` — the ``open / checkpoint / resume / close`` manager
+  tying it together, guaranteeing a recovered session ranks the
+  remaining segments identically to an uninterrupted run;
+* :mod:`.accounting` — reconciliation of journaled cache-event deltas
+  against live :class:`~repro.core.caching.CacheStats` counters.
+
+See ``docs/durability.md`` for the journal format and crash-point
+matrix.
+"""
+
+from .accounting import CacheEventDelta, JournalCacheAccounting
+from .codecs import (
+    CODEC_VERSIONS,
+    CachedSolutionCodec,
+    CacheStatsCodec,
+    CodecError,
+    OfferingTableCodec,
+    TripCodec,
+    canonical_dumps,
+    check_codec_versions,
+    decode_float,
+    encode_float,
+)
+from .journal import (
+    CRASH_MID_APPEND,
+    JOURNAL_VERSION,
+    JournalCorruption,
+    JournalReadResult,
+    JournalRecord,
+    SessionJournal,
+    read_journal,
+)
+from .session import (
+    CRASH_MID_SEGMENT,
+    CRASH_POST_SNAPSHOT,
+    CRASH_SEGMENT_START,
+    DurabilityConfig,
+    RankingSession,
+    RecoveryInfo,
+    SessionManager,
+    SessionStateError,
+    decode_config,
+    encode_config,
+)
+from .snapshot import SNAPSHOT_VERSION, SessionSnapshot, load_snapshot, write_snapshot
+
+__all__ = [
+    "CODEC_VERSIONS",
+    "CRASH_MID_APPEND",
+    "CRASH_MID_SEGMENT",
+    "CRASH_POST_SNAPSHOT",
+    "CRASH_SEGMENT_START",
+    "CacheEventDelta",
+    "CacheStatsCodec",
+    "CachedSolutionCodec",
+    "CodecError",
+    "DurabilityConfig",
+    "JOURNAL_VERSION",
+    "JournalCacheAccounting",
+    "JournalCorruption",
+    "JournalReadResult",
+    "JournalRecord",
+    "OfferingTableCodec",
+    "RankingSession",
+    "RecoveryInfo",
+    "SNAPSHOT_VERSION",
+    "SessionJournal",
+    "SessionManager",
+    "SessionSnapshot",
+    "SessionStateError",
+    "TripCodec",
+    "canonical_dumps",
+    "check_codec_versions",
+    "decode_config",
+    "decode_float",
+    "encode_config",
+    "encode_float",
+    "load_snapshot",
+    "read_journal",
+    "write_snapshot",
+]

@@ -1,0 +1,113 @@
+"""Journal ⇄ cache accounting reconciliation.
+
+PR 2 proved that no upstream call goes unaccounted by reconciling
+``EndpointHealth`` against ``ApiUsage``.  The durability tier extends
+the same discipline to the dynamic cache: every committed segment
+transaction journals the cache-event *delta* it caused (hits, misses,
+expirations, out-of-range rejections, stores), and a recovered session
+must reconcile the sum of replayed deltas against the live
+:class:`~repro.core.caching.CacheStats` counters.  A divergence means
+either a journal record was lost/duplicated or a mutation happened
+outside the transaction boundary — both recovery-correctness bugs worth
+failing loudly on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.caching import CacheStats
+from .codecs import CodecError
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEventDelta:
+    """The cache events one segment transaction caused."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    out_of_range: int = 0
+    stores: int = 0
+
+    @staticmethod
+    def between(before: CacheStats, after: CacheStats, stores: int) -> "CacheEventDelta":
+        return CacheEventDelta(
+            hits=after.hits - before.hits,
+            misses=after.misses - before.misses,
+            expirations=after.expirations - before.expirations,
+            out_of_range=after.out_of_range - before.out_of_range,
+            stores=stores,
+        )
+
+    def encode(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "out_of_range": self.out_of_range,
+            "stores": self.stores,
+        }
+
+    @classmethod
+    def decode(cls, payload: Any) -> "CacheEventDelta":
+        if not isinstance(payload, Mapping):
+            raise CodecError("cache-events: expected an object")
+        try:
+            return cls(
+                hits=int(payload["hits"]),
+                misses=int(payload["misses"]),
+                expirations=int(payload["expirations"]),
+                out_of_range=int(payload["out_of_range"]),
+                stores=int(payload["stores"]),
+            )
+        except KeyError as error:
+            raise CodecError(f"cache-events: missing field {error}") from error
+
+
+@dataclass(slots=True)
+class JournalCacheAccounting:
+    """Running totals of journaled cache events for one session.
+
+    Seeded from the snapshot's cumulative :class:`CacheStats` (the state
+    at ``journal_seq``), then advanced by every replayed and every newly
+    committed :class:`CacheEventDelta`.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    out_of_range: int = 0
+    stores: int = 0
+
+    @classmethod
+    def from_base(cls, base: CacheStats) -> "JournalCacheAccounting":
+        return cls(
+            hits=base.hits,
+            misses=base.misses,
+            expirations=base.expirations,
+            out_of_range=base.out_of_range,
+        )
+
+    def apply(self, delta: CacheEventDelta) -> None:
+        self.hits += delta.hits
+        self.misses += delta.misses
+        self.expirations += delta.expirations
+        self.out_of_range += delta.out_of_range
+        self.stores += delta.stores
+
+    def accounts_for(self, stats: CacheStats) -> bool:
+        """Do the journaled events explain the live counters exactly?
+
+        Two identities: every journaled lookup category matches its live
+        counter, and the categorised misses never exceed total misses
+        (an internal sanity bound on the deltas themselves).
+        """
+        return (
+            self.hits == stats.hits
+            and self.misses == stats.misses
+            and self.expirations == stats.expirations
+            and self.out_of_range == stats.out_of_range
+            and self.expirations + self.out_of_range <= self.misses
+        )

@@ -1,0 +1,219 @@
+"""The write-ahead session journal: append-only, checksummed JSONL.
+
+One line per committed ranking transaction.  Each record is the
+canonical JSON of ``{"crc", "payload", "seq", "type"}`` where ``crc`` is
+the CRC-32 of the record *without* the crc field — a torn write (the
+process died mid-``write``) therefore fails either JSON parsing or the
+checksum, and recovery discards the torn tail instead of silently
+replaying half a transaction.
+
+Append durability follows the classic WAL discipline: the line is
+written, flushed, and fsynced before the transaction is considered
+committed.  Truncation (after a snapshot folds a prefix of the journal
+into itself) rewrites the file atomically via ``os.replace``; a crash
+*between* snapshot and truncate leaves duplicate coverage, which
+recovery resolves by skipping records the snapshot already contains
+(``seq <= snapshot.journal_seq``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from .codecs import CODEC_VERSIONS, canonical_dumps
+
+if TYPE_CHECKING:
+    from ..resilience.faults import FaultInjector
+
+#: Format version of the journal container (record framing, not payload
+#: codecs — those carry their own versions in the header record).
+JOURNAL_VERSION = 1
+
+#: Crash point fired inside :meth:`SessionJournal.append`, after a partial
+#: line has reached the file — the torn-write scenario.
+CRASH_MID_APPEND = "mid-journal-append"
+
+
+class JournalCorruption(ValueError):
+    """A journal whose *committed* prefix is unreadable (not a torn tail)."""
+
+
+@dataclass(frozen=True, slots=True)
+class JournalRecord:
+    """One committed transaction line."""
+
+    seq: int
+    record_type: str
+    payload: dict[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class JournalReadResult:
+    """The committed prefix of a journal plus torn-tail accounting."""
+
+    records: tuple[JournalRecord, ...]
+    torn_lines_discarded: int
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else 0
+
+
+def _crc(body: str) -> str:
+    return format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def _frame(seq: int, record_type: str, payload: dict[str, Any]) -> str:
+    record = {"payload": payload, "seq": seq, "type": record_type}
+    record["crc"] = _crc(canonical_dumps(record))
+    return canonical_dumps(record)
+
+
+def _parse_line(line: str) -> JournalRecord | None:
+    """The record on ``line``, or None when the line is torn/corrupt."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    crc = record.pop("crc", None)
+    if not isinstance(crc, str) or crc != _crc(canonical_dumps(record)):
+        return None
+    seq = record.get("seq")
+    record_type = record.get("type")
+    payload = record.get("payload")
+    if not isinstance(seq, int) or not isinstance(record_type, str):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return JournalRecord(seq=seq, record_type=record_type, payload=payload)
+
+
+class SessionJournal:
+    """Append-only transaction log for one ranking session.
+
+    ``injector`` wires the deterministic crash plan in: an armed
+    ``mid-journal-append`` point makes the *next* append write only half
+    its line (flushed and fsynced, like a real torn page) before dying.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        injector: "FaultInjector | None" = None,
+        fsync: bool = True,
+        start_seq: int = 0,
+    ) -> None:
+        self.path = Path(path)
+        self._injector = injector
+        self._fsync = fsync
+        self._seq = start_seq
+        self._file: io.TextIOWrapper | None = None
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def _handle(self) -> io.TextIOWrapper:
+        if self._file is None or self._file.closed:
+            self._file = open(self.path, "a", encoding="utf-8", newline="\n")
+        return self._file
+
+    def _commit(self, handle: io.TextIOWrapper) -> None:
+        handle.flush()
+        if self._fsync:
+            os.fsync(handle.fileno())
+
+    def append(self, record_type: str, payload: dict[str, Any]) -> int:
+        """Write one committed record; the assigned sequence number.
+
+        The record only counts as committed once the full line (with its
+        trailing newline) is flushed to disk — a crash before that point
+        leaves a torn line that recovery detects and discards.
+        """
+        seq = self._seq + 1
+        line = _frame(seq, record_type, payload)
+        handle = self._handle()
+        if self._injector is not None and self._injector.crash_next(CRASH_MID_APPEND):
+            # Torn write: half the line reaches the disk, then the
+            # process dies.  No newline, no full checksum — exactly the
+            # state a power cut mid-write leaves behind.
+            handle.write(line[: max(1, len(line) // 2)])
+            self._commit(handle)
+            self._injector.maybe_crash(CRASH_MID_APPEND)
+        elif self._injector is not None:
+            self._injector.maybe_crash(CRASH_MID_APPEND)
+        handle.write(line + "\n")
+        self._commit(handle)
+        self._seq = seq
+        return seq
+
+    def truncate_through(self, seq: int) -> None:
+        """Atomically drop every record with ``seq`` at or below ``seq``.
+
+        Called after a snapshot has folded that prefix into itself.  The
+        rewrite goes through a temp file + ``os.replace`` so the journal
+        is never observable in a half-truncated state.
+        """
+        self.close()
+        result = read_journal(self.path)
+        kept = [r for r in result.records if r.seq > seq]
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8", newline="\n") as handle:
+            for record in kept:
+                handle.write(_frame(record.seq, record.record_type, record.payload) + "\n")
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+        self._file = None
+
+    def header_payload(self) -> dict[str, Any]:
+        """The standard ``session-open`` header payload (format versions)."""
+        return {
+            "journal_version": JOURNAL_VERSION,
+            "codec_versions": dict(CODEC_VERSIONS),
+        }
+
+
+def read_journal(path: Path | str) -> JournalReadResult:
+    """Parse a journal file, discarding the torn tail.
+
+    The first unreadable line (bad JSON, bad checksum, bad framing, or a
+    sequence number that does not continue the chain) marks the torn
+    point: that line and everything after it are discarded — a torn
+    record must never be silently replayed, and nothing after a tear can
+    be trusted to have committed in order.
+    """
+    path = Path(path)
+    if not path.exists():
+        return JournalReadResult(records=(), torn_lines_discarded=0)
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    records: list[JournalRecord] = []
+    expected_seq: int | None = None
+    for i, line in enumerate(raw_lines):
+        if not line.strip():
+            continue
+        record = _parse_line(line)
+        if record is None:
+            return JournalReadResult(
+                records=tuple(records), torn_lines_discarded=len(raw_lines) - i
+            )
+        if expected_seq is not None and record.seq != expected_seq:
+            return JournalReadResult(
+                records=tuple(records), torn_lines_discarded=len(raw_lines) - i
+            )
+        records.append(record)
+        expected_seq = record.seq + 1
+    return JournalReadResult(records=tuple(records), torn_lines_discarded=0)

@@ -1,0 +1,144 @@
+"""Periodic session snapshots: the fast-recovery half of the WAL pair.
+
+A snapshot is the full durable state of a ranking session at one journal
+sequence number: the trip, the config, every Offering Table emitted so
+far, the dynamic-cache entry and statistics, and the position of the
+next segment to rank.  Recovery loads the newest valid snapshot and
+replays only the journal records *after* ``journal_seq`` — the shorter
+the tail, the cheaper the restart.
+
+Snapshots are written atomically (temp file + ``os.replace`` + fsync) so
+a crash mid-snapshot leaves the previous snapshot intact, and carry the
+codec-version map so an incompatible reader refuses them loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.caching import CachedSolution, CacheStats
+from ..core.offering import OfferingTable
+from .codecs import (
+    CODEC_VERSIONS,
+    CachedSolutionCodec,
+    CacheStatsCodec,
+    CodecError,
+    OfferingTableCodec,
+    canonical_dumps,
+    check_codec_versions,
+)
+
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SessionSnapshot:
+    """Everything needed to resume a session without its process memory."""
+
+    session_id: str
+    journal_seq: int
+    next_position: int
+    trip: dict[str, Any]
+    config: dict[str, Any]
+    tables: tuple[OfferingTable, ...] = ()
+    failed_segments: tuple[int, ...] = ()
+    cache_entry: CachedSolution | None = None
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    def encode(self) -> dict[str, Any]:
+        return {
+            "version": SNAPSHOT_VERSION,
+            "codec_versions": dict(CODEC_VERSIONS),
+            "session_id": self.session_id,
+            "journal_seq": self.journal_seq,
+            "next_position": self.next_position,
+            "trip": self.trip,
+            "config": self.config,
+            "tables": [OfferingTableCodec.encode(table) for table in self.tables],
+            "failed_segments": list(self.failed_segments),
+            "cache_entry": (
+                None
+                if self.cache_entry is None
+                else CachedSolutionCodec.encode(self.cache_entry)
+            ),
+            "cache_stats": CacheStatsCodec.encode(self.cache_stats),
+        }
+
+    @classmethod
+    def decode(cls, payload: Any) -> "SessionSnapshot":
+        if not isinstance(payload, dict):
+            raise CodecError("snapshot: expected an object")
+        version = payload.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise CodecError(
+                f"snapshot: version {version!r} unsupported (this build reads "
+                f"{SNAPSHOT_VERSION})"
+            )
+        check_codec_versions(payload.get("codec_versions", {}), "snapshot")
+        entry = payload.get("cache_entry")
+        tables = payload.get("tables")
+        if not isinstance(tables, list):
+            raise CodecError("snapshot: 'tables' must be a list")
+        return cls(
+            session_id=str(payload["session_id"]),
+            journal_seq=int(payload["journal_seq"]),
+            next_position=int(payload["next_position"]),
+            trip=dict(payload["trip"]),
+            config=dict(payload["config"]),
+            tables=tuple(OfferingTableCodec.decode(table) for table in tables),
+            failed_segments=tuple(
+                int(index) for index in payload.get("failed_segments", [])
+            ),
+            cache_entry=None if entry is None else CachedSolutionCodec.decode(entry),
+            cache_stats=CacheStatsCodec.decode(payload["cache_stats"]),
+        )
+
+
+def write_snapshot(path: Path | str, snapshot: SessionSnapshot, fsync: bool = True) -> None:
+    """Atomically persist ``snapshot`` at ``path``.
+
+    The temp-write + ``os.replace`` pair guarantees readers only ever see
+    either the old snapshot or the new one, never a torn mixture — the
+    journal tail covers whatever the snapshot does not.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    body = canonical_dumps(snapshot.encode())
+    with open(tmp, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(body + "\n")
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_snapshot(path: Path | str) -> SessionSnapshot | None:
+    """The snapshot at ``path``, or None when absent or unreadable.
+
+    An unreadable snapshot (torn before the atomic replace ever ran, or
+    hand-corrupted) is treated as absent: recovery falls back to a full
+    journal replay rather than trusting partial state.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    try:
+        return SessionSnapshot.decode(payload)
+    except (CodecError, KeyError, TypeError, ValueError):
+        return None
+
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SessionSnapshot",
+    "load_snapshot",
+    "write_snapshot",
+]

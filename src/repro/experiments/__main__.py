@@ -14,6 +14,7 @@ import sys
 from typing import Callable
 
 from . import (
+    durability_report,
     figure6,
     figure7,
     figure8,
@@ -25,6 +26,7 @@ from . import (
 from .harness import HarnessConfig
 
 _DRIVERS: dict[str, Callable[[HarnessConfig], str]] = {
+    "durability": durability_report.main,
     "figure6": figure6.main,
     "figure7": figure7.main,
     "figure8": figure8.main,

@@ -19,6 +19,7 @@ from .errors import (
     UpstreamTimeoutError,
 )
 from .faults import (
+    CrashPoint,
     FaultInjector,
     FaultProfile,
     FaultStats,
@@ -28,6 +29,7 @@ from .faults import (
     FaultyWeatherApi,
     NO_FAULTS,
     OutageWindow,
+    SessionCrash,
 )
 from .gateway import FetchResult, ResilienceGateway, ServiceLevel
 from .health import EndpointHealth, HealthRegistry
@@ -57,6 +59,7 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "CircuitOpenError",
+    "CrashPoint",
     "EndpointHealth",
     "EndpointPolicy",
     "FaultInjector",
@@ -76,6 +79,7 @@ __all__ = [
     "RetriesExhaustedError",
     "RetryPolicy",
     "ServiceLevel",
+    "SessionCrash",
     "StalenessPolicy",
     "TransientUpstreamError",
     "UpstreamError",

@@ -22,6 +22,14 @@ The ``Faulty*Api`` wrappers mirror the four provider interfaces of
 an injected fault therefore never reaches the real provider and never
 increments its :class:`~repro.server.api.ApiUsage` counter — exactly the
 accounting a failed network call would produce.
+
+Beyond provider faults, the injector also schedules **process crashes**
+for the durability tier (``repro.durability``): a :class:`CrashPoint`
+names a code location (``"mid-segment"``, ``"mid-journal-append"``,
+``"post-snapshot"``, ...) and the occurrence at which the session dies
+there.  Crash points are deterministic by construction — no randomness,
+just a counter per point — so a recovery bug found at
+``CrashPoint("mid-journal-append", 3)`` replays identically forever.
 """
 
 from __future__ import annotations
@@ -84,6 +92,39 @@ class FaultProfile:
 NO_FAULTS = FaultProfile(latency_ms=0.0)
 
 
+class SessionCrash(RuntimeError):
+    """The simulated process death injected at a named crash point.
+
+    Deliberately *not* an :class:`~repro.resilience.errors.UpstreamError`:
+    the degradation ladder must never absorb it — it models the serving
+    process itself dying, and the only valid handler is a recovery path
+    (``SessionManager.resume``), never a retry.
+    """
+
+    def __init__(self, point: str, occurrence: int):
+        super().__init__(f"injected crash at '{point}' (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+@dataclass(frozen=True, slots=True)
+class CrashPoint:
+    """Kill the session the ``at_occurrence``-th time it passes ``point``.
+
+    Occurrences are 1-based and counted per point name across the whole
+    injector lifetime, so a plan is an exact, replayable schedule.
+    """
+
+    point: str
+    at_occurrence: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.point:
+            raise ValueError("crash point needs a name")
+        if self.at_occurrence < 1:
+            raise ValueError("at_occurrence is 1-based")
+
+
 @dataclass(slots=True)
 class FaultStats:
     """Per-endpoint injection accounting."""
@@ -112,12 +153,18 @@ class FaultInjector:
         seed: int = 0,
         profiles: dict[str, FaultProfile] | None = None,
         default: FaultProfile = NO_FAULTS,
+        crash_plan: "tuple[CrashPoint, ...] | list[CrashPoint] | None" = None,
     ):
         self._seed = seed
         self._profiles = dict(profiles) if profiles is not None else {}
         self._default = default
         self._rngs: dict[str, Random] = {}
         self.stats: dict[str, FaultStats] = {}
+        self._crash_plan: tuple[CrashPoint, ...] = (
+            tuple(crash_plan) if crash_plan is not None else ()
+        )
+        self._crash_counts: dict[str, int] = {}
+        self.crashes_fired: list[SessionCrash] = []
 
     def profile(self, endpoint: str) -> FaultProfile:
         return self._profiles.get(endpoint, self._default)
@@ -141,6 +188,35 @@ class FaultInjector:
     @property
     def total_injected(self) -> int:
         return sum(stats.injected for stats in self.stats.values())
+
+    # -- crash-point injection (durability chaos) ---------------------------
+
+    @property
+    def crash_plan(self) -> tuple[CrashPoint, ...]:
+        return self._crash_plan
+
+    def crash_next(self, point: str) -> bool:
+        """Would the *next* arrival at ``point`` crash?
+
+        Lets torn-write sites prepare the partial state (e.g. write half a
+        journal line) before :meth:`maybe_crash` fires the actual crash.
+        Does not advance the occurrence counter.
+        """
+        upcoming = self._crash_counts.get(point, 0) + 1
+        return any(
+            cp.point == point and cp.at_occurrence == upcoming
+            for cp in self._crash_plan
+        )
+
+    def maybe_crash(self, point: str) -> None:
+        """Register one arrival at ``point``; die if the plan says so."""
+        count = self._crash_counts.get(point, 0) + 1
+        self._crash_counts[point] = count
+        for cp in self._crash_plan:
+            if cp.point == point and cp.at_occurrence == count:
+                crash = SessionCrash(point, count)
+                self.crashes_fired.append(crash)
+                raise crash
 
     def roll(self, endpoint: str, now_h: float) -> float:
         """One provider call at simulated time ``now_h``.

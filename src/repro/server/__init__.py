@@ -4,6 +4,7 @@ from .api import ApiUsage, BusyTimesApi, ChargerCatalogApi, TrafficApi, WeatherA
 from .cache import ResponseCache, ResponseCacheStats
 from .client import EcoChargeClient, SessionStats
 from .eis import EcoChargeInformationServer, RegionSnapshot
+from .sessions import DurableSessionService
 from .modes import (
     LATENCY_MODELS,
     DeploymentMode,
@@ -18,6 +19,7 @@ __all__ = [
     "BusyTimesApi",
     "ChargerCatalogApi",
     "DeploymentMode",
+    "DurableSessionService",
     "EcoChargeClient",
     "EcoChargeInformationServer",
     "LATENCY_MODELS",

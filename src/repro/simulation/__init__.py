@@ -9,8 +9,11 @@ from .scenarios import (
     WAITING_PARENT,
     ChaosReport,
     ChaosSpec,
+    CrashChaosReport,
+    CrashChaosSpec,
     Scenario,
     run_chaos,
+    run_crash_chaos,
     run_scenario,
     scenario_comparison,
 )
@@ -26,6 +29,8 @@ __all__ = [
     "ChaosReport",
     "ChaosSpec",
     "ChargerOccupancy",
+    "CrashChaosReport",
+    "CrashChaosSpec",
     "EventKind",
     "EventLog",
     "FleetReport",
@@ -41,6 +46,7 @@ __all__ = [
     "VehiclePhase",
     "WAITING_PARENT",
     "run_chaos",
+    "run_crash_chaos",
     "run_scenario",
     "scenario_comparison",
 ]

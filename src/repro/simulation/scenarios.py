@@ -12,6 +12,7 @@ ground.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Callable
 
 from ..chargers.charger import Vehicle
@@ -225,4 +226,153 @@ def run_chaos(workload: Workload, spec: ChaosSpec | None = None) -> ChaosReport:
             for name, endpoint in sorted(server.gateway.endpoints.items())
         },
         accounting_ok=server.gateway.accounting_ok(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Crash chaos: the durability tier under deterministic process death
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CrashChaosSpec:
+    """A crash-injection scenario for durable continuous queries.
+
+    For every trip and every named crash point, a durable session is
+    opened and driven until the planned :class:`SessionCrash` fires; a
+    *fresh* server (simulating the restarted process) then resumes the
+    session from its snapshot + journal tail and finishes the trip.  The
+    scenario's invariant is the durability tier's core guarantee: the
+    recovered run's Offering Tables must be **bitwise identical** to an
+    uninterrupted baseline, torn journal lines must be detected and
+    discarded (never replayed), and journal/cache accounting must
+    reconcile after recovery.
+    """
+
+    name: str = "crash-chaos"
+    description: str = "Durable sessions surviving deterministic crashes"
+    crash_points: tuple[str, ...] = (
+        "segment-start",
+        "mid-segment",
+        "mid-journal-append",
+        "post-snapshot",
+    )
+    at_occurrence: int = 2
+    fleet_size: int = 2
+    k: int = 3
+    radius_km: float = 15.0
+    snapshot_every: int = 2
+    engine: str | None = None
+    seed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CrashChaosReport:
+    """What happened when durable sessions were killed and revived."""
+
+    scenario: str
+    trips: int
+    sessions_crashed: int
+    sessions_recovered: int
+    crashes_not_reached: int
+    snapshots_loaded: int
+    records_replayed: int
+    torn_lines_discarded: int
+    replay_divergences: int
+    accounting_failures: int
+
+    @property
+    def replay_identical(self) -> bool:
+        """Every recovered run matched its uninterrupted baseline bitwise."""
+        return self.replay_divergences == 0
+
+    @property
+    def completed_cleanly(self) -> bool:
+        return self.replay_identical and self.accounting_failures == 0
+
+
+def run_crash_chaos(
+    workload: Workload,
+    spec: CrashChaosSpec | None = None,
+    root: "Path | str | None" = None,
+) -> CrashChaosReport:
+    """Kill durable sessions at every planned crash point; verify replay.
+
+    Bitwise equality is checked on the *encoded* tables (canonical JSON
+    with hex floats), so even a sign-of-zero difference between the
+    recovered and the uninterrupted run counts as divergence.
+    """
+    import tempfile
+
+    from ..core.ecocharge import EcoChargeConfig
+    from ..durability import DurabilityConfig, OfferingTableCodec, canonical_dumps
+    from ..resilience import CrashPoint, FaultInjector, SessionCrash
+    from ..server.eis import EcoChargeInformationServer
+    from ..server.sessions import DurableSessionService
+
+    spec = spec if spec is not None else CrashChaosSpec()
+    root = Path(root) if root is not None else Path(tempfile.mkdtemp(prefix="crash-chaos-"))
+    config = EcoChargeConfig(k=spec.k, radius_km=spec.radius_km, engine=spec.engine)
+    durability = DurabilityConfig(snapshot_every=spec.snapshot_every, fsync=False)
+    trips = workload.trips[: spec.fleet_size]
+
+    def encoded_tables(run) -> list[str]:
+        return [canonical_dumps(OfferingTableCodec.encode(t)) for t in run.tables]
+
+    # Uninterrupted baselines, one fault-free server per trip so cache
+    # state never leaks between runs.
+    baselines = []
+    for trip in trips:
+        server = EcoChargeInformationServer(workload.environment)
+        baselines.append(encoded_tables(server.rank_trip(trip, config)))
+
+    crashed = recovered = not_reached = 0
+    snapshots_loaded = records_replayed = torn_discarded = 0
+    divergences = accounting_failures = 0
+    for trip_index, trip in enumerate(trips):
+        for point in spec.crash_points:
+            session_id = f"trip{trip_index}-{point}"
+            injector = FaultInjector(
+                seed=spec.seed,
+                crash_plan=[CrashPoint(point, at_occurrence=spec.at_occurrence)],
+            )
+            server = EcoChargeInformationServer(workload.environment, injector=injector)
+            service = DurableSessionService(server, root, durability)
+            session = service.open(session_id, trip, config)
+            try:
+                session.run()
+            except SessionCrash:
+                crashed += 1
+            else:
+                # The trip was too short for this occurrence; still a
+                # valid durable run, but nothing to recover.
+                not_reached += 1
+                service.close(session)
+                continue
+            # The restarted process: fresh server, no crash plan.
+            server2 = EcoChargeInformationServer(workload.environment)
+            service2 = DurableSessionService(server2, root, durability)
+            resumed = service2.resume(session_id)
+            info = resumed.recovery
+            run = resumed.run()
+            recovered += 1
+            snapshots_loaded += int(info.snapshot_loaded)
+            records_replayed += info.journal_records_replayed
+            torn_discarded += info.torn_lines_discarded
+            if encoded_tables(run) != baselines[trip_index]:
+                divergences += 1
+            if not (info.accounting_ok and resumed.accounting_ok()):
+                accounting_failures += 1
+            service2.close(resumed)
+    return CrashChaosReport(
+        scenario=spec.name,
+        trips=len(trips),
+        sessions_crashed=crashed,
+        sessions_recovered=recovered,
+        crashes_not_reached=not_reached,
+        snapshots_loaded=snapshots_loaded,
+        records_replayed=records_replayed,
+        torn_lines_discarded=torn_discarded,
+        replay_divergences=divergences,
+        accounting_failures=accounting_failures,
     )

@@ -1,4 +1,4 @@
-"""The ``repro.analysis`` subsystem: rules R1-R8, suppressions, CLI, and
+"""The ``repro.analysis`` subsystem: rules R1-R9, suppressions, CLI, and
 runtime contracts.
 
 Each rule gets (at least) one fixture snippet that triggers it and one
@@ -411,6 +411,90 @@ class TestR8EngineBypass:
 
 
 # ---------------------------------------------------------------------------
+# R9 — server tier mutates session state only through the journal
+# ---------------------------------------------------------------------------
+
+
+class TestR9JournalBypass:
+    SERVER_PATH = "src/repro/server/example.py"
+
+    def test_fires_on_dynamic_cache_construction(self):
+        snippet = (
+            "def serve(env, config):\n"
+            "    cache = DynamicCache(ttl_h=config.cache_ttl_h)\n"
+            "    return cache\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R9"]
+
+    def test_fires_on_direct_restore_state(self):
+        snippet = (
+            "def rollback(ranker, checkpoint):\n"
+            "    ranker.restore_state(checkpoint)\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R9"]
+
+    def test_fires_on_direct_checkpoint_state(self):
+        snippet = (
+            "def snapshot(ranker):\n"
+            "    return ranker.checkpoint_state()\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R9"]
+
+    def test_fires_on_run_table_append(self):
+        snippet = (
+            "def patch(run, table):\n"
+            "    run.tables.append(table)\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R9"]
+
+    def test_fires_on_failed_segments_append(self):
+        snippet = (
+            "def mark(run, index):\n"
+            "    run.failed_segments.append(index)\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R9"]
+
+    def test_clean_when_going_through_session_manager(self):
+        snippet = (
+            "def serve(service, session_id, trip, config):\n"
+            "    session = service.open(session_id, trip, config)\n"
+            "    try:\n"
+            "        return session.run()\n"
+            "    finally:\n"
+            "        service.close(session)\n"
+        )
+        assert check_source(snippet, self.SERVER_PATH) == []
+
+    def test_plain_list_append_is_allowed(self):
+        snippet = (
+            "def collect(snapshots, snapshot):\n"
+            "    snapshots.append(snapshot)\n"
+        )
+        assert check_source(snippet, self.SERVER_PATH) == []
+
+    def test_core_tier_is_exempt(self):
+        snippet = (
+            "def rank(ranker, checkpoint):\n"
+            "    ranker.restore_state(checkpoint)\n"
+        )
+        assert check_source(snippet, "src/repro/core/ranking.py") == []
+
+    def test_response_cache_module_is_exempt(self):
+        snippet = (
+            "def build(config):\n"
+            "    return DynamicCache(ttl_h=config.cache_ttl_h)\n"
+        )
+        assert check_source(snippet, "src/repro/server/cache.py") == []
+
+    def test_tests_are_exempt(self):
+        snippet = (
+            "def test_rollback(ranker):\n"
+            "    ranker.restore_state(ranker.checkpoint_state())\n"
+        )
+        assert check_source(snippet, "tests/server/test_example.py") == []
+
+
+# ---------------------------------------------------------------------------
 # engine / CLI
 # ---------------------------------------------------------------------------
 
@@ -419,11 +503,11 @@ class TestEngineAndCli:
     def test_select_rules(self):
         assert [r.rule_id for r in select_rules(["R1", "r4"])] == ["R1", "R4"]
         with pytest.raises(KeyError):
-            select_rules(["R9"])
+            select_rules(["R10"])
 
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert [r.rule_id for r in ALL_RULES] == [
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"
         ]
 
     def test_cli_clean_tree_exits_zero(self, capsys):
@@ -450,18 +534,18 @@ class TestEngineAndCli:
         assert main(["/no/such/path-xyz"]) == 2
 
     def test_cli_unknown_rule_exits_two(self, capsys):
-        assert main(["--select", "R9", str(SRC)]) == 2
+        assert main(["--select", "R10", str(SRC)]) == 2
 
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"):
             assert rule_id in out
 
     def test_cli_annotations_flag(self, tmp_path, capsys):
         unannotated = tmp_path / "loose.py"
         unannotated.write_text("def f(x):\n    return x\n")
-        assert main([str(unannotated)]) == 0  # R1-R8 clean
+        assert main([str(unannotated)]) == 0  # R1-R9 clean
         assert main(["--annotations", str(unannotated)]) == 1
         out = capsys.readouterr().out
         assert "TYP" in out
@@ -482,7 +566,9 @@ class TestRealTree:
         report = check_paths([SRC])
         assert report.ok, "repro-check violations:\n" + report.render_text()
         assert report.files_checked > 50
-        assert report.rules_run == ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8")
+        assert report.rules_run == (
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"
+        )
 
     def test_tests_tree_is_clean(self):
         report = check_paths([REPO_ROOT / "tests"])
