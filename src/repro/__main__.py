@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from .core.baselines import BruteForceRanker, QuadtreeRanker, RandomRanker
+from .observability.clock import SYSTEM_CLOCK
 from .core.ecocharge import EcoChargeConfig, EcoChargeRanker
 from .core.ranking import run_over_trip
 from .simulation.fleet import FleetSimulation, SimulationConfig
@@ -39,9 +39,10 @@ def _demo(args: argparse.Namespace) -> int:
     timings: dict[str, float] = {}
     runs = {}
     for name, ranker in rankers.items():
-        start = time.perf_counter()
+        start = SYSTEM_CLOCK.monotonic()
         runs[name] = run_over_trip(ranker, environment, trip)
-        timings[name] = (time.perf_counter() - start) * 1000.0 / len(runs[name].tables)
+        elapsed_ms = (SYSTEM_CLOCK.monotonic() - start) * 1000.0
+        timings[name] = elapsed_ms / len(runs[name].tables)
 
     print("EcoCharge Offering Tables along the trip:")
     print(render_run_summary(runs["ecocharge"].tables))

@@ -1,4 +1,4 @@
-"""The nine domain rules enforced by ``repro-check``.
+"""The ten domain rules enforced by ``repro-check``.
 
 Each rule encodes one invariant from the paper that Python's type system
 cannot express on its own (see ``docs/static_analysis.md`` for the
@@ -24,6 +24,10 @@ R8        engine-bypass           Ranking hot loops (``core/``, ``estimation/``)
 R9        journal-bypass          Server-tier code mutates durable session state only
                                   through :class:`SessionManager` transactions, never
                                   by touching caches or run lists directly
+R10       clock-bypass            Time is read only through the injected
+                                  :class:`~repro.observability.clock.Clock`; raw
+                                  ``time.time()``/``perf_counter()`` calls live only
+                                  inside ``observability/``
 ========  ======================  =====================================================
 """
 
@@ -735,6 +739,88 @@ class JournalBypassRule(RuleProtocol):
 
 
 # --------------------------------------------------------------------------
+# R10 — raw clock reads outside the observability tier
+# --------------------------------------------------------------------------
+
+#: The only package allowed to call ``time.*`` directly: it implements
+#: the real :class:`~repro.observability.clock.Clock`.
+_R10_ALLOWED_PACKAGES = ("observability/",)
+
+#: Wall/monotonic readers whose raw use breaks clock injection.  Sleeping
+#: or formatting helpers (``sleep``, ``strftime``) are not clock *reads*
+#: and stay allowed.
+_R10_CLOCK_READERS = frozenset(
+    {"time", "perf_counter", "monotonic", "time_ns", "perf_counter_ns", "monotonic_ns"}
+)
+
+
+class ClockBypassRule(RuleProtocol):
+    """R10: time is read only through the injected ``Clock``.
+
+    The durability tier guarantees bitwise replay and the fault injector
+    crashes at deterministic points; a raw ``time.time()`` or
+    ``perf_counter()`` read anywhere in the serving or experiment stack
+    makes traces, bench histories, and journaled artefacts depend on the
+    wall clock of one particular run.  Injecting
+    :class:`~repro.observability.clock.Clock` (real in production,
+    simulated in tests and replay) keeps every timed artefact a
+    deterministic function of the workload.
+    """
+
+    rule_id = "R10"
+    name = "clock-bypass"
+    description = "raw time.time()/perf_counter() read outside the observability tier"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        return not any(
+            f"/{pkg}" in f"/{source.rel_path}" for pkg in _R10_ALLOWED_PACKAGES
+        )
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        module_aliases: set[str] = set()
+        imported_readers: dict[str, str] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        module_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _R10_CLOCK_READERS:
+                        imported_readers[alias.asname or alias.name] = alias.name
+        if not module_aliases and not imported_readers:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _R10_CLOCK_READERS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            ):
+                read = f"{func.value.id}.{func.attr}()"
+            elif isinstance(func, ast.Name) and func.id in imported_readers:
+                read = f"{func.id}()"
+            else:
+                continue
+            yield Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    f"raw clock read '{read}' — inject a "
+                    f"repro.observability.Clock (SYSTEM_CLOCK in production, "
+                    f"SimulatedClock in tests) so timed artefacts stay "
+                    f"deterministic under replay"
+                ),
+            )
+
+
+# --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
 
@@ -748,13 +834,14 @@ ALL_RULES: tuple[RuleProtocol, ...] = (
     ResilienceBypassRule(),
     EngineBypassRule(),
     JournalBypassRule(),
+    ClockBypassRule(),
 )
 
 RULES_BY_ID: dict[str, RuleProtocol] = {rule.rule_id: rule for rule in ALL_RULES}
 
 
 def select_rules(ids: Sequence[str] | None = None) -> tuple[RuleProtocol, ...]:
-    """The rule objects for ``ids`` (all nine when None)."""
+    """The rule objects for ``ids`` (all ten when None)."""
     if ids is None:
         return ALL_RULES
     unknown = [rule_id for rule_id in ids if rule_id.upper() not in RULES_BY_ID]

@@ -30,6 +30,7 @@ if TYPE_CHECKING:
     from .feasibility import VehicleConstraints
 from ..estimation.derouting import REFERENCE_SPEED_KMH
 from ..network.path import DEFAULT_SEGMENT_KM, Trip, TripSegment
+from ..observability.recorder import Telemetry
 from .caching import CachedSolution, CacheState, CacheStats, DynamicCache
 from .environment import ChargingEnvironment
 from .intervals import Interval
@@ -67,6 +68,12 @@ class EcoChargeConfig:
     #: truncated-Dijkstra fallback, "ch" the contraction hierarchy (same
     #: quantised distances, measured in benchmarks/bench_perf_trajectory).
     engine: str | None = None
+    #: Install a live telemetry recorder (metrics registry + span tracer,
+    #: see repro.observability) on the environment when this ranker is
+    #: built.  False keeps the shared no-op recorder: instrumented call
+    #: sites reduce to constant no-op context managers (< 3% overhead,
+    #: measured by `python -m repro.experiments observability`).
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -105,6 +112,8 @@ class EcoChargeRanker:
         self.constraints = constraints
         if self.config.engine is not None:
             environment.set_engine_backend(self.config.engine)
+        if self.config.telemetry and not environment.telemetry.enabled:
+            environment.set_telemetry(Telemetry.live())
         self._cache = DynamicCache(
             range_km=self.config.range_km, ttl_h=self.config.cache_ttl_h
         )
@@ -155,11 +164,15 @@ class EcoChargeRanker:
         next_segment: TripSegment | None = None,
     ) -> OfferingTable:
         """Algorithm 1 for one segment: adapt from cache or recompute."""
+        telemetry = self._env.telemetry
         origin = segment.midpoint
-        cached = self._cache.lookup(origin, now_h=eta_h)
+        with telemetry.span("cache.lookup", tier="cache", segment=segment.index):
+            cached = self._cache.lookup(origin, now_h=eta_h)
         if cached is not None:
-            return self._adapt(cached, segment, origin, eta_h)
-        return self._compute(trip, segment, origin, eta_h, now_h, next_segment)
+            with telemetry.span("ranker.adapt", tier="ranker", segment=segment.index):
+                return self._adapt(cached, segment, origin, eta_h)
+        with telemetry.span("ranker.compute", tier="ranker", segment=segment.index):
+            return self._compute(trip, segment, origin, eta_h, now_h, next_segment)
 
     def _compute(
         self,

@@ -26,6 +26,7 @@ from ..estimation.weather import WeatherModel
 from ..network.distance_engine import DistanceEngine
 from ..network.graph import RoadNetwork
 from ..network.path import TripSegment
+from ..observability.recorder import NOOP_TELEMETRY, Telemetry
 from .scoring import ComponentScores
 
 
@@ -51,6 +52,7 @@ class ChargingEnvironment:
         seed: int = 0,
         charging_window_h: float = 1.0,
         engine: str | DistanceEngine = "dijkstra",
+        telemetry: Telemetry = NOOP_TELEMETRY,
     ) -> None:
         self.network = network
         self.registry = registry
@@ -69,10 +71,18 @@ class ChargingEnvironment:
         if charging_window_h <= 0:
             raise ValueError("charging window must be positive")
         self.charging_window_h = charging_window_h
+        self.telemetry = telemetry
+        self.engine.telemetry = telemetry
 
     def set_engine_backend(self, backend: str) -> None:
         """Switch the shared distance engine backend ("dijkstra" | "ch")."""
         self.engine.set_backend(backend)
+
+    def set_telemetry(self, telemetry: Telemetry) -> None:
+        """Install a telemetry recorder on this environment and the tiers
+        it owns (the shared distance engine)."""
+        self.telemetry = telemetry
+        self.engine.telemetry = telemetry
 
     # -- forecast view (what the algorithms see) ----------------------------
 

@@ -14,6 +14,7 @@ from typing import Protocol, Sequence, runtime_checkable
 from ..analysis.contracts import ensure
 from ..chargers.charger import Charger
 from ..network.path import Trip, TripSegment
+from ..observability.tracing import trip_correlation_id
 from ..resilience.errors import UpstreamError
 from .environment import ChargingEnvironment
 from .intervals import Interval
@@ -214,38 +215,64 @@ def run_over_trip(
         start = 0
     else:
         run, start = session.begin(ranker, trip, segments)
+    telemetry = environment.telemetry
+    if start == 0:
+        # Resumed sessions skip this: the trip was already counted before
+        # the crash, and restored segments are not re-ranked below, so a
+        # resume never double-counts.
+        telemetry.inc("ecocharge_trips_total")
     last_error: UpstreamError | None = None
-    for i in range(start, len(segments)):
-        segment = segments[i]
-        next_segment = segments[i + 1] if i + 1 < len(segments) else None
-        checkpoint = _state_checkpoint(ranker)
-        if session is not None:
-            session.begin_segment(i, segment, ranker)
-        try:
-            table = ranker.rank_segment(
-                trip,
-                segment,
-                eta_h=etas[i].expected_h,
-                now_h=trip.departure_time_h,
-                next_segment=next_segment,
-            )
-        except UpstreamError as error:
-            # A ranker running behind the resilience gateway never gets
-            # here (the ladder bottoms out at the fallback interval); a
-            # raw-estimator ranker degrades to skipping the segment, and
-            # the continuous query carries on with the rest of the trip.
-            # The transaction rolls back first: a partially mutated cache
-            # must not leak into the next segment (or the journal).
-            if checkpoint is not None:
-                ranker.restore_state(checkpoint)  # type: ignore[attr-defined]
+    with telemetry.span(
+        "ranker.trip",
+        tier="ranker",
+        trace_id=trip_correlation_id(trip),
+        ranker=ranker.name,
+        segments=len(segments),
+        start=start,
+    ):
+        for i in range(start, len(segments)):
+            segment = segments[i]
+            next_segment = segments[i + 1] if i + 1 < len(segments) else None
+            checkpoint = _state_checkpoint(ranker)
             if session is not None:
-                session.record_failure(i, segment, error)
-            run.failed_segments.append(segment.index)
-            last_error = error
-            continue
-        if session is not None:
-            session.record_table(i, segment, table, ranker)
-        run.tables.append(table)
+                session.begin_segment(i, segment, ranker)
+            started_s = telemetry.clock.monotonic() if telemetry.enabled else 0.0
+            with telemetry.span("ranker.segment", tier="ranker", segment=segment.index):
+                try:
+                    table = ranker.rank_segment(
+                        trip,
+                        segment,
+                        eta_h=etas[i].expected_h,
+                        now_h=trip.departure_time_h,
+                        next_segment=next_segment,
+                    )
+                except UpstreamError as error:
+                    # A ranker running behind the resilience gateway never gets
+                    # here (the ladder bottoms out at the fallback interval); a
+                    # raw-estimator ranker degrades to skipping the segment, and
+                    # the continuous query carries on with the rest of the trip.
+                    # The transaction rolls back first: a partially mutated cache
+                    # must not leak into the next segment (or the journal).
+                    telemetry.mark_error(error)
+                    if checkpoint is not None:
+                        ranker.restore_state(checkpoint)  # type: ignore[attr-defined]
+                    if session is not None:
+                        session.record_failure(i, segment, error)
+                    run.failed_segments.append(segment.index)
+                    last_error = error
+                    telemetry.inc("ecocharge_segments_total", outcome="failed")
+                    continue
+                if session is not None:
+                    # A SessionCrash injected here propagates through the
+                    # segment (and trip) spans, closing both with error
+                    # status — the process is modelled as dying.
+                    session.record_table(i, segment, table, ranker)
+            run.tables.append(table)
+            if telemetry.enabled:
+                telemetry.observe(
+                    "ecocharge_segment_seconds", telemetry.clock.monotonic() - started_s
+                )
+                telemetry.inc("ecocharge_segments_total", outcome="ok")
     if not run.tables and last_error is not None:
         # Nothing rankable at all: surface the fault rather than return
         # an answer that violates the one-table-minimum contract.

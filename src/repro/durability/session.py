@@ -111,6 +111,7 @@ def encode_config(config: EcoChargeConfig) -> dict[str, Any]:
         "pad_intersection": bool(config.pad_intersection),
         "cache_pool_limit": config.cache_pool_limit,
         "engine": config.engine,
+        "telemetry": bool(config.telemetry),
     }
 
 
@@ -130,6 +131,7 @@ def decode_config(payload: Any) -> EcoChargeConfig:
         pad_intersection=bool(payload["pad_intersection"]),
         cache_pool_limit=None if limit is None else int(limit),
         engine=None if engine is None else str(engine),
+        telemetry=bool(payload.get("telemetry", False)),
     )
 
 
@@ -285,7 +287,10 @@ class RankingSession:
             "cache_stats": CacheStatsCodec.encode(stats),
             "events": delta.encode(),
         }
-        self._journal.append("segment", payload)
+        telemetry = self.environment.telemetry
+        with telemetry.span("journal.append", tier="journal", record_type="segment"):
+            self._journal.append("segment", payload)
+        telemetry.inc("ecocharge_journal_appends_total", record_type="segment")
         self._accounting.apply(delta)
         self._next_position = position + 1
         self._segments_since_snapshot += 1
@@ -303,20 +308,30 @@ class RankingSession:
             "endpoint": getattr(error, "endpoint", None),
             "events": CacheEventDelta().encode(),
         }
-        self._journal.append("segment-failed", payload)
+        telemetry = self.environment.telemetry
+        with telemetry.span(
+            "journal.append", tier="journal", record_type="segment-failed"
+        ):
+            self._journal.append("segment-failed", payload)
+        telemetry.inc("ecocharge_journal_appends_total", record_type="segment-failed")
         self._next_position = position + 1
         self._segments_since_snapshot += 1
         self._pre_segment = None
 
     def finish(self, run: RankingRun) -> None:
-        self._journal.append(
-            "session-close",
-            {
-                "tables": len(run.tables),
-                "failed_segments": list(run.failed_segments),
-                "accounting_ok": self.accounting_ok(),
-            },
-        )
+        telemetry = self.environment.telemetry
+        with telemetry.span(
+            "journal.append", tier="journal", record_type="session-close"
+        ):
+            self._journal.append(
+                "session-close",
+                {
+                    "tables": len(run.tables),
+                    "failed_segments": list(run.failed_segments),
+                    "accounting_ok": self.accounting_ok(),
+                },
+            )
+        telemetry.inc("ecocharge_journal_appends_total", record_type="session-close")
         self.completed = True
 
     # -- checkpointing ------------------------------------------------------
@@ -356,7 +371,10 @@ class RankingSession:
             cache_entry=self.ranker.cache_entry,
             cache_stats=self.ranker.cache_stats,
         )
-        write_snapshot(self.snapshot_path, snapshot, fsync=self.durability.fsync)
+        telemetry = self.environment.telemetry
+        with telemetry.span("journal.snapshot", tier="journal", seq=snapshot.journal_seq):
+            write_snapshot(self.snapshot_path, snapshot, fsync=self.durability.fsync)
+        telemetry.inc("ecocharge_journal_snapshots_total")
 
 
 class SessionManager:

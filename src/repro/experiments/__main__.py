@@ -20,6 +20,7 @@ from . import (
     figure8,
     figure9,
     modes_report,
+    observability_report,
     perf_trajectory,
     resilience_report,
 )
@@ -32,6 +33,7 @@ _DRIVERS: dict[str, Callable[[HarnessConfig], str]] = {
     "figure8": figure8.main,
     "figure9": figure9.main,
     "modes": modes_report.main,
+    "observability": observability_report.main,
     "perf": perf_trajectory.main,
     "resilience": resilience_report.main,
 }

@@ -15,13 +15,13 @@ failure, which is what the ``recovery-chaos`` CI job keys off.
 from __future__ import annotations
 
 import tempfile
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
 from ..core.ecocharge import EcoChargeConfig
 from ..durability import DurabilityConfig
+from ..observability.clock import SYSTEM_CLOCK, Clock
 from ..resilience import CrashPoint, FaultInjector, SessionCrash
 from ..server.eis import EcoChargeInformationServer
 from ..server.sessions import DurableSessionService
@@ -56,7 +56,12 @@ class DurabilityRow:
 
 
 def _time_recovery(
-    workload, trip, config: EcoChargeConfig, root: Path, reps: int
+    workload,
+    trip,
+    config: EcoChargeConfig,
+    root: Path,
+    reps: int,
+    clock: Clock = SYSTEM_CLOCK,
 ) -> tuple[float, float]:
     """(mean resume ms, mean cold-restart ms) for one crashed trip."""
     durability = DurabilityConfig(snapshot_every=2, fsync=False)
@@ -83,16 +88,16 @@ def _time_recovery(
         # Warm path: restore snapshot + journal tail, finish the trip.
         server2 = EcoChargeInformationServer(workload.environment)
         service2 = DurableSessionService(server2, root, durability)
-        start = time.perf_counter()
+        start = clock.monotonic()
         run = service2.resume_and_finish(session_id)
-        resume_samples.append((time.perf_counter() - start) * 1e3)
+        resume_samples.append((clock.monotonic() - start) * 1e3)
         # Cold path: a restart that lost the journal re-ranks the whole
         # trip (still durably — same guarantee, none of the saved work).
         server3 = EcoChargeInformationServer(workload.environment)
         service3 = DurableSessionService(server3, root, durability)
-        start = time.perf_counter()
+        start = clock.monotonic()
         cold = service3.rank_trip_durably(f"{session_id}-cold", trip, config)
-        cold_samples.append((time.perf_counter() - start) * 1e3)
+        cold_samples.append((clock.monotonic() - start) * 1e3)
         assert len(run.tables) == len(cold.tables)
     return (
         sum(resume_samples) / len(resume_samples),

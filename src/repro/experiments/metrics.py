@@ -1,7 +1,7 @@
 """Evaluation metrics (Section V-A).
 
-* ``F_t`` — CPU execution time per ranking call, measured with
-  ``time.perf_counter`` around exactly the work the paper times (the
+* ``F_t`` — CPU execution time per ranking call, measured with the
+  injected monotonic clock around exactly the work the paper times (the
   weighted-sum optimisation producing one Offering Table).
 * ``SC`` — Sustainability Score of the *selection*, graded against ground
   truth: the oracle component values of the chosen chargers, combined with
@@ -12,12 +12,12 @@
 from __future__ import annotations
 
 import math
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..core.environment import ChargingEnvironment, TrueComponents
+from ..observability.clock import SYSTEM_CLOCK, Clock
 from ..core.offering import OfferingTable
 from ..core.scoring import Weights, sc_exact
 from ..network.path import TripSegment
@@ -47,19 +47,24 @@ class MeanStd:
 
 
 class Stopwatch:
-    """Accumulating perf_counter stopwatch; one lap per timed call."""
+    """Accumulating monotonic stopwatch; one lap per timed call.
 
-    def __init__(self) -> None:
+    The clock is injected (default: the real system clock) so harness
+    tests can drive laps deterministically with a ``SimulatedClock``.
+    """
+
+    def __init__(self, clock: Clock = SYSTEM_CLOCK) -> None:
         self.laps_ms: list[float] = []
+        self._clock = clock
 
     @contextmanager
     def lap(self) -> Iterator[None]:
         """Context manager timing one lap into ``laps_ms``."""
-        start = time.perf_counter()
+        start = self._clock.monotonic()
         try:
             yield
         finally:
-            self.laps_ms.append((time.perf_counter() - start) * 1000.0)
+            self.laps_ms.append((self._clock.monotonic() - start) * 1000.0)
 
     @property
     def total_ms(self) -> float:

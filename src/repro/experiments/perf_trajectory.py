@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import json
 import math
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
+
+from ..observability.clock import SYSTEM_CLOCK, Clock, iso_utc
 
 from ..chargers.plugshare import CatalogSpec, generate_catalog
 from ..core.ecocharge import EcoChargeConfig, EcoChargeRanker
@@ -131,6 +132,7 @@ def _measure_backend(
     repetitions: int,
     seed: int,
     hierarchy: ContractionHierarchy | None,
+    clock: Clock = SYSTEM_CLOCK,
 ) -> dict:
     """Min-over-repetitions cold and warm serving times for one backend."""
     network = scenario.build()
@@ -145,12 +147,12 @@ def _measure_backend(
     for __ in range(max(1, repetitions)):
         engine = DistanceEngine(network, backend=backend, hierarchy=hierarchy)
         environment = ChargingEnvironment(network, registry, seed=seed, engine=engine)
-        start = time.perf_counter()
+        start = clock.monotonic()
         segments = _serve(environment, trips, scenario)
-        cold_s = min(cold_s, time.perf_counter() - start)
-        start = time.perf_counter()
+        cold_s = min(cold_s, clock.monotonic() - start)
+        start = clock.monotonic()
         _serve(environment, trips, scenario)
-        warm_s = min(warm_s, time.perf_counter() - start)
+        warm_s = min(warm_s, clock.monotonic() - start)
         stats = engine.stats.as_dict()
     return {
         "cold_s": round(cold_s, 4),
@@ -194,17 +196,21 @@ def _check_backends_agree(scenario: PerfScenario, seed: int) -> None:
         )
 
 
-def run_scenario(scenario: PerfScenario, repetitions: int, seed: int) -> dict:
+def run_scenario(
+    scenario: PerfScenario, repetitions: int, seed: int, clock: Clock = SYSTEM_CLOCK
+) -> dict:
     """Measure one scenario under every backend and cross-check them."""
     _check_backends_agree(scenario, seed)
     network = scenario.build()
-    start = time.perf_counter()
+    start = clock.monotonic()
     hierarchy = ContractionHierarchy.build(network)
-    preprocess_s = time.perf_counter() - start
+    preprocess_s = clock.monotonic() - start
     ch_stats = hierarchy.stats
     backends = {
-        "dijkstra": _measure_backend(scenario, "dijkstra", repetitions, seed, None),
-        "ch": _measure_backend(scenario, "ch", repetitions, seed, hierarchy),
+        "dijkstra": _measure_backend(
+            scenario, "dijkstra", repetitions, seed, None, clock=clock
+        ),
+        "ch": _measure_backend(scenario, "ch", repetitions, seed, hierarchy, clock=clock),
     }
     backends["ch"]["preprocess_s"] = round(preprocess_s, 4)
     dijkstra_cold = backends["dijkstra"]["cold_s"]
@@ -228,8 +234,16 @@ def run_scenario(scenario: PerfScenario, repetitions: int, seed: int) -> dict:
     }
 
 
-def _merge_history(path: Path, headline: float | None) -> list[dict]:
-    """Previous runs' headline numbers, oldest dropped past the limit."""
+def _merge_history(
+    path: Path, headline: float | None, clock: Clock = SYSTEM_CLOCK
+) -> list[dict]:
+    """Previous runs' headline numbers, oldest dropped past the limit.
+
+    Entries are stamped from the injected clock — both as raw epoch
+    seconds (``at``) and as an ISO-8601 UTC string (``at_iso``) so the
+    committed history is human-readable and the stamping is testable
+    with a :class:`~repro.observability.clock.SimulatedClock`.
+    """
     history: list[dict] = []
     if path.exists():
         try:
@@ -237,17 +251,18 @@ def _merge_history(path: Path, headline: float | None) -> list[dict]:
         except (OSError, ValueError):
             previous = {}
         history = [h for h in previous.get("history", []) if isinstance(h, dict)]
-    history.append({"at": time.time(), "speedup": headline})
+    now_s = clock.now()
+    history.append({"at": now_s, "at_iso": iso_utc(now_s), "speedup": headline})
     return history[-HISTORY_LIMIT:]
 
 
-def run_perf(config: HarnessConfig | None = None) -> dict:
+def run_perf(config: HarnessConfig | None = None, clock: Clock = SYSTEM_CLOCK) -> dict:
     """Run the benchmark suite and write the persistent JSON report."""
     config = config if config is not None else HarnessConfig()
     smoke = config.dataset_scale < 1.0
     scenarios = smoke_scenarios() if smoke else full_scenarios()
     rows = [
-        run_scenario(scenario, repetitions=config.repetitions, seed=config.seed)
+        run_scenario(scenario, repetitions=config.repetitions, seed=config.seed, clock=clock)
         for scenario in scenarios
     ]
     speedups = [row["speedup_cold"] for row in rows if row["speedup_cold"]]
@@ -259,7 +274,7 @@ def run_perf(config: HarnessConfig | None = None) -> dict:
         "repetitions": config.repetitions,
         "speedup": headline,
         "scenarios": {row["name"]: row for row in rows},
-        "history": _merge_history(path, headline),
+        "history": _merge_history(path, headline, clock=clock),
     }
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report

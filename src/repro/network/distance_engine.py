@@ -31,6 +31,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Sequence
 
+from ..observability.recorder import NOOP_TELEMETRY, Telemetry
 from .contraction import ContractionHierarchy, CustomizedHierarchy, combine_spaces
 from .graph import EdgeWeight, RoadEdge, RoadNetwork
 from .shortest_path import CostFn, dijkstra_all, dijkstra_all_backward
@@ -148,6 +149,9 @@ class DistanceEngine:
         self._cached_nodes = 0
         self._customized: OrderedDict[Hashable, CustomizedHierarchy] = OrderedDict()
         self.stats = EngineStats()
+        #: Installed by the owning environment's ``set_telemetry``; the
+        #: no-op default keeps cache hits span-free and searches unguarded.
+        self.telemetry: Telemetry = NOOP_TELEMETRY
 
     # -- configuration ------------------------------------------------------
 
@@ -281,19 +285,43 @@ class DistanceEngine:
             return cached[1]
         self.stats.cache_misses += 1
         self.stats.searches += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            # Spans only on the miss path: a cache hit above returns with
+            # zero telemetry work, keeping the hot path unperturbed.
+            started_s = telemetry.clock.monotonic()
+            with telemetry.span(
+                "engine.search",
+                tier="engine",
+                backend=self._backend,
+                direction=direction,
+                node=node,
+            ):
+                raw = self._search(spec, node, direction, budget)
+            telemetry.observe(
+                "ecocharge_engine_search_seconds",
+                telemetry.clock.monotonic() - started_s,
+                backend=self._backend,
+            )
+        else:
+            raw = self._search(spec, node, direction, budget)
+        self._admit(key, budget, raw, cached)
+        return raw
+
+    def _search(
+        self, spec: WeightSpec, node: int, direction: str, budget: float
+    ) -> dict[int, float]:
+        """The uncached settled-map computation behind :meth:`_map`."""
         if self._backend == "ch":
             custom = self._customize(spec)
-            raw = (
+            return (
                 custom.forward_space(node, budget)
                 if direction == "f"
                 else custom.backward_space(node, budget)
             )
-        elif direction == "f":
-            raw = dijkstra_all(self._network, node, spec.fn, max_cost=budget)
-        else:
-            raw = dijkstra_all_backward(self._network, node, spec.fn, max_cost=budget)
-        self._admit(key, budget, raw, cached)
-        return raw
+        if direction == "f":
+            return dijkstra_all(self._network, node, spec.fn, max_cost=budget)
+        return dijkstra_all_backward(self._network, node, spec.fn, max_cost=budget)
 
     @staticmethod
     def _subset(
@@ -338,7 +366,8 @@ class DistanceEngine:
         arc_costs = None
         if spec.batch is not None:
             arc_costs = spec.batch(hierarchy.original_edges)
-        custom = hierarchy.customize(spec.fn, arc_costs=arc_costs)
+        with self.telemetry.span("engine.customize", tier="engine", key=str(spec.key)):
+            custom = hierarchy.customize(spec.fn, arc_costs=arc_costs)
         self._customized[spec.key] = custom
         self.stats.customisations += 1
         self._trim_customizations()

@@ -1,0 +1,82 @@
+"""Unified telemetry for the EcoCharge serving stack.
+
+One substrate for what the five tiers previously accounted separately:
+
+* :mod:`.clock` — the injected :class:`Clock` protocol (real +
+  simulated); the only module allowed to call ``time.*`` directly
+  (repro-check rule R10 enforces this);
+* :mod:`.metrics` — labelled counters/gauges/fixed-bucket histograms in
+  a process-local :class:`MetricsRegistry`;
+* :mod:`.tracing` — deterministic span trees with trip correlation IDs
+  and per-span self-time profiling;
+* :mod:`.recorder` — the :class:`Telemetry` facade the instrumented
+  tiers hold (or the shared :data:`NOOP_TELEMETRY` when disabled);
+* :mod:`.adapters` — mirrors of the legacy ``CacheStats`` /
+  ``EngineStats`` / ``ApiUsage`` / health / breaker / journal counters,
+  plus exact reconciliation;
+* :mod:`.export` — Prometheus text exposition and canonical-JSON
+  snapshots, with validators for both.
+
+See ``docs/observability.md`` for the metric catalog and span taxonomy.
+"""
+
+from .adapters import (
+    mirror_all,
+    mirror_api_usage,
+    mirror_breakers,
+    mirror_cache_stats,
+    mirror_engine_stats,
+    mirror_health,
+    mirror_journal_accounting,
+    reconcile,
+)
+from .clock import SYSTEM_CLOCK, Clock, SimulatedClock, SystemClock, iso_utc
+from .export import (
+    ExpositionError,
+    canonical_json,
+    json_round_trips,
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .recorder import NOOP_TELEMETRY, Telemetry
+from .tracing import NoopTracer, Span, SpanEvent, Tracer, trip_correlation_id
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "SimulatedClock",
+    "SYSTEM_CLOCK",
+    "iso_utc",
+    "MetricsRegistry",
+    "MetricFamily",
+    "MetricError",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Tracer",
+    "NoopTracer",
+    "Span",
+    "SpanEvent",
+    "trip_correlation_id",
+    "Telemetry",
+    "NOOP_TELEMETRY",
+    "mirror_all",
+    "mirror_cache_stats",
+    "mirror_engine_stats",
+    "mirror_api_usage",
+    "mirror_health",
+    "mirror_breakers",
+    "mirror_journal_accounting",
+    "reconcile",
+    "render_prometheus",
+    "parse_prometheus",
+    "render_json",
+    "canonical_json",
+    "json_round_trips",
+    "ExpositionError",
+]

@@ -1,0 +1,201 @@
+"""Mirror the legacy per-tier stats objects into the metrics registry.
+
+Each tier already keeps its own exact accounting — ``CacheStats`` on the
+dynamic cache, ``EngineStats`` on the distance engine, ``ApiUsage`` on
+the raw providers, ``HealthRegistry`` + breaker states on the gateway,
+``JournalCacheAccounting`` on a durable session.  Those objects stay the
+source of truth (their semantics and the identities the resilience and
+durability tests assert are untouched); these adapters *copy* their
+absolute values into registry families on demand.
+
+Mirrors are written with ``set_total`` / ``set``: the legacy counter
+owns the count, the registry sample is a projection of it at mirror
+time.  That is also what makes :func:`reconcile` meaningful — it
+re-reads both sides and demands exact equality, so a drifted mirror (or
+a double-counted resume) is a hard failure, not a rounding story.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from ..core.caching import CacheStats
+    from ..durability.accounting import JournalCacheAccounting
+    from ..network.distance_engine import EngineStats
+    from ..resilience.health import HealthRegistry
+    from ..server.api import ApiUsage
+
+_CACHE_FIELDS = ("hits", "misses", "expirations", "out_of_range")
+_ENGINE_FIELDS = (
+    "searches",
+    "cache_hits",
+    "cache_misses",
+    "customisations",
+    "customisation_hits",
+    "evictions",
+    "ch_builds",
+)
+_API_FIELDS = ("weather_calls", "busy_calls", "traffic_calls", "catalog_calls")
+_JOURNAL_FIELDS = ("hits", "misses", "expirations", "out_of_range", "stores")
+
+
+def mirror_cache_stats(registry: MetricsRegistry, stats: "CacheStats") -> None:
+    """``DynamicCache`` lookup accounting → ``ecocharge_cache_events``."""
+    family = registry.counter(
+        "ecocharge_cache_events",
+        "Dynamic-cache lookup outcomes, mirrored from CacheStats.",
+        labels=("event",),
+    )
+    for name in _CACHE_FIELDS:
+        family.labels(event=name).set_total(float(getattr(stats, name)))
+    registry.gauge(
+        "ecocharge_cache_hit_ratio",
+        "Dynamic-cache hit ratio, mirrored from CacheStats.",
+    ).set(stats.hit_rate)
+
+
+def mirror_engine_stats(registry: MetricsRegistry, stats: "EngineStats") -> None:
+    """``DistanceEngine`` accounting → ``ecocharge_engine_events``."""
+    family = registry.counter(
+        "ecocharge_engine_events",
+        "Distance-engine cache and search accounting, mirrored from EngineStats.",
+        labels=("event",),
+    )
+    for name in _ENGINE_FIELDS:
+        family.labels(event=name).set_total(float(getattr(stats, name)))
+    registry.gauge(
+        "ecocharge_engine_hit_ratio",
+        "Distance-engine search-cache hit ratio, mirrored from EngineStats.",
+    ).set(stats.hit_rate)
+
+
+def mirror_api_usage(registry: MetricsRegistry, usage: "ApiUsage") -> None:
+    """Provider call counters → ``ecocharge_api_calls``."""
+    family = registry.counter(
+        "ecocharge_api_calls",
+        "Upstream provider calls delivered, mirrored from ApiUsage.",
+        labels=("endpoint",),
+    )
+    for name in _API_FIELDS:
+        endpoint = name.removesuffix("_calls")
+        family.labels(endpoint=endpoint).set_total(float(getattr(usage, name)))
+
+
+def mirror_health(registry: MetricsRegistry, health: "HealthRegistry") -> None:
+    """Gateway ladder/upstream health counters → ``ecocharge_endpoint_health``."""
+    family = registry.counter(
+        "ecocharge_endpoint_health",
+        "Per-endpoint resilience counters, mirrored from HealthRegistry.",
+        labels=("endpoint", "field"),
+    )
+    availability = registry.gauge(
+        "ecocharge_endpoint_availability_ratio",
+        "Fraction of logical calls answered without degradation.",
+        labels=("endpoint",),
+    )
+    for endpoint, counters in health.as_dict().items():
+        for field_name, value in counters.items():
+            family.labels(endpoint=endpoint, field=field_name).set_total(float(value))
+        availability.labels(endpoint=endpoint).set(
+            health.for_endpoint(endpoint).availability_ratio
+        )
+
+
+def mirror_breakers(registry: MetricsRegistry, states: Mapping[str, str]) -> None:
+    """Breaker states → ``ecocharge_breaker_state`` (0 closed / 1 half-open /
+    2 open), plus the state string as a label for readability."""
+    codes = {"closed": 0.0, "half_open": 1.0, "half-open": 1.0, "open": 2.0}
+    family = registry.gauge(
+        "ecocharge_breaker_state",
+        "Circuit-breaker state per endpoint (0=closed, 1=half-open, 2=open).",
+        labels=("endpoint", "state"),
+    )
+    for endpoint, state in sorted(states.items()):
+        family.labels(endpoint=endpoint, state=state).set(codes.get(state, -1.0))
+
+
+def mirror_journal_accounting(
+    registry: MetricsRegistry, accounting: "JournalCacheAccounting"
+) -> None:
+    """Durable-session journaled cache totals → ``ecocharge_journal_cache_events``."""
+    family = registry.counter(
+        "ecocharge_journal_cache_events",
+        "Journaled cache-event totals for the durable session, mirrored "
+        "from JournalCacheAccounting.",
+        labels=("event",),
+    )
+    for name in _JOURNAL_FIELDS:
+        family.labels(event=name).set_total(float(getattr(accounting, name)))
+
+
+def mirror_all(
+    registry: MetricsRegistry,
+    cache_stats: "CacheStats | None" = None,
+    engine_stats: "EngineStats | None" = None,
+    api_usage: "ApiUsage | None" = None,
+    health: "HealthRegistry | None" = None,
+    breaker_states: Mapping[str, str] | None = None,
+    journal_accounting: "JournalCacheAccounting | None" = None,
+) -> None:
+    """Mirror every provided stats object in one call."""
+    if cache_stats is not None:
+        mirror_cache_stats(registry, cache_stats)
+    if engine_stats is not None:
+        mirror_engine_stats(registry, engine_stats)
+    if api_usage is not None:
+        mirror_api_usage(registry, api_usage)
+    if health is not None:
+        mirror_health(registry, health)
+    if breaker_states is not None:
+        mirror_breakers(registry, breaker_states)
+    if journal_accounting is not None:
+        mirror_journal_accounting(registry, journal_accounting)
+
+
+def reconcile(
+    registry: MetricsRegistry,
+    cache_stats: "CacheStats | None" = None,
+    engine_stats: "EngineStats | None" = None,
+    api_usage: "ApiUsage | None" = None,
+    journal_accounting: "JournalCacheAccounting | None" = None,
+) -> list[str]:
+    """Exact-equality check of mirrored samples against the live objects.
+
+    Returns a list of human-readable mismatch descriptions; empty means
+    the registry snapshot reconciles exactly.  Run *after*
+    :func:`mirror_all` — an unmirrored family reports as missing, which
+    is itself a mismatch.
+    """
+    problems: list[str] = []
+
+    def check(metric: str, labels: dict[str, str], expected: float) -> None:
+        actual = registry.sample_value(metric, labels)
+        if actual is None:
+            problems.append(f"{metric}{labels}: missing from registry")
+        elif actual != expected:
+            problems.append(f"{metric}{labels}: registry={actual} legacy={expected}")
+
+    if cache_stats is not None:
+        for name in _CACHE_FIELDS:
+            check("ecocharge_cache_events", {"event": name}, float(getattr(cache_stats, name)))
+    if engine_stats is not None:
+        for name in _ENGINE_FIELDS:
+            check("ecocharge_engine_events", {"event": name}, float(getattr(engine_stats, name)))
+    if api_usage is not None:
+        for name in _API_FIELDS:
+            check(
+                "ecocharge_api_calls",
+                {"endpoint": name.removesuffix("_calls")},
+                float(getattr(api_usage, name)),
+            )
+    if journal_accounting is not None:
+        for name in _JOURNAL_FIELDS:
+            check(
+                "ecocharge_journal_cache_events",
+                {"event": name},
+                float(getattr(journal_accounting, name)),
+            )
+    return problems

@@ -1,0 +1,96 @@
+"""Injected time sources — the only sanctioned way to read a clock.
+
+Every tier of the serving stack that needs time (span timestamps, bench
+histories, latency stopwatches, mode simulations) receives a
+:class:`Clock` instead of calling :func:`time.time` or
+:func:`time.perf_counter` directly.  ``repro-check`` rule R10
+(clock-bypass) enforces this: raw ``time.*`` reads are allowed only
+inside this package, where the two real implementations live.
+
+Why injection matters here specifically: the durability tier guarantees
+*bitwise* replay of a recovered session, and the fault injector kills
+processes at deterministic points.  Telemetry that read the wall clock
+directly would make traces (and any artefact that embeds them)
+unreproducible; with a :class:`SimulatedClock` the whole observability
+layer is a deterministic function of the workload.
+
+``now()`` is wall time (seconds since the Unix epoch, UTC) for
+timestamps that outlive the process; ``monotonic()`` is a high-resolution
+monotonic reading for durations.  The two must never be mixed: a duration
+is a difference of ``monotonic()`` readings, a timestamp is one ``now()``
+reading.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A pair of time sources: wall timestamps and monotonic durations."""
+
+    def now(self) -> float:
+        """Seconds since the Unix epoch (UTC wall time)."""
+        ...
+
+    def monotonic(self) -> float:
+        """Monotonic high-resolution seconds, for measuring durations."""
+        ...
+
+
+class SystemClock:
+    """The real clocks (the only raw ``time.*`` call sites in the repo)."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def monotonic(self) -> float:
+        return time.perf_counter()
+
+
+class SimulatedClock:
+    """A deterministic clock driven by the test (or simulation) harness.
+
+    ``tick_s`` auto-advances the clock by a fixed amount on every
+    ``monotonic()`` reading, so span durations are deterministic and
+    non-zero without the harness having to interleave ``advance`` calls
+    with the code under test.
+    """
+
+    def __init__(self, start_s: float = 0.0, tick_s: float = 0.0) -> None:
+        if tick_s < 0:
+            raise ValueError("tick_s must be non-negative")
+        self._now_s = start_s
+        self._tick_s = tick_s
+
+    def now(self) -> float:
+        return self._now_s
+
+    def monotonic(self) -> float:
+        reading = self._now_s
+        self._now_s += self._tick_s
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Move simulated time forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("a clock never runs backwards")
+        self._now_s += seconds
+
+
+#: The process-wide real clock, for call sites without a better-scoped
+#: injected instance (CLI demos, benchmark drivers).
+SYSTEM_CLOCK = SystemClock()
+
+
+def iso_utc(timestamp_s: float) -> str:
+    """``timestamp_s`` (epoch seconds) as an ISO-8601 UTC string.
+
+    Millisecond precision: enough to order bench-history entries, short
+    enough to stay readable in committed JSON reports.
+    """
+    moment = datetime.fromtimestamp(timestamp_s, tz=timezone.utc)
+    return moment.strftime("%Y-%m-%dT%H:%M:%S.") + f"{moment.microsecond // 1000:03d}Z"

@@ -1,0 +1,188 @@
+"""Exporters: Prometheus text exposition and canonical-JSON snapshots.
+
+Two formats, one source (:meth:`MetricsRegistry.snapshot`):
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, labelled samples, histogram
+  ``_bucket``/``_sum``/``_count`` expansion with cumulative ``le``
+  buckets).  :func:`parse_prometheus` is a line-format validator used by
+  the driver and CI smoke job: it does not aim to be a full scraper,
+  only to reject malformed exposition deterministically.
+* :func:`render_json` — the registry snapshot (optionally with the trace
+  forest) as *canonical* JSON: sorted keys, minimal separators, no NaN.
+  Canonical means byte-stable across runs with identical counters, so
+  the smoke job can assert ``loads → dumps`` is the identity.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from .metrics import MetricsRegistry, format_float
+from .tracing import Span
+
+_EXPOSITION_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_EXPOSITION_NAME})"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+_HELP_RE = re.compile(rf"^# HELP ({_EXPOSITION_NAME}) .*$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_EXPOSITION_NAME}) (counter|gauge|histogram|untyped)$")
+
+
+class ExpositionError(ValueError):
+    """A line of Prometheus text exposition failed validation."""
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{name}="{_escape_label(value)}"' for name, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for family in registry.families():
+        help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples():
+            labels = dict(sample["labels"])
+            if family.kind == "histogram":
+                for le, cum in sample["buckets"].items():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le
+                    lines.append(
+                        f"{family.name}_bucket{_render_labels(bucket_labels)} {cum}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_render_labels(labels)} "
+                    f"{format_float(sample['sum'])}"
+                )
+                lines.append(
+                    f"{family.name}_count{_render_labels(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_render_labels(labels)} "
+                    f"{format_float(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Validate exposition text line-by-line; raise :class:`ExpositionError`
+    on the first malformed line.
+
+    Returns ``{metric_name: {"type": ..., "help": ..., "samples": n}}`` so
+    callers can cross-check against the registry snapshot.  Checks
+    enforced: HELP/TYPE header shape, sample-line grammar, parsable
+    sample values, label-pair syntax, and that every sample belongs to a
+    declared family (modulo histogram suffixes).
+    """
+    families: dict[str, dict[str, Any]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_RE.match(line)
+            type_match = _TYPE_RE.match(line)
+            if help_match:
+                families.setdefault(
+                    help_match.group(1), {"type": None, "help": True, "samples": 0}
+                )["help"] = True
+            elif type_match:
+                families.setdefault(
+                    type_match.group(1), {"type": None, "help": False, "samples": 0}
+                )["type"] = type_match.group(2)
+            else:
+                raise ExpositionError(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ExpositionError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        family = families.get(name) or families.get(base)
+        if family is None:
+            raise ExpositionError(f"line {lineno}: sample {name!r} has no TYPE header")
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in _split_label_pairs(raw_labels, lineno):
+                if not _LABEL_PAIR_RE.match(pair):
+                    raise ExpositionError(f"line {lineno}: malformed label pair {pair!r}")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError as error:
+                raise ExpositionError(
+                    f"line {lineno}: unparsable value {value!r}"
+                ) from error
+        family["samples"] += 1
+    return families
+
+
+def _split_label_pairs(raw: str, lineno: int) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    pairs: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in raw:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            current.append(ch)
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if in_quotes:
+        raise ExpositionError(f"line {lineno}: unterminated label quote in {raw!r}")
+    if current:
+        pairs.append("".join(current))
+    return pairs
+
+
+def render_json(
+    registry: MetricsRegistry,
+    traces: list[Span] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> str:
+    """Registry snapshot (plus optional trace forest) as canonical JSON."""
+    payload: dict[str, Any] = {"metrics": registry.snapshot()}
+    if traces is not None:
+        payload["traces"] = [root.as_dict() for root in traces]
+    if extra:
+        payload.update(extra)
+    return canonical_json(payload)
+
+
+def canonical_json(payload: Any) -> str:
+    """Byte-stable JSON: sorted keys, minimal separators, NaN rejected."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def json_round_trips(text: str) -> bool:
+    """Does ``text`` survive ``loads → canonical dumps`` byte-identically?"""
+    try:
+        return canonical_json(json.loads(text)) == text
+    except ValueError:
+        return False

@@ -1,0 +1,309 @@
+"""Process-local metrics registry: counters, gauges, and histograms.
+
+The substrate every tier's accounting flows into (directly via
+instrumented call sites, or via the :mod:`.adapters` that mirror the
+legacy ``CacheStats``/``EngineStats``/``ApiUsage``/health counters).
+Design constraints, in order:
+
+* **cheap on the hot path** — the serving stack is single-threaded per
+  process, so instruments are plain attribute updates with no locking;
+  a labelled child is resolved once and cached, so steady-state
+  ``inc()``/``observe()`` is one dict-free method call;
+* **fixed cardinality** — histograms use fixed bucket bounds declared at
+  registration; label values are free-form but each family keeps its
+  children in one dict, so an experiment can assert exact cardinality;
+* **exact export** — snapshots are plain dicts of ints/floats, rendered
+  by :mod:`.export` as Prometheus text exposition or canonical JSON with
+  no rounding, so reconciliation against the legacy counters can demand
+  equality, not approximation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping, Sequence
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds): 100 us .. 10 s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class MetricError(ValueError):
+    """Bad metric name, label, bucket layout, or type collision."""
+
+
+class Counter:
+    """Monotonically non-decreasing value (one labelled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a gauge")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the absolute total — reserved for mirror adapters
+        that bridge a legacy counter (which owns the true count) into
+        the registry."""
+        if value < 0:
+            raise MetricError("a mirrored counter total cannot be negative")
+        self.value = value
+
+
+class Gauge:
+    """A value that can go up and down (one labelled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (one labelled child).
+
+    ``bounds`` are the *upper* bounds of the finite buckets; an implicit
+    ``+Inf`` bucket always exists, so ``counts`` has ``len(bounds) + 1``
+    slots and the Prometheus cumulative convention is computed at export.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[int]:
+        """Per-bucket cumulative counts in ``le`` order (ending at +Inf)."""
+        out: list[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+
+_Instrument = Counter | Gauge | Histogram
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and typed children."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "_buckets", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self._buckets = buckets
+        self._children: dict[tuple[str, ...], _Instrument] = {}
+
+    def labels(self, **labels: str) -> Any:
+        """The child instrument for one label-value combination.
+
+        Children are created on first use and cached; hot call sites
+        should hold the returned child rather than re-resolve labels.
+        """
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise MetricError(
+                f"metric '{self.name}' takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _new_child(self) -> _Instrument:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        assert self._buckets is not None
+        return Histogram(self._buckets)
+
+    # -- unlabelled conveniences (forward to the empty-label child) ---------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def set_total(self, value: float) -> None:
+        self.labels().set_total(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    # -- export -------------------------------------------------------------
+
+    def samples(self) -> list[dict[str, Any]]:
+        """Plain-dict samples, label-sorted, for snapshots and exporters."""
+        out: list[dict[str, Any]] = []
+        for key in sorted(self._children):
+            child = self._children[key]
+            labels = dict(zip(self.label_names, key))
+            if isinstance(child, Histogram):
+                buckets: dict[str, int] = {}
+                for bound, cum in zip(child.bounds, child.cumulative()):
+                    buckets[format_float(bound)] = cum
+                buckets["+Inf"] = child.count
+                out.append(
+                    {
+                        "labels": labels,
+                        "buckets": buckets,
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                )
+            else:
+                out.append({"labels": labels, "value": child.value})
+        return out
+
+
+class MetricsRegistry:
+    """All metric families of one telemetry instance."""
+
+    __slots__ = ("_families",)
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def counter(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help_text, labels, None)
+
+    def gauge(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help_text, labels, None)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        bounds = tuple(buckets)
+        if not bounds:
+            raise MetricError(f"histogram '{name}' needs at least one bucket bound")
+        if any(not b < c for b, c in zip(bounds, bounds[1:])) or any(
+            math.isinf(b) or math.isnan(b) for b in bounds
+        ):
+            raise MetricError(
+                f"histogram '{name}' bounds must be finite and strictly increasing"
+            )
+        return self._register(name, "histogram", help_text, labels, bounds)
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: tuple[float, ...] | None,
+    ) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"bad metric name {name!r}")
+        label_names = tuple(labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise MetricError(f"bad label name {label!r} on metric '{name}'")
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != label_names:
+                raise MetricError(
+                    f"metric '{name}' already registered as {existing.kind}"
+                    f"{existing.label_names}; cannot re-register as {kind}{label_names}"
+                )
+            return existing
+        family = MetricFamily(name, kind, help_text, label_names, buckets)
+        self._families[name] = family
+        return family
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    def families(self) -> Iterable[MetricFamily]:
+        for name in sorted(self._families):
+            yield self._families[name]
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole registry as a plain, JSON-serialisable dict."""
+        out: dict[str, Any] = {}
+        for family in self.families():
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": family.samples(),
+            }
+        return out
+
+    def sample_value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float | None:
+        """One counter/gauge sample value (None when absent) — the
+        reconciliation helper the adapters' exactness tests use."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        wanted = dict(labels) if labels else {}
+        for sample in family.samples():
+            if sample["labels"] == wanted and "value" in sample:
+                return float(sample["value"])
+        return None
+
+
+def format_float(value: float) -> str:
+    """Canonical number rendering shared by both exporters: integers as
+    integers (``3`` not ``3.0``), everything else via ``repr`` (shortest
+    round-tripping form)."""
+    if value == int(value) and abs(value) < 1e15 and not math.isinf(value):
+        return str(int(value))
+    return repr(value)

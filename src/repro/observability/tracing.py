@@ -1,0 +1,303 @@
+"""Span-based tracing with deterministic IDs and an injected clock.
+
+A *span* is one timed unit of work in one tier (``server``, ``gateway``,
+``ranker``, ``engine``, ``cache``, ``journal``).  Spans nest: the tracer
+keeps a stack, so a ``ranker.segment`` span opened while ``ranker.trip``
+is active becomes its child, and the whole trip renders as one tree.
+
+Determinism is non-negotiable here.  The durability tier guarantees
+bitwise replay of recovered sessions and the fault injector crashes the
+process at fixed points; tracing that used random span IDs or raw wall
+clock reads would diverge between a run and its replay.  So:
+
+* span and trace IDs come from sequence counters (``t-0001``,
+  ``s-0001``), never from a PRNG;
+* a trip's correlation ID is a content hash of the trip itself
+  (:func:`trip_correlation_id`), identical across process restarts;
+* all timestamps flow through the injected :class:`~.clock.Clock`, so a
+  :class:`~.clock.SimulatedClock` makes every duration reproducible.
+
+Profiling hooks: each finished span knows its *self time* (duration
+minus direct children) and the tracer can report the top-K hottest span
+names (:meth:`Tracer.hot_spans`) aggregated across all finished traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from .clock import Clock
+
+
+@dataclass(slots=True)
+class SpanEvent:
+    """A point-in-time annotation inside a span (e.g. a ladder decision)."""
+
+    name: str
+    time_s: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed, attributed unit of work; part of exactly one trace."""
+
+    name: str
+    tier: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start_s: float
+    end_s: float | None = None
+    status: str = "ok"
+    error: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def self_time_s(self) -> float:
+        """Duration minus time spent in direct children (profiling hook)."""
+        return self.duration_s - sum(child.duration_s for child in self.children)
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def tiers(self) -> set[str]:
+        return {span.tier for span in self.walk()}
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form for the canonical-JSON snapshot exporter."""
+        return {
+            "name": self.name,
+            "tier": self.tier,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "self_time_s": self.self_time_s,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(sorted(self.attributes.items())),
+            "events": [
+                {
+                    "name": event.name,
+                    "time_s": event.time_s,
+                    "attributes": dict(sorted(event.attributes.items())),
+                }
+                for event in self.events
+            ],
+            "children": [child.as_dict() for child in self.children],
+        }
+
+
+class Tracer:
+    """Builds span trees from nested ``with span(...)`` blocks.
+
+    Single-threaded by design, like the serving stack it instruments:
+    the active-span stack is a plain list and needs no context-var
+    machinery.  Finished root spans accumulate in :attr:`traces`,
+    bounded by ``max_traces`` (oldest dropped first) so a long-running
+    server cannot grow without bound.
+    """
+
+    def __init__(self, clock: Clock, max_traces: int = 64) -> None:
+        if max_traces < 1:
+            raise ValueError("max_traces must be positive")
+        self._clock = clock
+        self._max_traces = max_traces
+        self._stack: list[Span] = []
+        self._trace_seq = 0
+        self._span_seq = 0
+        self.traces: list[Span] = []
+
+    @property
+    def active_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        tier: str,
+        trace_id: str | None = None,
+        **attributes: Any,
+    ) -> Iterator[Span]:
+        """Open a span; it closes (and records status) when the block exits.
+
+        ``trace_id`` is honoured only on root spans — nested spans always
+        inherit their parent's trace so a trip's correlation ID reaches
+        every tier it touches.  Exceptions mark the span ``error`` with
+        the exception's type and message, then propagate.
+        """
+        parent = self.active_span
+        if parent is not None:
+            resolved_trace = parent.trace_id
+        elif trace_id is not None:
+            resolved_trace = trace_id
+        else:
+            self._trace_seq += 1
+            resolved_trace = f"t-{self._trace_seq:04d}"
+        self._span_seq += 1
+        span = Span(
+            name=name,
+            tier=tier,
+            trace_id=resolved_trace,
+            span_id=f"s-{self._span_seq:04d}",
+            parent_id=parent.span_id if parent is not None else None,
+            start_s=self._clock.monotonic(),
+            attributes=dict(attributes),
+        )
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as error:
+            self.mark_error(error)
+            raise
+        finally:
+            span.end_s = self._clock.monotonic()
+            self._stack.pop()
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.traces.append(span)
+                if len(self.traces) > self._max_traces:
+                    del self.traces[0]
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Attach a point-in-time event to the active span (no-op at root)."""
+        span = self.active_span
+        if span is not None:
+            span.events.append(
+                SpanEvent(name=name, time_s=self._clock.monotonic(), attributes=dict(attributes))
+            )
+
+    def mark_error(self, error: BaseException) -> None:
+        """Mark the active span ``error`` without requiring the exception
+        to propagate through it — for call sites that handle a failure
+        but still want the span to reflect it."""
+        span = self.active_span
+        if span is not None:
+            span.status = "error"
+            span.error = f"{type(error).__name__}: {error}"
+
+    def finished_spans(self) -> Iterator[Span]:
+        for root in self.traces:
+            yield from root.walk()
+
+    def hot_spans(self, k: int = 5) -> list[dict[str, Any]]:
+        """Top-``k`` span names by total self time across finished traces."""
+        totals: dict[str, dict[str, Any]] = {}
+        for span in self.finished_spans():
+            entry = totals.setdefault(
+                span.name, {"name": span.name, "tier": span.tier, "count": 0, "self_time_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["self_time_s"] += span.self_time_s
+        ranked = sorted(totals.values(), key=lambda e: (-e["self_time_s"], e["name"]))
+        return ranked[: max(k, 0)]
+
+    def render_trace(self, root: Span) -> str:
+        """ASCII tree of one trace, for driver output and debugging."""
+        lines = [f"trace {root.trace_id}"]
+
+        def visit(span: Span, prefix: str, is_last: bool) -> None:
+            branch = "`-- " if is_last else "|-- "
+            status = "" if span.status == "ok" else f" [{span.status}: {span.error}]"
+            attrs = ""
+            if span.attributes:
+                rendered = ", ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+                attrs = f" ({rendered})"
+            lines.append(
+                f"{prefix}{branch}{span.name} <{span.tier}> "
+                f"{span.duration_s * 1e3:.3f}ms{attrs}{status}"
+            )
+            child_prefix = prefix + ("    " if is_last else "|   ")
+            for i, child in enumerate(span.children):
+                visit(child, child_prefix, i == len(span.children) - 1)
+
+        visit(root, "", True)
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """The single shared no-op context manager ``NoopTracer`` hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NoopTracer:
+    """API-compatible tracer that records nothing and allocates nothing.
+
+    Every method returns a pre-built constant, so with telemetry disabled
+    the instrumentation reduces to an attribute lookup and an empty
+    ``with`` block — the < 3% overhead budget in the acceptance criteria.
+    """
+
+    __slots__ = ()
+
+    traces: Sequence[Span] = ()
+
+    @property
+    def active_span(self) -> Span | None:
+        return None
+
+    def span(
+        self, name: str, tier: str, trace_id: str | None = None, **attributes: Any
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def mark_error(self, error: BaseException) -> None:
+        return None
+
+    def finished_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def hot_spans(self, k: int = 5) -> list[dict[str, Any]]:
+        return []
+
+    def render_trace(self, root: Span) -> str:
+        return ""
+
+
+def trip_correlation_id(trip: Any) -> str:
+    """A deterministic correlation ID for one trip.
+
+    Content-hashed (blake2s over origin, destination, length, and
+    departure time) rather than sequence-numbered, so the same trip gets
+    the same trace ID before a crash and after recovery — the property
+    that lets a resumed session's spans join the original trace.  Duck-
+    typed on the ``Trip`` surface to keep this package import-free of the
+    network tier.
+    """
+    node_ids = tuple(trip.node_ids)
+    payload = (
+        f"{node_ids[0] if node_ids else -1}:{node_ids[-1] if node_ids else -1}:"
+        f"{len(node_ids)}:{float(trip.departure_time_h).hex()}"
+    )
+    digest = hashlib.blake2s(payload.encode("utf-8"), digest_size=8).hexdigest()
+    return f"trip-{digest}"

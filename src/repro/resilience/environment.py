@@ -36,6 +36,7 @@ if TYPE_CHECKING:
     from ..estimation.derouting import DeroutingEstimator
     from ..estimation.sustainable import SustainableChargingEstimator, SustainableLevel
     from ..network.path import TripSegment
+    from ..observability.recorder import Telemetry
 
 
 class _ResilientSustainable:
@@ -161,9 +162,16 @@ class FaultTolerantEnvironment(ChargingEnvironment):
         self.traffic = inner.traffic
         self.eta = inner.eta
         self.charging_window_h = inner.charging_window_h
+        self.telemetry = inner.telemetry
         self.sustainable = _ResilientSustainable(inner.sustainable, gateway)
         self.availability = _ResilientAvailability(inner.availability, gateway)
         self.derouting = _ResilientDerouting(inner.derouting, gateway)
+
+    def set_telemetry(self, telemetry: "Telemetry") -> None:
+        """Install telemetry on this view *and* the inner environment (the
+        gateway reads the inner environment's recorder at fetch time)."""
+        self.telemetry = telemetry
+        self.inner.set_telemetry(telemetry)
 
     @classmethod
     def build(

@@ -178,6 +178,40 @@ class ResilienceGateway:
         stale_fn: Callable[[Any, float], Any],
         fallback_fn: Callable[[], Any],
     ) -> FetchResult:
+        telemetry = self.environment.telemetry
+        if not telemetry.enabled:
+            return self._descend(endpoint_name, key, now_h, compute, stale_fn, fallback_fn)
+        started_s = telemetry.clock.monotonic()
+        with telemetry.span("gateway.fetch", tier="gateway", endpoint=endpoint_name):
+            result = self._descend(
+                endpoint_name, key, now_h, compute, stale_fn, fallback_fn
+            )
+            # Exactly one ladder event per logical fetch — the span-level
+            # twin of the health identity "every call lands on one rung".
+            telemetry.event(
+                "gateway.ladder", endpoint=endpoint_name, level=result.level.value
+            )
+        telemetry.inc(
+            "ecocharge_gateway_ladder_total",
+            endpoint=endpoint_name,
+            level=result.level.value,
+        )
+        telemetry.observe(
+            "ecocharge_gateway_fetch_seconds",
+            telemetry.clock.monotonic() - started_s,
+            endpoint=endpoint_name,
+        )
+        return result
+
+    def _descend(
+        self,
+        endpoint_name: str,
+        key: tuple,
+        now_h: float,
+        compute: Callable[[], Any],
+        stale_fn: Callable[[Any, float], Any],
+        fallback_fn: Callable[[], Any],
+    ) -> FetchResult:
         endpoint = self.endpoints[endpoint_name]
         health = endpoint.health
         cached = self.cache.lookup(key, now_h)

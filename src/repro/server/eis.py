@@ -106,14 +106,17 @@ class EcoChargeInformationServer:
         data instead of inheriting a degraded payload for a full TTL.
         """
         self.requests_served += 1
-        key = self.cache.spatial_key("region", origin, eta_h) + (round(radius_km, 1),)
-        cached = self.cache.lookup(key, now_h)
-        if cached is not None:
-            return cached.value
-        snapshot = self._build_snapshot(origin, radius_km, eta_h, now_h)
-        if not snapshot.is_degraded:
-            self.cache.put(key, now_h, snapshot)
-        return snapshot
+        with self.environment.telemetry.span(
+            "server.region_snapshot", tier="server", radius_km=radius_km
+        ):
+            key = self.cache.spatial_key("region", origin, eta_h) + (round(radius_km, 1),)
+            cached = self.cache.lookup(key, now_h)
+            if cached is not None:
+                return cached.value
+            snapshot = self._build_snapshot(origin, radius_km, eta_h, now_h)
+            if not snapshot.is_degraded:
+                self.cache.put(key, now_h, snapshot)
+            return snapshot
 
     def _build_snapshot(
         self, origin: Point, radius_km: float, eta_h: float, now_h: float
@@ -163,6 +166,7 @@ class EcoChargeInformationServer:
         """
         from ..core.ecocharge import EcoChargeConfig, EcoChargeRanker
         from ..core.ranking import run_over_trip
+        from ..observability.tracing import trip_correlation_id
 
         config = config if config is not None else EcoChargeConfig()
         key = (
@@ -174,6 +178,12 @@ class EcoChargeInformationServer:
             ranker = EcoChargeRanker(self.serving_environment, config)
             self._rankers[key] = ranker
         self.requests_served += 1
-        return run_over_trip(
-            ranker, self.serving_environment, trip, segment_km=config.segment_km
-        )
+        with self.serving_environment.telemetry.span(
+            "server.rank_trip",
+            tier="server",
+            trace_id=trip_correlation_id(trip),
+            k=config.k,
+        ):
+            return run_over_trip(
+                ranker, self.serving_environment, trip, segment_km=config.segment_km
+            )

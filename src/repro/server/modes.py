@@ -16,13 +16,13 @@ recomputation is feasible "on the edge devices".
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass
 
 from ..core.ecocharge import EcoChargeConfig, EcoChargeRanker
 from ..core.environment import ChargingEnvironment
 from ..core.ranking import run_over_trip
 from ..network.path import Trip
+from ..observability.clock import SYSTEM_CLOCK, Clock
 
 
 class DeploymentMode(enum.Enum):
@@ -88,6 +88,7 @@ def simulate_mode(
     mode: DeploymentMode,
     config: EcoChargeConfig | None = None,
     latency: LatencyModel | None = None,
+    clock: Clock = SYSTEM_CLOCK,
 ) -> ModeReport:
     """Run EcoCharge over a trip as deployed in ``mode``.
 
@@ -103,9 +104,9 @@ def simulate_mode(
     latency = latency if latency is not None else LATENCY_MODELS[mode]
 
     ranker = EcoChargeRanker(environment, config)
-    started = time.perf_counter()
+    started = clock.monotonic()
     run = run_over_trip(ranker, environment, trip, segment_km=config.segment_km)
-    compute_s = time.perf_counter() - started
+    compute_s = clock.monotonic() - started
 
     segments = len(run.tables)
     regenerated = sum(1 for table in run.tables if not table.is_adapted)

@@ -80,16 +80,34 @@ class DurableSessionService:
         config: "EcoChargeConfig | None" = None,
     ) -> "RankingRun":
         """One-call convenience: open, run to completion, seal."""
-        session = self.open(session_id, trip, config)
-        try:
-            return session.run()
-        finally:
-            self.close(session)
+        from ..observability.tracing import trip_correlation_id
+
+        with self.server.serving_environment.telemetry.span(
+            "server.rank_trip_durably",
+            tier="server",
+            trace_id=trip_correlation_id(trip),
+            session_id=session_id,
+        ):
+            session = self.open(session_id, trip, config)
+            try:
+                return session.run()
+            finally:
+                self.close(session)
 
     def resume_and_finish(self, session_id: str) -> "RankingRun":
         """One-call convenience: resume, finish the trip, seal."""
+        from ..observability.tracing import trip_correlation_id
+
         session = self.resume(session_id)
-        try:
-            return session.run()
-        finally:
-            self.close(session)
+        # The resumed trace adopts the same content-hashed trip ID the
+        # pre-crash run used, so both processes' spans share one trace.
+        with self.server.serving_environment.telemetry.span(
+            "server.resume_and_finish",
+            tier="server",
+            trace_id=trip_correlation_id(session.trip),
+            session_id=session_id,
+        ):
+            try:
+                return session.run()
+            finally:
+                self.close(session)

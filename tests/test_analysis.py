@@ -1,4 +1,4 @@
-"""The ``repro.analysis`` subsystem: rules R1-R9, suppressions, CLI, and
+"""The ``repro.analysis`` subsystem: rules R1-R10, suppressions, CLI, and
 runtime contracts.
 
 Each rule gets (at least) one fixture snippet that triggers it and one
@@ -495,6 +495,100 @@ class TestR9JournalBypass:
 
 
 # ---------------------------------------------------------------------------
+# R10 — time is read only through the injected Clock
+# ---------------------------------------------------------------------------
+
+
+class TestR10ClockBypass:
+    EXPERIMENT_PATH = "src/repro/experiments/example.py"
+
+    def test_fires_on_time_time(self):
+        snippet = (
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        )
+        assert rule_ids(check_source(snippet, self.EXPERIMENT_PATH)) == ["R10"]
+
+    def test_fires_on_perf_counter(self):
+        snippet = (
+            "import time\n"
+            "def measure(fn):\n"
+            "    start = time.perf_counter()\n"
+            "    fn()\n"
+            "    return time.perf_counter() - start\n"
+        )
+        assert rule_ids(check_source(snippet, self.EXPERIMENT_PATH)) == ["R10", "R10"]
+
+    def test_fires_through_module_alias(self):
+        snippet = (
+            "import time as walltime\n"
+            "def stamp():\n"
+            "    return walltime.monotonic()\n"
+        )
+        assert rule_ids(check_source(snippet, self.EXPERIMENT_PATH)) == ["R10"]
+
+    def test_fires_on_from_import(self):
+        snippet = (
+            "from time import perf_counter\n"
+            "def measure():\n"
+            "    return perf_counter()\n"
+        )
+        assert rule_ids(check_source(snippet, self.EXPERIMENT_PATH)) == ["R10"]
+
+    def test_fires_on_aliased_from_import(self):
+        snippet = (
+            "from time import time_ns as now_ns\n"
+            "def stamp():\n"
+            "    return now_ns()\n"
+        )
+        assert rule_ids(check_source(snippet, self.EXPERIMENT_PATH)) == ["R10"]
+
+    def test_clean_on_injected_clock(self):
+        snippet = (
+            "from repro.observability.clock import SYSTEM_CLOCK\n"
+            "def measure(fn, clock=SYSTEM_CLOCK):\n"
+            "    start = clock.monotonic()\n"
+            "    fn()\n"
+            "    return clock.monotonic() - start\n"
+        )
+        assert check_source(snippet, self.EXPERIMENT_PATH) == []
+
+    def test_sleep_is_not_a_clock_read(self):
+        snippet = (
+            "import time\n"
+            "def wait():\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert check_source(snippet, self.EXPERIMENT_PATH) == []
+
+    def test_unrelated_name_is_not_flagged(self):
+        # A local object that happens to have a .time() method is fine;
+        # only reads through the time module (or its aliases) count.
+        snippet = (
+            "def stamp(clock):\n"
+            "    return clock.time()\n"
+        )
+        assert check_source(snippet, self.EXPERIMENT_PATH) == []
+
+    def test_observability_tier_is_exempt(self):
+        snippet = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        assert check_source(snippet, "src/repro/observability/clock.py") == []
+
+    def test_tests_are_exempt(self):
+        snippet = (
+            "import time\n"
+            "def test_latency():\n"
+            "    assert time.perf_counter() >= 0\n"
+        )
+        assert check_source(snippet, "tests/test_example.py") == []
+
+
+# ---------------------------------------------------------------------------
 # engine / CLI
 # ---------------------------------------------------------------------------
 
@@ -503,11 +597,11 @@ class TestEngineAndCli:
     def test_select_rules(self):
         assert [r.rule_id for r in select_rules(["R1", "r4"])] == ["R1", "R4"]
         with pytest.raises(KeyError):
-            select_rules(["R10"])
+            select_rules(["R11"])
 
-    def test_all_nine_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         assert [r.rule_id for r in ALL_RULES] == [
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"
         ]
 
     def test_cli_clean_tree_exits_zero(self, capsys):
@@ -534,18 +628,20 @@ class TestEngineAndCli:
         assert main(["/no/such/path-xyz"]) == 2
 
     def test_cli_unknown_rule_exits_two(self, capsys):
-        assert main(["--select", "R10", str(SRC)]) == 2
+        assert main(["--select", "R11", str(SRC)]) == 2
 
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"):
+        for rule_id in (
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"
+        ):
             assert rule_id in out
 
     def test_cli_annotations_flag(self, tmp_path, capsys):
         unannotated = tmp_path / "loose.py"
         unannotated.write_text("def f(x):\n    return x\n")
-        assert main([str(unannotated)]) == 0  # R1-R9 clean
+        assert main([str(unannotated)]) == 0  # R1-R10 clean
         assert main(["--annotations", str(unannotated)]) == 1
         out = capsys.readouterr().out
         assert "TYP" in out
@@ -567,7 +663,7 @@ class TestRealTree:
         assert report.ok, "repro-check violations:\n" + report.render_text()
         assert report.files_checked > 50
         assert report.rules_run == (
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"
         )
 
     def test_tests_tree_is_clean(self):

@@ -31,14 +31,15 @@ STRICT_TARGETS = (
     SRC / "core",
     SRC / "spatial",
     SRC / "analysis",
+    SRC / "observability",
 )
 
 
 def test_repro_check_passes_on_src() -> None:
-    """All nine rules, zero violations, across the whole library tree."""
+    """All ten rules, zero violations, across the whole library tree."""
     report = check_paths([SRC])
     assert report.rules_run == (
-        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
     )
     assert report.ok, "repro-check violations:\n" + report.render_text()
 
