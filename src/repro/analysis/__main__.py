@@ -5,20 +5,28 @@ Usage::
     python -m repro.analysis src/repro tests
     repro-check --select R1,R4 src/repro
     repro-check --format json --annotations src/repro
+    repro-check --jobs auto --format sarif --output repro-check.sarif src/repro
+    repro-check --baseline .repro-check-baseline.json src/repro
+    repro-check --baseline new-baseline.json --write-baseline src/repro
 
-Exit codes: 0 clean, 1 violations found, 2 usage/parse error.
+Exit codes: 0 clean (or every finding baselined), 1 violations found,
+2 usage/parse error.  A timing line goes to stderr so CI logs surface
+analysis-engine slowdowns without touching the report on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from .annotations import check_annotations
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
 from .engine import AnalysisError, Analyzer
 from .rules import ALL_RULES, select_rules
+from .sarif import render_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -26,7 +34,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-check",
         description=(
             "Domain-aware static analysis for the EcoCharge reproduction: "
-            "interval, metric, and cache safety rules R1-R6."
+            "per-file rules R1-R10 plus whole-program passes R11-R14."
         ),
     )
     parser.add_argument(
@@ -39,13 +47,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--select",
         metavar="IDS",
         default=None,
-        help="comma-separated rule ids to run (e.g. R1,R4); default: all",
+        help="comma-separated rule ids to run (e.g. R1,R11); default: all",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        default="1",
+        help="worker processes; an integer or 'auto' (= CPU count). "
+        "Findings are byte-identical to a serial run.",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file of grandfathered findings; matched findings "
+        "are reported informationally and do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the --baseline path "
+        f"(default {DEFAULT_BASELINE_NAME}) and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the report to a file instead of stdout",
     )
     parser.add_argument(
         "--annotations",
@@ -58,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     return parser
+
+
+def _resolve_jobs(raw: str) -> int:
+    if raw.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    return int(raw)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -76,14 +116,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             else None
         )
         rules = select_rules(rule_ids)
-    except KeyError as exc:
+        jobs = _resolve_jobs(options.jobs)
+        if jobs < 1:
+            raise ValueError(f"--jobs must be >= 1, got {jobs}")
+    except (KeyError, ValueError) as exc:
         print(f"repro-check: {exc.args[0]}", file=sys.stderr)
         return 2
 
+    # Timing goes through the sanctioned clock boundary (R10): analysis
+    # and observability sit in the same foundation layer.
+    from repro.observability.clock import SYSTEM_CLOCK
+
+    started = SYSTEM_CLOCK.monotonic()
     paths = [Path(p) for p in options.paths]
     analyzer = Analyzer(rules)
     try:
-        report = analyzer.check_paths(paths)
+        report = analyzer.check_paths(paths, jobs=jobs)
     except AnalysisError as exc:
         print(f"repro-check: {exc}", file=sys.stderr)
         return 2
@@ -94,10 +142,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
         report.violations = violations
 
-    if options.format == "json":
-        print(report.render_json())
+    if options.write_baseline:
+        baseline_path = Path(options.baseline or DEFAULT_BASELINE_NAME)
+        Baseline.from_violations(report.violations).save(baseline_path)
+        elapsed = SYSTEM_CLOCK.monotonic() - started
+        print(
+            f"repro-check: wrote baseline of {len(report.violations)} "
+            f"finding(s) to {baseline_path} in {elapsed:.2f}s",
+            file=sys.stderr,
+        )
+        return 0
+
+    if options.baseline is not None:
+        baseline_path = Path(options.baseline)
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"repro-check: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        new, grandfathered = baseline.split(report.violations)
+        report.violations = new
+        report.baselined = grandfathered
+
+    if options.format == "sarif":
+        rendered = render_sarif(report, rules, report.baselined)
+    elif options.format == "json":
+        rendered = report.render_json()
     else:
-        print(report.render_text())
+        rendered = report.render_text()
+
+    if options.output is not None:
+        Path(options.output).write_text(rendered + "\n", encoding="utf-8")
+    else:
+        print(rendered)
+
+    elapsed = SYSTEM_CLOCK.monotonic() - started
+    print(
+        f"repro-check: analysed {report.files_checked} file(s) with "
+        f"{len(report.rules_run)} rule(s) in {elapsed:.2f}s [jobs={jobs}]",
+        file=sys.stderr,
+    )
     return 0 if report.ok else 1
 
 

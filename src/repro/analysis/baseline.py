@@ -1,0 +1,104 @@
+"""Baseline (grandfathered-findings) support for ``repro-check``.
+
+A baseline lets the gate stay *ratcheting*: pre-existing findings are
+recorded once (``--write-baseline``) and subsequent runs fail only on
+findings **not** in the file.  Fingerprints deliberately exclude the
+line number — ``(rule, path, message)`` — so pure line drift from
+unrelated edits does not resurrect a grandfathered finding, while any
+change to the message (which embeds the taint reason and sink) does.
+
+Counts matter: a baseline entry with count 2 absorbs at most two
+matching findings per run; a third is new and fails the gate.  The
+checked-in ``.repro-check-baseline.json`` at the repo root is the CI
+baseline (empty today — the tree is clean, but the mechanism is what
+future PRs lean on while refactoring).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .engine import Violation
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-check-baseline.json"
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable, line-independent identity of a finding."""
+    payload = f"{violation.rule_id}|{violation.path}|{violation.message}"
+    return hashlib.blake2s(payload.encode("utf-8"), digest_size=12).hexdigest()
+
+
+@dataclass(slots=True)
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    #: human-readable context per fingerprint, for reviewable diffs.
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_violations(cls, violations: Sequence[Violation]) -> "Baseline":
+        baseline = cls()
+        for violation in violations:
+            key = fingerprint(violation)
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+            baseline.notes.setdefault(
+                key, f"{violation.rule_id} {violation.path}: {violation.message}"
+            )
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline file: {path}")
+        entries = data.get("findings", {})
+        counts: dict[str, int] = {}
+        notes: dict[str, str] = {}
+        for key, entry in entries.items():
+            if isinstance(entry, Mapping):
+                counts[key] = int(entry.get("count", 1))
+                note = entry.get("note")
+                if isinstance(note, str):
+                    notes[key] = note
+            else:
+                counts[key] = int(entry)
+        return cls(counts=counts, notes=notes)
+
+    def save(self, path: Path) -> None:
+        findings = {
+            key: {"count": count, "note": self.notes.get(key, "")}
+            for key, count in sorted(self.counts.items())
+        }
+        payload = {"version": BASELINE_VERSION, "findings": findings}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    def split(
+        self, violations: Sequence[Violation]
+    ) -> tuple[list[Violation], list[Violation]]:
+        """``(new, baselined)`` — order-preserving, counts respected."""
+        remaining = dict(self.counts)
+        new: list[Violation] = []
+        baselined: list[Violation] = []
+        for violation in violations:
+            key = fingerprint(violation)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(violation)
+            else:
+                new.append(violation)
+        return new, baselined
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "fingerprint",
+]

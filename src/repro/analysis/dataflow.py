@@ -1,0 +1,570 @@
+"""Fixpoint dataflow over the project graph: summaries and taint.
+
+The interprocedural rules share one machinery:
+
+1. every function's IR (:class:`repro.analysis.graph.FunctionFacts`) is
+   *evaluated* under a :class:`TaintPolicy` that decides which terms are
+   sources, which calls sanitise, and how combinators propagate;
+2. each function gets a :class:`Summary` — does it *return* tainted
+   data, which parameters *flow through* to its return value, and which
+   parameters *reach a sink* inside it (directly or through further
+   calls);
+3. summaries are iterated to a fixpoint over the whole
+   :class:`~repro.analysis.graph.ProjectGraph`, so taint tracks through
+   arbitrarily many call hops and through class attributes
+   (``self.x = tainted`` in one method, read in another);
+4. a final reporting pass re-evaluates each function against the
+   converged table and emits :class:`SinkHit` records.
+
+Taint values are ``str | None``: ``None`` is clean, a string is the
+human-readable *reason* ("wall-clock read 'time.time()'") threaded all
+the way into the finding message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from .graph import (
+    AssignEv,
+    AttrOf,
+    CallT,
+    Combine,
+    Const,
+    FunctionFacts,
+    IterOf,
+    ModuleFacts,
+    NameRef,
+    ProjectGraph,
+    ReturnEv,
+    StoreEv,
+    Term,
+)
+
+_MAX_FIXPOINT_ROUNDS = 32
+
+
+# ---------------------------------------------------------------------------
+# policy surface
+# ---------------------------------------------------------------------------
+
+
+class TaintPolicy:
+    """What a specific pass considers a source, a sink, and a sanitiser.
+
+    The base class is maximally conservative-clean: nothing is a source,
+    nothing is a sink, taint propagates through any combinator that
+    carries a tainted part.  Passes override the hooks they care about.
+    """
+
+    #: callee names whose result is always clean regardless of arguments.
+    sanitizers: frozenset[str] = frozenset()
+    #: ``Combine`` ops that *kill* taint (e.g. comparisons yield bools).
+    killing_ops: frozenset[str] = frozenset()
+
+    def call_source(self, call: CallT, module: ModuleFacts) -> str | None:
+        """Reason string if this call introduces taint, else ``None``."""
+        return None
+
+    def attr_source(
+        self, term: AttrOf, fn: FunctionFacts, module: ModuleFacts
+    ) -> str | None:
+        """Reason string if reading this attribute introduces taint."""
+        return None
+
+    def iter_source(self, term: IterOf, module: ModuleFacts) -> str | None:
+        """Reason string if iterating this value introduces taint."""
+        return None
+
+    def call_sink(self, call: CallT, module: ModuleFacts) -> str | None:
+        """Sink description if tainted *arguments* to this call are bad."""
+        return None
+
+    def sink_args(
+        self, call: CallT, module: ModuleFacts
+    ) -> list[tuple[Term, str]]:
+        """``(argument term, sink description)`` pairs to check at this
+        call.  The default checks every argument when :meth:`call_sink`
+        marks the call; override for keyword-precise sinks."""
+        description = self.call_sink(call, module)
+        if description is None:
+            return []
+        return [(arg, description) for arg in call.args]
+
+    def store_sink(self, store: StoreEv, module: ModuleFacts) -> str | None:
+        """Sink description if a tainted *value* stored here is bad."""
+        return None
+
+    def unknown_call(
+        self,
+        call: CallT,
+        arg_reasons: list[str | None],
+        receiver_reason: str | None,
+    ) -> str | None:
+        """Taint of a call the graph cannot resolve (builtins, stdlib)."""
+        for reason in (*arg_reasons, receiver_reason):
+            if reason is not None:
+                return reason
+        return None
+
+    def force_clean_module(self, module: ModuleFacts) -> bool:
+        """Modules whose functions are sanctioned boundaries (summaries
+        forced clean, bodies never reported)."""
+        return False
+
+
+# ---------------------------------------------------------------------------
+# summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """What callers need to know about one function."""
+
+    returns_reason: str | None = None
+    #: parameter names whose taint flows through to the return value.
+    taint_through: frozenset[str] = frozenset()
+    #: parameter name -> sink description it reaches inside the callee.
+    param_to_sink: Mapping[str, str] = field(default_factory=dict)
+
+    def same_as(self, other: "Summary") -> bool:
+        return (
+            (self.returns_reason is None) == (other.returns_reason is None)
+            and self.taint_through == other.taint_through
+            and set(self.param_to_sink) == set(other.param_to_sink)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SinkHit:
+    """A tainted value reaching a sink inside one function."""
+
+    line: int
+    reason: str
+    sink: str
+
+
+@dataclass(slots=True)
+class SummaryTable:
+    """Converged whole-program state for one policy."""
+
+    summaries: dict[str, Summary]
+    #: ``(class name, attribute)`` -> reason, for cross-method taint.
+    attr_taint: dict[tuple[str, str], str]
+    rounds: int
+
+
+@dataclass(slots=True)
+class EvalResult:
+    """One evaluation of one function body."""
+
+    returns: list[tuple[int, str | None]] = field(default_factory=list)
+    sink_hits: list[SinkHit] = field(default_factory=list)
+    self_stores: dict[str, str] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# call resolution helpers
+# ---------------------------------------------------------------------------
+
+
+def resolve_call(
+    call: CallT, fn: FunctionFacts, module: ModuleFacts, graph: ProjectGraph
+) -> FunctionFacts | None:
+    """Resolve a call site, using local type facts for method dispatch."""
+    direct = graph.resolve_callee(call, module)
+    if direct is not None:
+        return direct
+    callee = call.callee
+    if callee.kind == "attr_call" and callee.receiver is not None:
+        receiver_type = type_of_term(callee.receiver, fn, graph)
+        if receiver_type is not None:
+            return graph.methods.get(f"{receiver_type}.{callee.name}")
+    return None
+
+
+def type_of_term(
+    term: Term,
+    fn: FunctionFacts,
+    graph: ProjectGraph,
+    env: Mapping[str, str] | None = None,
+) -> str | None:
+    """Best-effort class name of a term, from annotations and ctor facts.
+
+    ``env`` (see :func:`infer_local_types`) augments the extraction-time
+    ``local_types`` with flow-derived bindings.  Subscripts resolve to
+    the container's element class (extraction conflates them on
+    purpose: ``dict[str, T]`` annotations record ``T``).
+    """
+    if isinstance(term, NameRef):
+        if env is not None:
+            resolved = env.get(term.name)
+            if resolved is not None:
+                return resolved
+        return fn.local_types.get(term.name)
+    if isinstance(term, AttrOf):
+        if isinstance(term.base, NameRef) and term.base.name == "self":
+            if fn.class_name is not None:
+                return graph.class_attr_type(fn.class_name, term.attr)
+            return None
+        base_type = type_of_term(term.base, fn, graph, env)
+        if base_type is not None:
+            return graph.class_attr_type(base_type, term.attr)
+        return None
+    if isinstance(term, CallT):
+        name = term.callee.name
+        if name in graph.classes:
+            return name
+        if term.callee.kind in ("method", "attr_call"):
+            receiver = term.callee.receiver
+            owner: str | None = None
+            if term.callee.kind == "method" and fn.class_name is not None:
+                owner = fn.class_name
+            elif receiver is not None:
+                owner = type_of_term(receiver, fn, graph, env)
+            if owner is not None:
+                target = graph.methods.get(f"{owner}.{name}")
+                if target is not None:
+                    return target.return_type
+        return None
+    if isinstance(term, Combine) and term.op == "subscript" and term.parts:
+        return type_of_term(term.parts[0], fn, graph, env)
+    return None
+
+
+def infer_local_types(fn: FunctionFacts, graph: ProjectGraph) -> dict[str, str]:
+    """Flow-derived local type bindings for one function.
+
+    Starts from the extraction-time facts (annotations, direct
+    constructor calls) and folds assignment events through
+    :func:`type_of_term`, so ``endpoint = self.endpoints[name]`` /
+    ``health = endpoint.health`` chains resolve.  Two passes handle
+    forward references within the body.
+    """
+    env: dict[str, str] = dict(fn.local_types)
+    for _ in range(2):
+        for event in fn.events:
+            if isinstance(event, AssignEv) and len(event.targets) == 1:
+                resolved = type_of_term(event.value, fn, graph, env)
+                if resolved is not None:
+                    env.setdefault(event.targets[0], resolved)
+    return env
+
+
+def arg_param_pairs(
+    call: CallT, callee: FunctionFacts
+) -> Iterator[tuple[Term, str | None]]:
+    """Pair each call argument with the callee parameter it binds to."""
+    params = list(callee.params)
+    if params and params[0] in ("self", "cls") and call.callee.kind in (
+        "method",
+        "attr_call",
+    ):
+        params = params[1:]
+    positional = len(call.args) - len(call.keywords)
+    for index, arg in enumerate(call.args):
+        if index < positional:
+            yield arg, params[index] if index < len(params) else None
+        else:
+            keyword = call.keywords[index - positional]
+            yield arg, keyword if keyword in params else None
+
+
+# ---------------------------------------------------------------------------
+# the evaluator
+# ---------------------------------------------------------------------------
+
+
+class _Evaluator:
+    """Interprets one function's events under a policy + summary table."""
+
+    def __init__(
+        self,
+        fn: FunctionFacts,
+        module: ModuleFacts,
+        graph: ProjectGraph,
+        policy: TaintPolicy,
+        summaries: Mapping[str, Summary],
+        attr_taint: Mapping[tuple[str, str], str],
+        tainted_params: frozenset[str] = frozenset(),
+        sources_enabled: bool = True,
+    ) -> None:
+        self.fn = fn
+        self.module = module
+        self.graph = graph
+        self.policy = policy
+        self.summaries = summaries
+        self.attr_taint = attr_taint
+        self.sources_enabled = sources_enabled
+        self.env: dict[str, str | None] = {
+            p: f"parameter '{p}'" for p in tainted_params
+        }
+        self.result = EvalResult()
+        self._reported: set[tuple[int, str]] = set()
+
+    def run(self) -> EvalResult:
+        # Two passes give loop-carried assignments a chance to converge
+        # (the abstract state is tiny, one reason per name).
+        for _ in range(2):
+            before = dict(self.env)
+            self._pass()
+            if self.env == before:
+                break
+        return self.result
+
+    def _pass(self) -> None:
+        self.result.returns.clear()
+        self.result.sink_hits.clear()
+        self._reported.clear()
+        for event in self.fn.events:
+            if isinstance(event, AssignEv):
+                reason = self.eval(event.value)
+                for name in event.targets:
+                    self.env[name] = reason
+            elif isinstance(event, ReturnEv):
+                self.result.returns.append((event.line, self.eval(event.value)))
+            elif isinstance(event, StoreEv):
+                value_reason = self.eval(event.value) if event.value is not None else None
+                if (
+                    isinstance(event.owner, NameRef)
+                    and event.owner.name == "self"
+                    and value_reason is not None
+                ):
+                    self.result.self_stores.setdefault(event.attr, value_reason)
+                sink = self.policy.store_sink(event, self.module)
+                if sink is not None and value_reason is not None:
+                    self._hit(event.line, value_reason, sink)
+        # Sink checks on every call site (including nested call terms).
+        for call in self.fn.calls:
+            self._check_call_sinks(call)
+
+    def _hit(self, line: int, reason: str, sink: str) -> None:
+        key = (line, sink)
+        if key not in self._reported:
+            self._reported.add(key)
+            self.result.sink_hits.append(SinkHit(line=line, reason=reason, sink=sink))
+
+    def _check_call_sinks(self, call: CallT) -> None:
+        for arg, sink in self.policy.sink_args(call, self.module):
+            reason = self.eval(arg)
+            if reason is not None:
+                self._hit(call.line, reason, sink)
+                break
+        callee = resolve_call(call, self.fn, self.module, self.graph)
+        if callee is not None:
+            summary = self.summaries.get(callee.qualname)
+            if summary is not None and summary.param_to_sink:
+                for arg, param in arg_param_pairs(call, callee):
+                    if param is None:
+                        continue
+                    chained = summary.param_to_sink.get(param)
+                    if chained is None:
+                        continue
+                    reason = self.eval(arg)
+                    if reason is not None:
+                        self._hit(
+                            call.line,
+                            reason,
+                            f"{chained} (via {callee.name}())",
+                        )
+
+    # -- term evaluation --------------------------------------------------
+
+    def eval(self, term: Term) -> str | None:
+        if isinstance(term, Const):
+            return None
+        if isinstance(term, NameRef):
+            return self.env.get(term.name)
+        if isinstance(term, AttrOf):
+            return self._eval_attr(term)
+        if isinstance(term, CallT):
+            return self._eval_call(term)
+        if isinstance(term, Combine):
+            if term.op in self.policy.killing_ops:
+                for part in term.parts:
+                    self.eval(part)  # still visit for nested sinks/assigns
+                return None
+            for part in term.parts:
+                reason = self.eval(part)
+                if reason is not None:
+                    return reason
+            return None
+        if isinstance(term, IterOf):
+            if self.sources_enabled:
+                source = self.policy.iter_source(term, self.module)
+                if source is not None:
+                    return source
+            return self.eval(term.base)
+        return None
+
+    def _eval_attr(self, term: AttrOf) -> str | None:
+        if self.sources_enabled:
+            source = self.policy.attr_source(term, self.fn, self.module)
+            if source is not None:
+                return source
+        if isinstance(term.base, NameRef):
+            if term.base.name == "self" and self.fn.class_name is not None:
+                return self.attr_taint.get((self.fn.class_name, term.attr))
+            base_type = type_of_term(term.base, self.fn, self.graph)
+            if base_type is not None:
+                tainted = self.attr_taint.get((base_type, term.attr))
+                if tainted is not None:
+                    return tainted
+        return self.eval(term.base)
+
+    def _eval_call(self, call: CallT) -> str | None:
+        if self.sources_enabled:
+            source = self.policy.call_source(call, self.module)
+            if source is not None:
+                return source
+        if call.callee.name in self.policy.sanitizers:
+            for arg in call.args:
+                self.eval(arg)
+            return None
+        callee = resolve_call(call, self.fn, self.module, self.graph)
+        if callee is not None:
+            summary = self.summaries.get(callee.qualname)
+            if summary is not None:
+                if summary.returns_reason is not None:
+                    return f"{summary.returns_reason} (via {callee.name}())"
+                for arg, param in arg_param_pairs(call, callee):
+                    if param is not None and param in summary.taint_through:
+                        reason = self.eval(arg)
+                        if reason is not None:
+                            return reason
+                return None
+        arg_reasons = [self.eval(arg) for arg in call.args]
+        receiver_reason = (
+            self.eval(call.callee.receiver) if call.callee.receiver is not None else None
+        )
+        return self.policy.unknown_call(call, arg_reasons, receiver_reason)
+
+
+# ---------------------------------------------------------------------------
+# fixpoint driver
+# ---------------------------------------------------------------------------
+
+
+def _evaluate(
+    fn: FunctionFacts,
+    module: ModuleFacts,
+    graph: ProjectGraph,
+    policy: TaintPolicy,
+    summaries: Mapping[str, Summary],
+    attr_taint: Mapping[tuple[str, str], str],
+    tainted_params: frozenset[str] = frozenset(),
+    sources_enabled: bool = True,
+) -> EvalResult:
+    return _Evaluator(
+        fn,
+        module,
+        graph,
+        policy,
+        summaries,
+        attr_taint,
+        tainted_params=tainted_params,
+        sources_enabled=sources_enabled,
+    ).run()
+
+
+def _compute_summary(
+    fn: FunctionFacts,
+    module: ModuleFacts,
+    graph: ProjectGraph,
+    policy: TaintPolicy,
+    summaries: Mapping[str, Summary],
+    attr_taint: Mapping[tuple[str, str], str],
+) -> tuple[Summary, dict[str, str]]:
+    base = _evaluate(fn, module, graph, policy, summaries, attr_taint)
+    returns_reason = next(
+        (reason for _, reason in base.returns if reason is not None), None
+    )
+    taint_through: set[str] = set()
+    param_to_sink: dict[str, str] = {}
+    for param in fn.params:
+        if param in ("self", "cls"):
+            continue
+        probe = _evaluate(
+            fn,
+            module,
+            graph,
+            policy,
+            summaries,
+            attr_taint,
+            tainted_params=frozenset({param}),
+            sources_enabled=False,
+        )
+        if any(reason is not None for _, reason in probe.returns):
+            taint_through.add(param)
+        if probe.sink_hits:
+            param_to_sink[param] = probe.sink_hits[0].sink
+    return (
+        Summary(
+            returns_reason=returns_reason,
+            taint_through=frozenset(taint_through),
+            param_to_sink=param_to_sink,
+        ),
+        base.self_stores,
+    )
+
+
+def compute_summaries(graph: ProjectGraph, policy: TaintPolicy) -> SummaryTable:
+    """Iterate function summaries + class-attribute taint to a fixpoint."""
+    summaries: dict[str, Summary] = {}
+    attr_taint: dict[tuple[str, str], str] = {}
+    clean = Summary()
+    rounds = 0
+    for rounds in range(1, _MAX_FIXPOINT_ROUNDS + 1):
+        changed = False
+        for module in graph.modules.values():
+            forced = policy.force_clean_module(module)
+            for fn in module.functions:
+                if forced:
+                    if summaries.get(fn.qualname) is None:
+                        summaries[fn.qualname] = clean
+                    continue
+                new_summary, self_stores = _compute_summary(
+                    fn, module, graph, policy, summaries, attr_taint
+                )
+                old = summaries.get(fn.qualname)
+                if old is None or not old.same_as(new_summary):
+                    summaries[fn.qualname] = new_summary
+                    changed = True
+                if fn.class_name is not None:
+                    for attr, reason in self_stores.items():
+                        key = (fn.class_name, attr)
+                        if key not in attr_taint:
+                            attr_taint[key] = reason
+                            changed = True
+        if not changed:
+            break
+    return SummaryTable(summaries=summaries, attr_taint=attr_taint, rounds=rounds)
+
+
+def report_sinks(
+    graph: ProjectGraph, policy: TaintPolicy, table: SummaryTable
+) -> Iterator[tuple[ModuleFacts, FunctionFacts, SinkHit]]:
+    """Final pass: every tainted-value-reaches-sink occurrence."""
+    for module in graph.modules.values():
+        if module.is_test or policy.force_clean_module(module):
+            continue
+        for fn in module.functions:
+            result = _evaluate(
+                fn, module, graph, policy, table.summaries, table.attr_taint
+            )
+            for hit in result.sink_hits:
+                yield module, fn, hit
+
+
+def evaluate_returns(
+    fn: FunctionFacts,
+    module: ModuleFacts,
+    graph: ProjectGraph,
+    policy: TaintPolicy,
+    table: SummaryTable,
+) -> list[tuple[int, str | None]]:
+    """Per-return taint for one function under the converged table."""
+    result = _evaluate(fn, module, graph, policy, table.summaries, table.attr_taint)
+    return result.returns

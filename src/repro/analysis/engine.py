@@ -2,7 +2,10 @@
 
 Walks a set of Python files, parses each with :mod:`ast`, runs every
 registered :class:`~repro.analysis.rules.Rule` against them, honours
-inline suppressions, and renders the violations.
+inline suppressions, and renders the violations.  Whole-program rules
+(:mod:`repro.analysis.passes`) additionally receive a
+:class:`~repro.analysis.graph.ProjectGraph` assembled from every file
+in the run.
 
 The engine is deliberately dependency-free (stdlib only) so it can be
 imported from anywhere in the codebase — including ``conftest.py`` and the
@@ -13,9 +16,17 @@ Suppression syntax (documented in ``docs/static_analysis.md``):
 
 * ``# repro-check: disable=R2`` on a line suppresses the named rule(s)
   for that line (comma-separated ids, e.g. ``disable=R1,R4``).
+* ``# repro-check: disable-next-line=R2`` suppresses the rule(s) on the
+  following line — for when the flagged line has no room for a pragma.
 * ``# repro-check: disable-file=R2`` anywhere in the first ten lines of a
   file suppresses the rule(s) for the whole file.
 * ``disable=all`` / ``disable-file=all`` suppress every rule.
+
+Parallelism: ``check_paths(..., jobs=N)`` fans file loading, per-file
+rules, and fact extraction out to worker processes; the whole-program
+passes then run in the parent over the gathered facts.  Findings are
+sorted on ``(path, line, rule)`` last, so the output is byte-identical
+to a serial run.
 """
 
 from __future__ import annotations
@@ -24,15 +35,20 @@ import ast
 import json
 import re
 import sys
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from .graph import ModuleFacts
 
 #: Lines scanned for ``disable-file`` pragmas.
 _FILE_PRAGMA_WINDOW = 10
 
 _PRAGMA_RE = re.compile(
-    r"#\s*repro-check:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+    r"#\s*repro-check:\s*(?P<kind>disable(?:-file|-next-line)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
 )
 
 
@@ -76,9 +92,18 @@ class Suppressions:
 
     @classmethod
     def parse(cls, source: str) -> "Suppressions":
+        # Normalise newlines first: CRLF (and bare-CR) files must parse
+        # `disable=R1,R2` identically to LF files — a trailing `\r` on
+        # the last token previously defeated the id match.
+        normalized = source.replace("\r\n", "\n").replace("\r", "\n")
         file_level: set[str] = set()
         by_line: dict[int, frozenset[str]] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
+
+        def add_line(lineno: int, rules: frozenset[str]) -> None:
+            existing = by_line.get(lineno, frozenset())
+            by_line[lineno] = existing | rules
+
+        for lineno, text in enumerate(normalized.split("\n"), start=1):
             match = _PRAGMA_RE.search(text)
             if match is None:
                 continue
@@ -87,11 +112,14 @@ class Suppressions:
                 for token in match.group("rules").split(",")
                 if token.strip()
             )
-            if match.group("kind") == "disable-file":
+            kind = match.group("kind")
+            if kind == "disable-file":
                 if lineno <= _FILE_PRAGMA_WINDOW:
                     file_level.update(rules)
+            elif kind == "disable-next-line":
+                add_line(lineno + 1, rules)
             else:
-                by_line[lineno] = rules
+                add_line(lineno, rules)
         return cls(file_level=frozenset(file_level), by_line=by_line)
 
 
@@ -116,19 +144,25 @@ class SourceFile:
     def load(cls, path: Path, root: Path) -> "SourceFile | None":
         """Parse ``path``; returns None for unparseable files (reported
         separately by the analyzer as a hard error)."""
+        from .cache import GLOBAL_CACHE
+
         source = path.read_text(encoding="utf-8")
-        tree = ast.parse(source, filename=str(path))
-        try:
-            rel = path.resolve().relative_to(root.resolve()).as_posix()
-        except ValueError:
-            rel = path.as_posix()
+        rel = _rel_path(path, root)
+        tree, suppressions = GLOBAL_CACHE.entry_for(rel, source)
         return cls(
             path=path,
             rel_path=rel,
             source=source,
             tree=tree,
-            suppressions=Suppressions.parse(source),
+            suppressions=suppressions,
         )
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
 
 
 _SKIP_DIR_NAMES = {
@@ -174,6 +208,9 @@ class AnalysisReport:
     violations: list[Violation]
     files_checked: int
     rules_run: tuple[str, ...]
+    #: findings matched (and absorbed) by the baseline file, when one
+    #: was applied; they do not affect :attr:`ok`.
+    baselined: list[Violation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -185,39 +222,89 @@ class AnalysisReport:
             f"repro-check: {len(self.violations)} violation(s) in "
             f"{self.files_checked} file(s) [{', '.join(self.rules_run)}]"
         )
+        if self.baselined:
+            summary += f" ({len(self.baselined)} baselined)"
         lines.append(summary)
         return "\n".join(lines)
 
     def render_json(self) -> str:
-        return json.dumps(
-            {
-                "violations": [v.as_dict() for v in self.violations],
-                "files_checked": self.files_checked,
-                "rules": list(self.rules_run),
-                "ok": self.ok,
-            },
-            indent=2,
-        )
+        payload: dict[str, object] = {
+            "violations": [v.as_dict() for v in self.violations],
+            "files_checked": self.files_checked,
+            "rules": list(self.rules_run),
+            "ok": self.ok,
+        }
+        if self.baselined:
+            payload["baselined"] = [v.as_dict() for v in self.baselined]
+        return json.dumps(payload, indent=2)
+
+
+def _worker_check(
+    payload: tuple[str, str, tuple[str, ...], bool],
+) -> tuple[str, list[Violation], "ModuleFacts | None"]:
+    """Process-pool worker: load one file, run the per-file rules, and
+    (when whole-program rules are active) extract its module facts.
+
+    Everything returned is picklable; ASTs never cross the process
+    boundary.  Runs in a fresh interpreter, so rules are re-selected
+    from their ids.
+    """
+    from .cache import GLOBAL_CACHE
+    from .rules import select_rules
+
+    path_str, root_str, rule_ids, need_facts = payload
+    path = Path(path_str)
+    try:
+        source = SourceFile.load(path, Path(root_str))
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+    assert source is not None
+    violations: list[Violation] = []
+    if rule_ids:
+        for rule in select_rules(rule_ids):
+            if not rule.applies_to(source):
+                continue
+            for violation in rule.check(source):
+                if source.suppressions.is_suppressed(violation.rule_id, violation.line):
+                    continue
+                violations.append(violation)
+    facts = GLOBAL_CACHE.facts_for(source) if need_facts else None
+    return source.rel_path, violations, facts
 
 
 class Analyzer:
-    """Runs a set of rules over a set of files."""
+    """Runs a set of rules — per-file and whole-program — over files."""
 
     def __init__(self, rules: Sequence["RuleProtocol"]) -> None:
         if not rules:
             raise ValueError("at least one rule is required")
         self.rules = list(rules)
+        self.file_rules = [
+            rule for rule in self.rules if not getattr(rule, "is_project_rule", False)
+        ]
+        self.project_rules = [
+            rule for rule in self.rules if getattr(rule, "is_project_rule", False)
+        ]
 
-    def check_paths(self, paths: Sequence[Path], root: Path | None = None) -> AnalysisReport:
+    def check_paths(
+        self,
+        paths: Sequence[Path],
+        root: Path | None = None,
+        jobs: int = 1,
+    ) -> AnalysisReport:
         """Analyse files/directories rooted at ``root`` (defaults to the
-        common parent used for relative-path reporting)."""
+        common parent used for relative-path reporting).  ``jobs > 1``
+        fans per-file work out to that many worker processes."""
         resolved = [Path(p) for p in paths]
         for path in resolved:
             if not path.exists():
                 raise AnalysisError(f"no such file or directory: {path}")
         base = root if root is not None else _common_root(resolved)
+        file_paths = list(iter_python_files(resolved))
+        if jobs > 1:
+            return self._check_parallel(file_paths, base, jobs)
         files: list[SourceFile] = []
-        for file_path in iter_python_files(resolved):
+        for file_path in file_paths:
             try:
                 loaded = SourceFile.load(file_path, base)
             except SyntaxError as exc:
@@ -226,16 +313,57 @@ class Analyzer:
                 files.append(loaded)
         return self.check_files(files)
 
+    def _check_parallel(
+        self, file_paths: Sequence[Path], base: Path, jobs: int
+    ) -> AnalysisReport:
+        need_facts = bool(self.project_rules)
+        rule_ids = tuple(rule.rule_id for rule in self.file_rules)
+        payloads = [
+            (str(path), str(base), rule_ids, need_facts) for path in file_paths
+        ]
+        violations: list[Violation] = []
+        facts: list["ModuleFacts"] = []
+        suppression_map: dict[str, Suppressions] = {}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for rel_path, file_violations, module_facts in pool.map(
+                _worker_check, payloads
+            ):
+                violations.extend(file_violations)
+                if module_facts is not None:
+                    facts.append(module_facts)
+        if self.project_rules:
+            # Suppressions for project findings come from the parent's
+            # cache — cheap re-parse of only the flagged-able files.
+            for path in file_paths:
+                loaded = SourceFile.load(path, base)
+                if loaded is not None:
+                    suppression_map[loaded.rel_path] = loaded.suppressions
+            violations.extend(self._run_project_rules(facts, suppression_map))
+        violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+        return AnalysisReport(
+            violations=violations,
+            files_checked=len(file_paths),
+            rules_run=tuple(rule.rule_id for rule in self.rules),
+        )
+
     def check_files(self, files: Sequence[SourceFile]) -> AnalysisReport:
+        from .cache import GLOBAL_CACHE
+
         violations: list[Violation] = []
         for source in files:
-            for rule in self.rules:
+            for rule in self.file_rules:
                 if not rule.applies_to(source):
                     continue
                 for violation in rule.check(source):
                     if source.suppressions.is_suppressed(violation.rule_id, violation.line):
                         continue
                     violations.append(violation)
+        if self.project_rules:
+            facts = [GLOBAL_CACHE.facts_for(source) for source in files]
+            suppression_map = {
+                source.rel_path: source.suppressions for source in files
+            }
+            violations.extend(self._run_project_rules(facts, suppression_map))
         violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
         return AnalysisReport(
             violations=violations,
@@ -243,17 +371,45 @@ class Analyzer:
             rules_run=tuple(rule.rule_id for rule in self.rules),
         )
 
+    def _run_project_rules(
+        self,
+        facts: Sequence["ModuleFacts"],
+        suppressions: Mapping[str, Suppressions],
+    ) -> list[Violation]:
+        from .graph import build_graph
+
+        graph = build_graph(facts)
+        violations: list[Violation] = []
+        for rule in self.project_rules:
+            for violation in rule.check_project(graph):
+                per_file = suppressions.get(violation.path)
+                if per_file is not None and per_file.is_suppressed(
+                    violation.rule_id, violation.line
+                ):
+                    continue
+                violations.append(violation)
+        return violations
+
     def check_source(self, source: str, rel_path: str = "<snippet>.py") -> list[Violation]:
         """Analyse an in-memory snippet — the fixture-test entry point."""
-        tree = ast.parse(source)
-        file = SourceFile(
-            path=Path(rel_path),
-            rel_path=rel_path,
-            source=source,
-            tree=tree,
-            suppressions=Suppressions.parse(source),
-        )
-        report = self.check_files([file])
+        return self.check_snippets({rel_path: source})
+
+    def check_snippets(self, snippets: Mapping[str, str]) -> list[Violation]:
+        """Analyse a set of in-memory files as one project — the
+        multi-file fixture entry point for whole-program rules."""
+        files = []
+        for rel_path, source in snippets.items():
+            tree = ast.parse(source)
+            files.append(
+                SourceFile(
+                    path=Path(rel_path),
+                    rel_path=rel_path,
+                    source=source,
+                    tree=tree,
+                    suppressions=Suppressions.parse(source),
+                )
+            )
+        report = self.check_files(files)
         return report.violations
 
 

@@ -1,0 +1,66 @@
+"""Whole-program passes: the interprocedural rules R11-R14.
+
+Unlike the per-file rules in :mod:`repro.analysis.rules`, a pass sees
+the entire :class:`~repro.analysis.graph.ProjectGraph` at once — import
+edges, class facts, and converged dataflow summaries — so it can follow
+a value through helpers, attributes, and modules before deciding
+whether an invariant broke.
+
+Registry: :data:`PROJECT_RULES` is consumed by
+:data:`repro.analysis.rules.ALL_RULES`, which is what the engine, the
+CLI, and the docs table all iterate.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterator
+
+from ..engine import SourceFile, Violation
+from ..graph import ProjectGraph
+
+
+class ProjectRule:
+    """Base class for whole-program rules.
+
+    The engine collects :class:`~repro.analysis.graph.ModuleFacts` for
+    every file in the run, assembles one graph, and calls
+    :meth:`check_project` once; per-file suppressions are applied to the
+    returned findings afterwards, exactly as for per-file rules.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+    is_project_rule: ClassVar[bool] = True
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return not source.is_test
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        """Project rules never run per-file."""
+        return iter(())
+
+    def check_project(self, graph: ProjectGraph) -> list[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+
+from .determinism import DeterminismTaintRule  # noqa: E402
+from .interval_escape import IntervalEscapeRule  # noqa: E402
+from .layering import LayerConformanceRule  # noqa: E402
+from .shared_state import SharedStateMutationRule  # noqa: E402
+
+PROJECT_RULES: tuple[ProjectRule, ...] = (
+    DeterminismTaintRule(),
+    IntervalEscapeRule(),
+    SharedStateMutationRule(),
+    LayerConformanceRule(),
+)
+
+__all__ = [
+    "DeterminismTaintRule",
+    "IntervalEscapeRule",
+    "LayerConformanceRule",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "SharedStateMutationRule",
+]

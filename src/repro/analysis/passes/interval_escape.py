@@ -1,0 +1,117 @@
+"""R12 — interval endpoint escape.
+
+:class:`repro.intervals.Interval` is the paper's uncertainty carrier;
+the whole point of R1 (no raw endpoint comparisons) is defeated if a
+*public* function of the interval/core subsystem hands a raw ``.lo`` /
+``.hi`` float to callers, who will then compare it however they like.
+
+This pass taints raw endpoint reads and follows them through tuples,
+conditionals, ``min``/``max``, and helper calls (via summaries).  The
+taint is *killed* by anything that turns the endpoint into a derived
+quantity — arithmetic (``hi - lo``), comparisons (the sanctioned
+comparators return booleans), string formatting, or construction of a
+new ``Interval``.  A public function defined in ``core/`` or
+``intervals.py`` whose return value is still raw-endpoint-tainted is an
+escape.
+
+Interprocedural case: ``def lower(iv): return _lower(iv)`` with a
+private ``_lower`` returning ``iv.lo`` is flagged at the public
+boundary, two hops from the read.
+"""
+
+from __future__ import annotations
+
+from ..dataflow import TaintPolicy, compute_summaries, evaluate_returns
+from ..engine import Violation
+from ..graph import AttrOf, CallT, FunctionFacts, ModuleFacts, ProjectGraph
+from . import ProjectRule
+
+_ENDPOINTS = frozenset({"lo", "hi"})
+
+#: named escape hatches (none today; documented in static_analysis.md).
+SANCTIONED_ACCESSORS: frozenset[str] = frozenset()
+
+#: builtins that pass a raw endpoint through unchanged.
+_PRESERVING_BUILTINS = frozenset({"min", "max", "float"})
+
+
+class _IntervalEscapePolicy(TaintPolicy):
+    killing_ops = frozenset({"binop", "compare", "fstring", "await"})
+
+    def attr_source(
+        self, term: AttrOf, fn: FunctionFacts, module: ModuleFacts
+    ) -> str | None:
+        if term.attr in _ENDPOINTS:
+            return f"raw endpoint '.{term.attr}'"
+        return None
+
+    def unknown_call(
+        self,
+        call: CallT,
+        arg_reasons: list[str | None],
+        receiver_reason: str | None,
+    ) -> str | None:
+        # Unlike determinism taint, an unknown call is assumed to *derive*
+        # something new (Interval(...), a codec, a formatter) — only the
+        # identity-preserving builtins keep the value raw.
+        if call.callee.name in _PRESERVING_BUILTINS:
+            for reason in arg_reasons:
+                if reason is not None:
+                    return reason
+        return None
+
+
+def _in_scope(module: ModuleFacts) -> bool:
+    if module.is_test:
+        return False
+    return module.package == "core" or module.rel_path.endswith("intervals.py")
+
+
+class IntervalEscapeRule(ProjectRule):
+    """R12: raw endpoints may not cross the intervals/core public API."""
+
+    rule_id = "R12"
+    name = "interval-escape"
+    description = (
+        "raw .lo/.hi floats may not cross a public function boundary out "
+        "of intervals/core; return Intervals or derived quantities"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> list[Violation]:
+        policy = _IntervalEscapePolicy()
+        table = compute_summaries(graph, policy)
+        violations: list[Violation] = []
+        for module in graph.modules.values():
+            if not _in_scope(module):
+                continue
+            for fn in module.functions:
+                if not self._is_public_boundary(fn):
+                    continue
+                for line, reason in evaluate_returns(fn, module, graph, policy, table):
+                    if reason is None:
+                        continue
+                    violations.append(
+                        Violation(
+                            rule_id=self.rule_id,
+                            path=module.rel_path,
+                            line=line,
+                            message=(
+                                f"public function '{fn.name}' returns "
+                                f"{reason} across the intervals/core "
+                                "boundary; return an Interval or a derived "
+                                "quantity (or use a sanctioned comparator)"
+                            ),
+                        )
+                    )
+        return violations
+
+    @staticmethod
+    def _is_public_boundary(fn: FunctionFacts) -> bool:
+        if fn.name == "<module>" or "<locals>" in fn.name:
+            return False
+        if fn.name in SANCTIONED_ACCESSORS:
+            return False
+        return fn.is_public
+
+
+__all__ = ["IntervalEscapeRule", "SANCTIONED_ACCESSORS"]

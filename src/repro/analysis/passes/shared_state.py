@@ -1,0 +1,165 @@
+"""R13 — shared-state mutation.
+
+The ROADMAP's async/sharded serving tier will run today's
+single-threaded caches and registries concurrently.  Ahead of that,
+this pass freezes the ownership discipline: the mutable shared
+singletons — :class:`DynamicCache`/:class:`CacheStats` (core.caching),
+:class:`DistanceEngine`/:class:`EngineStats` LRUs
+(network.distance_engine), :class:`MetricsRegistry`
+(observability.metrics), and :class:`HealthRegistry`/
+:class:`EndpointHealth` (resilience.health) — may only be mutated from
+their owning module, through the transactional/locked APIs those
+modules export.
+
+Detection is type-driven, not name-driven: extraction records local and
+attribute types (annotations + constructor assignments), so
+``gateway.health.calls += 1`` resolves ``health`` to
+``EndpointHealth`` and is flagged wherever it happens outside
+``resilience/health.py``.  Calling a *method* of the watched class
+(``cache.store(...)``, ``registry.counter(...)``) is the sanctioned
+path and never flagged; reaching around it — attribute writes,
+aug-assigns, subscript stores, or container mutators like
+``engine._cache.clear()`` — is.
+"""
+
+from __future__ import annotations
+
+from ..dataflow import infer_local_types, type_of_term
+from ..engine import Violation
+from ..graph import AttrOf, CallT, FunctionFacts, ModuleFacts, ProjectGraph, StoreEv, Term
+from . import ProjectRule
+
+#: watched class -> suffix of its owning module's path.
+WATCHED_CLASSES: dict[str, str] = {
+    "DynamicCache": "core/caching.py",
+    "CacheStats": "core/caching.py",
+    "DistanceEngine": "network/distance_engine.py",
+    "EngineStats": "network/distance_engine.py",
+    "MetricsRegistry": "observability/metrics.py",
+    "HealthRegistry": "resilience/health.py",
+    "EndpointHealth": "resilience/health.py",
+}
+
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "clear",
+        "pop",
+        "popitem",
+        "update",
+        "setdefault",
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "add",
+    }
+)
+
+
+class SharedStateMutationRule(ProjectRule):
+    """R13: shared caches/registries mutate only via their owning module."""
+
+    rule_id = "R13"
+    name = "shared-state-mutation"
+    description = (
+        "DistanceEngine/DynamicCache/CacheStats/MetricsRegistry/"
+        "HealthRegistry state mutates only via owning-module APIs"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> list[Violation]:
+        violations: list[Violation] = []
+        for module in graph.modules.values():
+            if module.is_test:
+                continue
+            for fn in module.functions:
+                env = infer_local_types(fn, graph)
+                for event in fn.events:
+                    if isinstance(event, StoreEv):
+                        violation = self._check_store(event, fn, module, graph, env)
+                        if violation is not None:
+                            violations.append(violation)
+                for call in fn.calls:
+                    violation = self._check_mutator_call(call, fn, module, graph, env)
+                    if violation is not None:
+                        violations.append(violation)
+        return violations
+
+    def _owner_of(
+        self,
+        term: Term,
+        fn: FunctionFacts,
+        graph: ProjectGraph,
+        env: dict[str, str],
+    ) -> str | None:
+        """Watched class name if ``term`` is (typed as) a watched object."""
+        resolved = type_of_term(term, fn, graph, env)
+        if resolved in WATCHED_CLASSES:
+            return resolved
+        return None
+
+    @staticmethod
+    def _outside_owner(module: ModuleFacts, class_name: str) -> bool:
+        return not module.rel_path.endswith(WATCHED_CLASSES[class_name])
+
+    def _check_store(
+        self,
+        event: StoreEv,
+        fn: FunctionFacts,
+        module: ModuleFacts,
+        graph: ProjectGraph,
+        env: dict[str, str],
+    ) -> Violation | None:
+        watched = self._owner_of(event.owner, fn, graph, env)
+        if watched is None or not self._outside_owner(module, watched):
+            return None
+        kinds = {
+            "assign": "attribute write",
+            "augassign": "augmented assignment",
+            "subscript": "subscript store",
+        }
+        return Violation(
+            rule_id=self.rule_id,
+            path=module.rel_path,
+            line=event.line,
+            message=(
+                f"{kinds.get(event.kind, event.kind)} to "
+                f"{watched}.{event.attr} outside its owning module "
+                f"({WATCHED_CLASSES[watched]}); go through the class's "
+                "transactional API"
+            ),
+        )
+
+    def _check_mutator_call(
+        self,
+        call: CallT,
+        fn: FunctionFacts,
+        module: ModuleFacts,
+        graph: ProjectGraph,
+        env: dict[str, str],
+    ) -> Violation | None:
+        if call.callee.kind != "attr_call" or call.callee.name not in _CONTAINER_MUTATORS:
+            return None
+        receiver = call.callee.receiver
+        if not isinstance(receiver, AttrOf):
+            # Mutators called on the watched object itself resolve to its
+            # public API (e.g. DynamicCache.clear) — that's the sanctioned
+            # path; only reach-around container mutation is flagged.
+            return None
+        watched = self._owner_of(receiver.base, fn, graph, env)
+        if watched is None or not self._outside_owner(module, watched):
+            return None
+        return Violation(
+            rule_id=self.rule_id,
+            path=module.rel_path,
+            line=call.line,
+            message=(
+                f"direct '{call.callee.name}()' on {watched}."
+                f"{receiver.attr} outside its owning module "
+                f"({WATCHED_CLASSES[watched]}); go through the class's "
+                "transactional API"
+            ),
+        )
+
+
+__all__ = ["SharedStateMutationRule", "WATCHED_CLASSES"]

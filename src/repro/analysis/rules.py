@@ -1,4 +1,4 @@
-"""The ten domain rules enforced by ``repro-check``.
+"""The fourteen domain rules enforced by ``repro-check``.
 
 Each rule encodes one invariant from the paper that Python's type system
 cannot express on its own (see ``docs/static_analysis.md`` for the
@@ -28,7 +28,25 @@ R10       clock-bypass            Time is read only through the injected
                                   :class:`~repro.observability.clock.Clock`; raw
                                   ``time.time()``/``perf_counter()`` calls live only
                                   inside ``observability/``
+R11       determinism-taint       Values derived from clocks, unseeded RNGs, ``id()``,
+                                  or set-iteration order never reach journals,
+                                  snapshots, trace ids, or Offering Tables
+                                  (whole-program taint, `passes/determinism.py`)
+R12       interval-escape         Raw ``.lo``/``.hi`` floats never cross a public
+                                  function boundary out of ``intervals``/``core``
+                                  (whole-program, `passes/interval_escape.py`)
+R13       shared-state-mutation   Shared caches/registries mutate only through their
+                                  owning module's transactional APIs
+                                  (whole-program, `passes/shared_state.py`)
+R14       layer-conformance       Module-scope imports follow the architecture layer
+                                  DAG — no upward imports
+                                  (whole-program, `passes/layering.py`)
 ========  ======================  =====================================================
+
+R1-R10 are per-file AST rules defined below; R11-R14 are whole-program
+passes over the project graph, defined in :mod:`repro.analysis.passes`
+and registered here so selection, suppression, listing, and docs treat
+all fourteen uniformly.
 """
 
 from __future__ import annotations
@@ -824,6 +842,8 @@ class ClockBypassRule(RuleProtocol):
 # registry
 # --------------------------------------------------------------------------
 
+from .passes import PROJECT_RULES  # noqa: E402  (import after rule defs: passes subclass the same protocol)
+
 ALL_RULES: tuple[RuleProtocol, ...] = (
     IntervalComparisonRule(),
     MetricConsistencyRule(),
@@ -835,13 +855,14 @@ ALL_RULES: tuple[RuleProtocol, ...] = (
     EngineBypassRule(),
     JournalBypassRule(),
     ClockBypassRule(),
+    *PROJECT_RULES,
 )
 
 RULES_BY_ID: dict[str, RuleProtocol] = {rule.rule_id: rule for rule in ALL_RULES}
 
 
 def select_rules(ids: Sequence[str] | None = None) -> tuple[RuleProtocol, ...]:
-    """The rule objects for ``ids`` (all ten when None)."""
+    """The rule objects for ``ids`` (all fourteen when None)."""
     if ids is None:
         return ALL_RULES
     unknown = [rule_id for rule_id in ids if rule_id.upper() not in RULES_BY_ID]

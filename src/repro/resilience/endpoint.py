@@ -53,9 +53,9 @@ class ResilientEndpoint:
         Non-upstream exceptions (programming errors) propagate untouched
         and are not charged to the breaker.
         """
-        self.health.calls += 1
+        self.health.record_call()
         if not self.breaker.allow(now_h):
-            self.health.breaker_rejections += 1
+            self.health.record_breaker_rejection()
             raise CircuitOpenError(self.name, "circuit breaker open")
 
         elapsed_ms = 0.0
@@ -63,11 +63,11 @@ class ResilientEndpoint:
         last_error: UpstreamError | None = None
         while attempts < self.policy.max_attempts:
             attempts += 1
-            self.health.attempts += 1
+            self.health.record_attempt()
             try:
                 value = fn()
             except UpstreamError as error:
-                self.health.failures += 1
+                self.health.record_failure()
                 elapsed_ms += error.latency_ms
                 self.breaker.record_failure(now_h)
                 last_error = error
@@ -79,18 +79,12 @@ class ResilientEndpoint:
                 if elapsed_ms + backoff > self.policy.deadline_ms:
                     break  # the deadline would pass before the next try
                 elapsed_ms += backoff
-                self.health.retries += 1
+                self.health.record_retry()
                 continue
             else:
-                self.health.successes += 1
                 self.breaker.record_success(now_h)
-                if attempts > 1:
-                    self.health.retried += 1
-                else:
-                    self.health.live += 1
-                self.health.simulated_ms += elapsed_ms
+                self.health.record_success(retried=attempts > 1, elapsed_ms=elapsed_ms)
                 return value
         assert last_error is not None
-        self.health.exhausted += 1
-        self.health.simulated_ms += elapsed_ms
+        self.health.record_exhausted(elapsed_ms)
         raise RetriesExhaustedError(self.name, attempts, elapsed_ms, last_error)

@@ -216,8 +216,7 @@ class ResilienceGateway:
         health = endpoint.health
         cached = self.cache.lookup(key, now_h)
         if cached is not None:
-            health.calls += 1
-            health.cache_hits += 1
+            health.record_cache_hit()
             return FetchResult(cached.value, ServiceLevel.CACHED, cached.age_h)
         retried_before = health.retried
         try:
@@ -226,11 +225,11 @@ class ResilienceGateway:
             bound = self.config.for_endpoint(endpoint_name).staleness.max_stale_h
             stale = self.cache.lookup_stale(key, now_h, bound)
             if stale is not None:
-                health.stale_served += 1
+                health.record_stale_served()
                 return FetchResult(
                     stale_fn(stale.value, stale.age_h), ServiceLevel.STALE, stale.age_h
                 )
-            health.fallbacks += 1
+            health.record_fallback()
             return FetchResult(fallback_fn(), ServiceLevel.FALLBACK, math.inf)
         self.cache.put(key, now_h, value)
         level = (

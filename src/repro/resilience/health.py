@@ -47,6 +47,62 @@ class EndpointHealth:
     exhausted: int = 0
     simulated_ms: float = 0.0
 
+    # -- recording API -----------------------------------------------------
+    #
+    # All counter mutations funnel through these methods (enforced by
+    # repro-check R13): callers outside this module never touch the
+    # fields directly, so the future async serving tier can make the
+    # counters thread-safe by guarding exactly these entry points.
+
+    def record_call(self) -> None:
+        """One logical fetch reached the resilient call path."""
+        self.calls += 1
+
+    def record_breaker_rejection(self) -> None:
+        self.breaker_rejections += 1
+
+    def record_attempt(self) -> None:
+        """One upstream attempt was admitted past the breaker."""
+        self.attempts += 1
+
+    def record_failure(self) -> None:
+        self.failures += 1
+
+    def record_retry(self) -> None:
+        """A failed attempt will be retried after backoff."""
+        self.retries += 1
+
+    def record_success(self, retried: bool, elapsed_ms: float) -> None:
+        """An upstream attempt succeeded, closing the logical call.
+
+        ``retried`` lands the call on the ``retried`` ladder rung rather
+        than ``live``; ``elapsed_ms`` charges the accumulated backoff
+        latency.
+        """
+        self.successes += 1
+        if retried:
+            self.retried += 1
+        else:
+            self.live += 1
+        self.simulated_ms += elapsed_ms
+
+    def record_exhausted(self, elapsed_ms: float) -> None:
+        """Every admitted attempt failed (or the deadline passed)."""
+        self.exhausted += 1
+        self.simulated_ms += elapsed_ms
+
+    def record_cache_hit(self) -> None:
+        """A logical fetch was answered from the fresh cache (counts the
+        call and the rung together, preserving the ladder identity)."""
+        self.calls += 1
+        self.cache_hits += 1
+
+    def record_stale_served(self) -> None:
+        self.stale_served += 1
+
+    def record_fallback(self) -> None:
+        self.fallbacks += 1
+
     @property
     def degraded(self) -> int:
         """Fetches answered below full freshness."""

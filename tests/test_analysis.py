@@ -1,5 +1,6 @@
-"""The ``repro.analysis`` subsystem: rules R1-R10, suppressions, CLI, and
-runtime contracts.
+"""The ``repro.analysis`` subsystem: per-file rules R1-R10, suppressions,
+CLI, and runtime contracts (the whole-program passes R11-R14, the
+baseline ratchet, and SARIF live in ``test_analysis_project.py``).
 
 Each rule gets (at least) one fixture snippet that triggers it and one
 clean snippet that does not — the proof that every rule both fires and
@@ -274,7 +275,7 @@ class TestSuppressions:
         assert check_source(snippet, "src/repro/core/example.py") == []
 
     def test_line_suppression_only_silences_named_rule(self):
-        snippet = "def f(iv, items=[]):  # repro-check: disable=R1\n    return iv.lo\n"
+        snippet = "def f(iv, items=[]):  # repro-check: disable=R1\n    return len(items)\n"
         assert rule_ids(check_source(snippet, "src/repro/core/example.py")) == ["R4"]
 
     def test_file_suppression(self):
@@ -597,11 +598,12 @@ class TestEngineAndCli:
     def test_select_rules(self):
         assert [r.rule_id for r in select_rules(["R1", "r4"])] == ["R1", "R4"]
         with pytest.raises(KeyError):
-            select_rules(["R11"])
+            select_rules(["R99"])
 
-    def test_all_ten_rules_registered(self):
+    def test_all_fourteen_rules_registered(self):
         assert [r.rule_id for r in ALL_RULES] == [
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+            "R11", "R12", "R13", "R14",
         ]
 
     def test_cli_clean_tree_exits_zero(self, capsys):
@@ -628,20 +630,21 @@ class TestEngineAndCli:
         assert main(["/no/such/path-xyz"]) == 2
 
     def test_cli_unknown_rule_exits_two(self, capsys):
-        assert main(["--select", "R11", str(SRC)]) == 2
+        assert main(["--select", "R99", str(SRC)]) == 2
 
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in (
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+            "R11", "R12", "R13", "R14",
         ):
             assert rule_id in out
 
     def test_cli_annotations_flag(self, tmp_path, capsys):
         unannotated = tmp_path / "loose.py"
         unannotated.write_text("def f(x):\n    return x\n")
-        assert main([str(unannotated)]) == 0  # R1-R10 clean
+        assert main([str(unannotated)]) == 0  # R1-R14 clean
         assert main(["--annotations", str(unannotated)]) == 1
         out = capsys.readouterr().out
         assert "TYP" in out
@@ -663,7 +666,8 @@ class TestRealTree:
         assert report.ok, "repro-check violations:\n" + report.render_text()
         assert report.files_checked > 50
         assert report.rules_run == (
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+            "R11", "R12", "R13", "R14",
         )
 
     def test_tests_tree_is_clean(self):

@@ -425,6 +425,96 @@ class TestEndpointHealthRatios:
         assert health.availability_ratio == pytest.approx(0.75)
 
 
+class TestEndpointHealthRecordingAPI:
+    """The recording methods are the only sanctioned mutation path
+    (repro-check R13): each one must move exactly its counters, and a
+    realistic call sequence must keep ``accounts_for`` reconciling."""
+
+    def _health(self):
+        from repro.resilience.health import EndpointHealth
+
+        return EndpointHealth(endpoint="weather")
+
+    def test_record_call_counts_one_logical_call(self):
+        health = self._health()
+        health.record_call()
+        assert health.calls == 1 and health.cache_hits == 0
+
+    def test_record_cache_hit_lands_on_the_ladder(self):
+        # A cache hit both counts the call and lands the rung, so the
+        # ladder identity (calls == sum of rungs) holds with no
+        # separate record_call() from the caller.
+        health = self._health()
+        health.record_cache_hit()
+        assert health.calls == 1 and health.cache_hits == 1
+        assert health.accounts_for(0)
+
+    def test_record_success_first_attempt_is_live(self):
+        health = self._health()
+        health.record_call()
+        health.record_attempt()
+        health.record_success(retried=False, elapsed_ms=5.0)
+        assert (health.live, health.retried) == (1, 0)
+        assert health.successes == 1
+        assert health.simulated_ms == pytest.approx(5.0)
+        assert health.accounts_for(1)
+
+    def test_record_success_after_retry_is_retried(self):
+        health = self._health()
+        health.record_call()
+        health.record_attempt()
+        health.record_failure()
+        health.record_retry()
+        health.record_attempt()
+        health.record_success(retried=True, elapsed_ms=12.0)
+        assert (health.live, health.retried) == (0, 1)
+        assert health.retries == 1
+        assert health.attempts == 2
+        assert health.accounts_for(1)
+
+    def test_record_exhausted_then_stale_served(self):
+        health = self._health()
+        health.record_call()
+        health.record_attempt()
+        health.record_failure()
+        health.record_exhausted(elapsed_ms=30.0)
+        health.record_stale_served()
+        assert health.exhausted == 1 and health.stale_served == 1
+        assert health.degraded == 1
+        assert health.accounts_for(0)
+
+    def test_record_breaker_rejection_then_fallback(self):
+        health = self._health()
+        health.record_call()
+        health.record_breaker_rejection()
+        health.record_fallback()
+        assert health.breaker_rejections == 1 and health.fallbacks == 1
+        assert health.attempts == 0, "a rejected call never reaches upstream"
+        assert health.accounts_for(0)
+
+    def test_mixed_sequence_reconciles(self):
+        health = self._health()
+        # one cache hit, one live success, one retried success, one
+        # exhausted->fallback: 4 logical calls, 2 delivered upstream.
+        health.record_cache_hit()
+        health.record_call()
+        health.record_attempt()
+        health.record_success(retried=False, elapsed_ms=4.0)
+        health.record_call()
+        health.record_attempt()
+        health.record_failure()
+        health.record_retry()
+        health.record_attempt()
+        health.record_success(retried=True, elapsed_ms=9.0)
+        health.record_call()
+        health.record_attempt()
+        health.record_failure()
+        health.record_exhausted(elapsed_ms=20.0)
+        health.record_fallback()
+        assert health.calls == 4
+        assert health.accounts_for(2)
+
+
 class TestFaultTolerantEnvironment:
     def test_total_outage_floors_availability(self, small_environment, small_registry):
         injector = FaultInjector(default=FaultProfile(error_rate=1.0))
