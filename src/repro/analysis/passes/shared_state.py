@@ -38,6 +38,7 @@ WATCHED_CLASSES: dict[str, str] = {
     "MetricsRegistry": "observability/metrics.py",
     "HealthRegistry": "resilience/health.py",
     "EndpointHealth": "resilience/health.py",
+    "SchedulerStats": "server/scheduling/scheduler.py",
 }
 
 _CONTAINER_MUTATORS = frozenset(

@@ -1,4 +1,4 @@
-"""The fourteen domain rules enforced by ``repro-check``.
+"""The fifteen domain rules enforced by ``repro-check``.
 
 Each rule encodes one invariant from the paper that Python's type system
 cannot express on its own (see ``docs/static_analysis.md`` for the
@@ -46,7 +46,7 @@ R14       layer-conformance       Module-scope imports follow the architecture l
 R1-R10 are per-file AST rules defined below; R11-R14 are whole-program
 passes over the project graph, defined in :mod:`repro.analysis.passes`
 and registered here so selection, suppression, listing, and docs treat
-all fourteen uniformly.
+all fifteen uniformly.
 """
 
 from __future__ import annotations
@@ -839,6 +839,177 @@ class ClockBypassRule(RuleProtocol):
 
 
 # --------------------------------------------------------------------------
+# R15 — unbounded queues / indefinite blocking in the serving tier
+# --------------------------------------------------------------------------
+
+#: The one module allowed to construct serving-tier queues: it implements
+#: the bounded, shedding :class:`BoundedShardQueue` everything else uses.
+_R15_QUEUE_OWNER = "server/scheduling/queueing.py"
+
+#: Queue constructors that grow without bound unless given a size.
+_R15_SIZED_QUEUES = frozenset({"Queue", "PriorityQueue", "LifoQueue"})
+
+#: Calls that park a thread forever when given no timeout.
+_R15_BLOCKING_CALLS = frozenset({"wait", "acquire", "join"})
+
+
+class BackpressureBypassRule(RuleProtocol):
+    """R15: the serving tier admits load only through bounded queues and
+    never blocks without a timeout.
+
+    Overload safety is a global property with local failure modes: one
+    convenience ``queue.Queue()`` (unbounded by default) reintroduces
+    the exact queue-growth-until-OOM behaviour the admission controller
+    and :class:`BoundedShardQueue` exist to prevent, and one zero-arg
+    ``.wait()``/``.acquire()``/``.join()`` creates a worker that can
+    never be stopped once its wake-up signal is lost.  Queue
+    construction in ``server/`` therefore lives only in the owning
+    ``scheduling/queueing.py`` module, and every park in the scheduling
+    package carries a timeout.  ``time.sleep`` is doubly banned here —
+    it both stalls a worker unconditionally and bypasses the injected
+    clock (R10).
+    """
+
+    rule_id = "R15"
+    name = "backpressure-bypass"
+    description = "unbounded queue or indefinite blocking call in the serving tier"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        if source.rel_path.endswith(_R15_QUEUE_OWNER):
+            return False
+        return "server/" in source.rel_path
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        in_scheduling = "server/scheduling/" in source.rel_path
+        sleep_aliases = self._sleep_aliases(source)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if called is None:
+                continue
+            violation = self._queue_violation(source, node, called)
+            if violation is not None:
+                yield violation
+                continue
+            if in_scheduling:
+                violation = self._blocking_violation(
+                    source, node, called, sleep_aliases
+                )
+                if violation is not None:
+                    yield violation
+
+    @staticmethod
+    def _sleep_aliases(source: SourceFile) -> set[str]:
+        aliases: set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        aliases.add(alias.asname or "sleep")
+        return aliases
+
+    def _queue_violation(
+        self, source: SourceFile, node: ast.Call, called: str
+    ) -> Violation | None:
+        if called == "SimpleQueue":
+            return Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    "SimpleQueue constructed in the server tier — it cannot be "
+                    "bounded; route requests through scheduling.BoundedShardQueue"
+                ),
+            )
+        if called in _R15_SIZED_QUEUES and not self._has_bound(node, "maxsize"):
+            return Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    f"unbounded {called}() in the server tier — queues here grow "
+                    f"until memory does; use scheduling.BoundedShardQueue (or "
+                    f"pass an explicit maxsize in the owning queueing module)"
+                ),
+            )
+        if called == "deque" and not self._has_bound(node, "maxlen", arg_index=1):
+            return Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    "unbounded deque() in the server tier — buffers on the "
+                    "request path need a maxlen (or the bounded queue module)"
+                ),
+            )
+        return None
+
+    @staticmethod
+    def _has_bound(node: ast.Call, keyword: str, arg_index: int = 0) -> bool:
+        """True when the constructor received a non-zero/non-None bound."""
+        candidates: list[ast.expr] = []
+        if len(node.args) > arg_index:
+            candidates.append(node.args[arg_index])
+        for kw in node.keywords:
+            if kw.arg == keyword:
+                candidates.append(kw.value)
+        for value in candidates:
+            if isinstance(value, ast.Constant) and value.value in (0, None):
+                continue
+            return True
+        return False
+
+    def _blocking_violation(
+        self,
+        source: SourceFile,
+        node: ast.Call,
+        called: str,
+        sleep_aliases: set[str],
+    ) -> Violation | None:
+        func = node.func
+        is_time_sleep = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        )
+        if is_time_sleep or (isinstance(func, ast.Name) and func.id in sleep_aliases):
+            return Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    "time.sleep in the scheduling tier — a sleeping worker "
+                    "serves nothing and ignores the injected clock; park on a "
+                    "timed queue poll instead"
+                ),
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and called in _R15_BLOCKING_CALLS
+            and not node.args
+            and not node.keywords
+        ):
+            return Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    f"zero-argument '.{called}()' in the scheduling tier parks "
+                    f"a worker indefinitely — pass a timeout so overload can "
+                    f"never wedge the pool"
+                ),
+            )
+        return None
+
+
+# --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
 
@@ -856,13 +1027,14 @@ ALL_RULES: tuple[RuleProtocol, ...] = (
     JournalBypassRule(),
     ClockBypassRule(),
     *PROJECT_RULES,
+    BackpressureBypassRule(),
 )
 
 RULES_BY_ID: dict[str, RuleProtocol] = {rule.rule_id: rule for rule in ALL_RULES}
 
 
 def select_rules(ids: Sequence[str] | None = None) -> tuple[RuleProtocol, ...]:
-    """The rule objects for ``ids`` (all fourteen when None)."""
+    """The rule objects for ``ids`` (all fifteen when None)."""
     if ids is None:
         return ALL_RULES
     unknown = [rule_id for rule_id in ids if rule_id.upper() not in RULES_BY_ID]

@@ -18,6 +18,7 @@ solution cache.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 
 from ..analysis.contracts import ensure
@@ -37,11 +38,18 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        hits = self.hits
+        misses = self.misses
+        return hits + misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        # Read each counter exactly once: under concurrent mutation a
+        # re-read between the numerator and denominator can observe a
+        # different generation of the stats and report a rate > 1.
+        hits = self.hits
+        total = hits + self.misses
+        return hits / total if total else 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,6 +82,11 @@ class DynamicCache:
         self.ttl_h = ttl_h
         self.stats = CacheStats()
         self._entry: CachedSolution | None = None
+        # One lock covers entry + stats together: a shard's worker and a
+        # checkpointing observer must never see a hit counted against an
+        # entry that has already been replaced (torn read).  Re-entrant
+        # because contract-checked callers may nest public methods.
+        self._lock = threading.RLock()
 
     @ensure(
         lambda result, self, origin, now_h: result is None
@@ -90,30 +103,33 @@ class DynamicCache:
         Misses are categorised (empty / expired / out of Q range) for the
         Q-opt experiment's diagnostics.
         """
-        entry = self._entry
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if now_h - entry.generated_at_h > self.ttl_h:
-            self.stats.misses += 1
-            self.stats.expirations += 1
-            self._entry = None
-            return None
-        if origin.distance_to(entry.origin) > self.range_km:
-            self.stats.misses += 1
-            self.stats.out_of_range += 1
-            return None
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entry
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if now_h - entry.generated_at_h > self.ttl_h:
+                self.stats.misses += 1
+                self.stats.expirations += 1
+                self._entry = None
+                return None
+            if origin.distance_to(entry.origin) > self.range_km:
+                self.stats.misses += 1
+                self.stats.out_of_range += 1
+                return None
+            self.stats.hits += 1
+            return entry
 
     def store(self, solution: CachedSolution) -> None:
         """Replace the cached solution with ``solution``."""
-        self._entry = solution
+        with self._lock:
+            self._entry = solution
 
     def clear(self) -> None:
         """Drop the cached solution and reset statistics (new trip)."""
-        self._entry = None
-        self.stats = CacheStats()
+        with self._lock:
+            self._entry = None
+            self.stats = CacheStats()
 
     @property
     def current(self) -> CachedSolution | None:
@@ -130,12 +146,14 @@ class DynamicCache:
         checkpoint, and the durability journal records the state a
         recovered session must restore.
         """
-        return CacheState(entry=self._entry, stats=replace(self.stats))
+        with self._lock:
+            return CacheState(entry=self._entry, stats=replace(self.stats))
 
     def restore(self, state: "CacheState") -> None:
         """Reset the cache to a previously captured :class:`CacheState`."""
-        self._entry = state.entry
-        self.stats = replace(state.stats)
+        with self._lock:
+            self._entry = state.entry
+            self.stats = replace(state.stats)
 
 
 @dataclass(frozen=True, slots=True)

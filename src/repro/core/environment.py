@@ -26,6 +26,7 @@ from ..estimation.weather import WeatherModel
 from ..network.distance_engine import DistanceEngine
 from ..network.graph import RoadNetwork
 from ..network.path import TripSegment
+from ..observability.deadline import NEVER_EXPIRES, CancellationToken
 from ..observability.recorder import NOOP_TELEMETRY, Telemetry
 from .scoring import ComponentScores
 
@@ -73,6 +74,9 @@ class ChargingEnvironment:
         self.charging_window_h = charging_window_h
         self.telemetry = telemetry
         self.engine.telemetry = telemetry
+        #: The active request's cancellation token (scheduler-installed);
+        #: the no-op default keeps uncancellable callers checkpoint-free.
+        self.cancellation: CancellationToken = NEVER_EXPIRES
 
     def set_engine_backend(self, backend: str) -> None:
         """Switch the shared distance engine backend ("dijkstra" | "ch")."""
@@ -83,6 +87,19 @@ class ChargingEnvironment:
         it owns (the shared distance engine)."""
         self.telemetry = telemetry
         self.engine.telemetry = telemetry
+
+    def set_cancellation(self, token: CancellationToken) -> None:
+        """Install the active request's deadline token on this environment
+        and the tiers it owns, mirroring :meth:`set_telemetry`.
+
+        The scheduler calls this at dispatch (and resets to
+        :data:`~repro.observability.deadline.NEVER_EXPIRES` after), so an
+        expired request stops at the next checkpoint — before the next
+        charger scored, before the next engine search — instead of
+        finishing an answer nobody is waiting for.
+        """
+        self.cancellation = token
+        self.engine.cancellation = token
 
     # -- forecast view (what the algorithms see) ----------------------------
 
@@ -112,6 +129,9 @@ class ChargingEnvironment:
         )
         scores: list[ComponentScores] = []
         for charger in chargers:
+            # Per-charger deadline checkpoint: an expired request stops
+            # mid-pool rather than pricing the remaining candidates.
+            self.cancellation.checkpoint("pool")
             level = self.sustainable.estimate(
                 charger, eta_h, now_h, window_h=self.charging_window_h
             )

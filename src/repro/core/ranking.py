@@ -14,6 +14,7 @@ from typing import Protocol, Sequence, runtime_checkable
 from ..analysis.contracts import ensure
 from ..chargers.charger import Charger
 from ..network.path import Trip, TripSegment
+from ..observability.deadline import NEVER_EXPIRES, CancellationToken, DeadlineExpired
 from ..observability.tracing import trip_correlation_id
 from ..resilience.errors import UpstreamError
 from .environment import ChargingEnvironment
@@ -189,6 +190,7 @@ def run_over_trip(
     trip: Trip,
     segment_km: float | None = None,
     session: SessionLog | None = None,
+    cancellation: CancellationToken = NEVER_EXPIRES,
 ) -> RankingRun:
     """Drive a ranker over every segment of a trip (the continuous query).
 
@@ -203,6 +205,16 @@ def run_over_trip(
     boundary is journaled (and, on resume, replayed) by the durability
     subsystem; an injected :class:`~repro.resilience.SessionCrash`
     propagates out of this loop uncaught — it models the process dying.
+
+    ``cancellation`` is the scheduler's deadline token: it is polled
+    before every segment, so an expired request stops at the next
+    segment boundary instead of ranking the rest of the trip.  A
+    :class:`~repro.observability.deadline.DeadlineExpired` raised here
+    (or deeper, inside the pool/engine checkpoints) first rolls the
+    ranker back to its pre-segment checkpoint — expiry must never leak a
+    half-mutated dynamic cache into the shard's next request — and then
+    propagates to the scheduler, which owns the shed/serve-stale
+    decision; it is never recorded as a failed segment.
     """
     from ..network.path import DEFAULT_SEGMENT_KM
 
@@ -231,6 +243,7 @@ def run_over_trip(
         start=start,
     ):
         for i in range(start, len(segments)):
+            cancellation.checkpoint("segment")
             segment = segments[i]
             next_segment = segments[i + 1] if i + 1 < len(segments) else None
             checkpoint = _state_checkpoint(ranker)
@@ -246,6 +259,13 @@ def run_over_trip(
                         now_h=trip.departure_time_h,
                         next_segment=next_segment,
                     )
+                except DeadlineExpired:
+                    # Expiry mid-segment (pool or engine checkpoint): roll
+                    # the transaction back so no half-applied cache state
+                    # survives, then hand the expiry to the scheduler.
+                    if checkpoint is not None:
+                        ranker.restore_state(checkpoint)  # type: ignore[attr-defined]
+                    raise
                 except UpstreamError as error:
                     # A ranker running behind the resilience gateway never gets
                     # here (the ladder bottoms out at the fallback interval); a

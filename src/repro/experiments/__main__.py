@@ -23,6 +23,7 @@ from . import (
     observability_report,
     perf_trajectory,
     resilience_report,
+    serving_report,
 )
 from .harness import HarnessConfig
 
@@ -36,6 +37,7 @@ _DRIVERS: dict[str, Callable[[HarnessConfig], str]] = {
     "observability": observability_report.main,
     "perf": perf_trajectory.main,
     "resilience": resilience_report.main,
+    "serving": serving_report.main,
 }
 
 

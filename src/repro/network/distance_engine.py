@@ -27,10 +27,12 @@ members are accepted directly.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Sequence
 
+from ..observability.deadline import NEVER_EXPIRES, CancellationToken
 from ..observability.recorder import NOOP_TELEMETRY, Telemetry
 from .contraction import ContractionHierarchy, CustomizedHierarchy, combine_spaces
 from .graph import EdgeWeight, RoadEdge, RoadNetwork
@@ -91,11 +93,17 @@ class EngineStats:
 
     @property
     def lookups(self) -> int:
-        return self.cache_hits + self.cache_misses
+        hits = self.cache_hits
+        misses = self.cache_misses
+        return hits + misses
 
     @property
     def hit_rate(self) -> float:
-        return self.cache_hits / self.lookups if self.lookups else 0.0
+        # One read per counter: a concurrent increment between reading
+        # the numerator and the denominator must not yield a rate > 1.
+        hits = self.cache_hits
+        total = hits + self.cache_misses
+        return hits / total if total else 0.0
 
     def as_dict(self) -> dict[str, float]:
         """Flat counters for experiment reports (JSON-serialisable)."""
@@ -152,6 +160,14 @@ class DistanceEngine:
         #: Installed by the owning environment's ``set_telemetry``; the
         #: no-op default keeps cache hits span-free and searches unguarded.
         self.telemetry: Telemetry = NOOP_TELEMETRY
+        #: Installed by the owning environment's ``set_cancellation``; the
+        #: default token never expires, so uncancellable callers pay one
+        #: empty method call per cache miss.
+        self.cancellation: CancellationToken = NEVER_EXPIRES
+        # Guards the LRU maps, the customisation cache, and the stats
+        # counters as one unit.  Re-entrant because the CH bipartite path
+        # calls `_map` per pool member while already inside a query.
+        self._lock = threading.RLock()
 
     # -- configuration ------------------------------------------------------
 
@@ -176,15 +192,17 @@ class DistanceEngine:
         """Switch backends; cached maps are backend-specific and dropped."""
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-        if backend != self._backend:
-            self._backend = backend
-            self.clear()
+        with self._lock:
+            if backend != self._backend:
+                self._backend = backend
+                self.clear()
 
     def clear(self) -> None:
         """Drop all cached maps and customisations (keeps the hierarchy)."""
-        self._maps.clear()
-        self._customized.clear()
-        self._cached_nodes = 0
+        with self._lock:
+            self._maps.clear()
+            self._customized.clear()
+            self._cached_nodes = 0
 
     def ensure_hierarchy(self) -> ContractionHierarchy:
         """Build (once) and return the contraction hierarchy."""
@@ -204,22 +222,23 @@ class DistanceEngine:
         """
         if self._backend != "ch":
             return
-        missing: list[WeightSpec] = []
-        seen: set[Hashable] = set()
-        for weight in weights:
-            spec = WeightSpec.of(weight)
-            if spec.key in self._customized or spec.key in seen:
-                continue
-            seen.add(spec.key)
-            missing.append(spec)
-        if not missing:
-            return
-        hierarchy = self.ensure_hierarchy()
-        rows = [self._arc_costs(spec, hierarchy) for spec in missing]
-        for spec, custom in zip(missing, hierarchy.customize_many(rows)):
-            self._customized[spec.key] = custom
-            self.stats.customisations += 1
-        self._trim_customizations()
+        with self._lock:
+            missing: list[WeightSpec] = []
+            seen: set[Hashable] = set()
+            for weight in weights:
+                spec = WeightSpec.of(weight)
+                if spec.key in self._customized or spec.key in seen:
+                    continue
+                seen.add(spec.key)
+                missing.append(spec)
+            if not missing:
+                return
+            hierarchy = self.ensure_hierarchy()
+            rows = [self._arc_costs(spec, hierarchy) for spec in missing]
+            for spec, custom in zip(missing, hierarchy.customize_many(rows)):
+                self._customized[spec.key] = custom
+                self.stats.customisations += 1
+            self._trim_customizations()
 
     # -- queries ------------------------------------------------------------
 
@@ -278,35 +297,40 @@ class DistanceEngine:
         """The settled map for (spec, node, direction), cached and budgeted."""
         key = (spec.key, node, direction)
         budget = max_cost if math.isinf(max_cost) else max_cost + DISTANCE_QUANTUM
-        cached = self._maps.get(key)
-        if cached is not None and cached[0] >= budget:
-            self._maps.move_to_end(key)
-            self.stats.cache_hits += 1
-            return cached[1]
-        self.stats.cache_misses += 1
-        self.stats.searches += 1
-        telemetry = self.telemetry
-        if telemetry.enabled:
-            # Spans only on the miss path: a cache hit above returns with
-            # zero telemetry work, keeping the hot path unperturbed.
-            started_s = telemetry.clock.monotonic()
-            with telemetry.span(
-                "engine.search",
-                tier="engine",
-                backend=self._backend,
-                direction=direction,
-                node=node,
-            ):
+        with self._lock:
+            cached = self._maps.get(key)
+            if cached is not None and cached[0] >= budget:
+                self._maps.move_to_end(key)
+                self.stats.cache_hits += 1
+                return cached[1]
+            # Deadline checkpoint on the miss path only: a cache hit is
+            # already paid for and serves in O(1), but an expired request
+            # must not open a fresh search it can no longer use.
+            self.cancellation.checkpoint("engine-search")
+            self.stats.cache_misses += 1
+            self.stats.searches += 1
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                # Spans only on the miss path: a cache hit above returns with
+                # zero telemetry work, keeping the hot path unperturbed.
+                started_s = telemetry.clock.monotonic()
+                with telemetry.span(
+                    "engine.search",
+                    tier="engine",
+                    backend=self._backend,
+                    direction=direction,
+                    node=node,
+                ):
+                    raw = self._search(spec, node, direction, budget)
+                telemetry.observe(
+                    "ecocharge_engine_search_seconds",
+                    telemetry.clock.monotonic() - started_s,
+                    backend=self._backend,
+                )
+            else:
                 raw = self._search(spec, node, direction, budget)
-            telemetry.observe(
-                "ecocharge_engine_search_seconds",
-                telemetry.clock.monotonic() - started_s,
-                backend=self._backend,
-            )
-        else:
-            raw = self._search(spec, node, direction, budget)
-        self._admit(key, budget, raw, cached)
-        return raw
+            self._admit(key, budget, raw, cached)
+            return raw
 
     def _search(
         self, spec: WeightSpec, node: int, direction: str, budget: float
@@ -357,21 +381,24 @@ class DistanceEngine:
             self.stats.evictions += 1
 
     def _customize(self, spec: WeightSpec) -> CustomizedHierarchy:
-        cached = self._customized.get(spec.key)
-        if cached is not None:
-            self._customized.move_to_end(spec.key)
-            self.stats.customisation_hits += 1
-            return cached
-        hierarchy = self.ensure_hierarchy()
-        arc_costs = None
-        if spec.batch is not None:
-            arc_costs = spec.batch(hierarchy.original_edges)
-        with self.telemetry.span("engine.customize", tier="engine", key=str(spec.key)):
-            custom = hierarchy.customize(spec.fn, arc_costs=arc_costs)
-        self._customized[spec.key] = custom
-        self.stats.customisations += 1
-        self._trim_customizations()
-        return custom
+        with self._lock:
+            cached = self._customized.get(spec.key)
+            if cached is not None:
+                self._customized.move_to_end(spec.key)
+                self.stats.customisation_hits += 1
+                return cached
+            hierarchy = self.ensure_hierarchy()
+            arc_costs = None
+            if spec.batch is not None:
+                arc_costs = spec.batch(hierarchy.original_edges)
+            with self.telemetry.span(
+                "engine.customize", tier="engine", key=str(spec.key)
+            ):
+                custom = hierarchy.customize(spec.fn, arc_costs=arc_costs)
+            self._customized[spec.key] = custom
+            self.stats.customisations += 1
+            self._trim_customizations()
+            return custom
 
     def _ch_bipartite(
         self,

@@ -5,6 +5,8 @@ One substrate for what the five tiers previously accounted separately:
 * :mod:`.clock` — the injected :class:`Clock` protocol (real +
   simulated); the only module allowed to call ``time.*`` directly
   (repro-check rule R10 enforces this);
+* :mod:`.deadline` — request deadlines and cancellation tokens built on
+  the injected clock, polled at checkpoints by every serving tier;
 * :mod:`.metrics` — labelled counters/gauges/fixed-bucket histograms in
   a process-local :class:`MetricsRegistry`;
 * :mod:`.tracing` — deterministic span trees with trip correlation IDs
@@ -28,9 +30,17 @@ from .adapters import (
     mirror_engine_stats,
     mirror_health,
     mirror_journal_accounting,
+    mirror_scheduler_stats,
     reconcile,
 )
 from .clock import SYSTEM_CLOCK, Clock, SimulatedClock, SystemClock, iso_utc
+from .deadline import (
+    NEVER_EXPIRES,
+    CancellationToken,
+    Deadline,
+    DeadlineExpired,
+    NeverExpires,
+)
 from .export import (
     ExpositionError,
     canonical_json,
@@ -54,6 +64,11 @@ __all__ = [
     "SimulatedClock",
     "SYSTEM_CLOCK",
     "iso_utc",
+    "CancellationToken",
+    "Deadline",
+    "DeadlineExpired",
+    "NeverExpires",
+    "NEVER_EXPIRES",
     "MetricsRegistry",
     "MetricFamily",
     "MetricError",
@@ -72,6 +87,7 @@ __all__ = [
     "mirror_health",
     "mirror_breakers",
     "mirror_journal_accounting",
+    "mirror_scheduler_stats",
     "reconcile",
     "render_prometheus",
     "parse_prometheus",

@@ -27,6 +27,7 @@ if TYPE_CHECKING:
     from ..network.distance_engine import EngineStats
     from ..resilience.health import HealthRegistry
     from ..server.api import ApiUsage
+    from ..server.scheduling.scheduler import SchedulerStats
 
 _CACHE_FIELDS = ("hits", "misses", "expirations", "out_of_range")
 _ENGINE_FIELDS = (
@@ -40,6 +41,18 @@ _ENGINE_FIELDS = (
 )
 _API_FIELDS = ("weather_calls", "busy_calls", "traffic_calls", "catalog_calls")
 _JOURNAL_FIELDS = ("hits", "misses", "expirations", "out_of_range", "stores")
+_SCHEDULER_FIELDS = (
+    "submitted",
+    "completed",
+    "served_stale",
+    "sheds_deadline",
+    "sheds_queue",
+    "sheds_brownout",
+    "rejected_rate",
+    "rejected_capacity",
+    "failed",
+    "widened",
+)
 
 
 def mirror_cache_stats(registry: MetricsRegistry, stats: "CacheStats") -> None:
@@ -131,6 +144,23 @@ def mirror_journal_accounting(
         family.labels(event=name).set_total(float(getattr(accounting, name)))
 
 
+def mirror_scheduler_stats(registry: MetricsRegistry, stats: "SchedulerStats") -> None:
+    """Serving-tier scheduler accounting → ``ecocharge_scheduler_events``.
+
+    The scheduler's *native* families (``..._requests_total``,
+    ``..._latency_seconds``) are incremented live under the scheduler
+    lock; this mirror carries the exact terminal accounting so
+    :func:`reconcile` can demand the two views agree to the request.
+    """
+    family = registry.counter(
+        "ecocharge_scheduler_events",
+        "Serving-tier request accounting, mirrored from SchedulerStats.",
+        labels=("event",),
+    )
+    for name in _SCHEDULER_FIELDS:
+        family.labels(event=name).set_total(float(getattr(stats, name)))
+
+
 def mirror_all(
     registry: MetricsRegistry,
     cache_stats: "CacheStats | None" = None,
@@ -139,6 +169,7 @@ def mirror_all(
     health: "HealthRegistry | None" = None,
     breaker_states: Mapping[str, str] | None = None,
     journal_accounting: "JournalCacheAccounting | None" = None,
+    scheduler_stats: "SchedulerStats | None" = None,
 ) -> None:
     """Mirror every provided stats object in one call."""
     if cache_stats is not None:
@@ -153,6 +184,8 @@ def mirror_all(
         mirror_breakers(registry, breaker_states)
     if journal_accounting is not None:
         mirror_journal_accounting(registry, journal_accounting)
+    if scheduler_stats is not None:
+        mirror_scheduler_stats(registry, scheduler_stats)
 
 
 def reconcile(
@@ -161,6 +194,7 @@ def reconcile(
     engine_stats: "EngineStats | None" = None,
     api_usage: "ApiUsage | None" = None,
     journal_accounting: "JournalCacheAccounting | None" = None,
+    scheduler_stats: "SchedulerStats | None" = None,
 ) -> list[str]:
     """Exact-equality check of mirrored samples against the live objects.
 
@@ -197,5 +231,12 @@ def reconcile(
                 "ecocharge_journal_cache_events",
                 {"event": name},
                 float(getattr(journal_accounting, name)),
+            )
+    if scheduler_stats is not None:
+        for name in _SCHEDULER_FIELDS:
+            check(
+                "ecocharge_scheduler_events",
+                {"event": name},
+                float(getattr(scheduler_stats, name)),
             )
     return problems

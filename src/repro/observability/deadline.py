@@ -1,0 +1,123 @@
+"""Deadline propagation primitives for the concurrent serving tier.
+
+A request admitted by the scheduler carries a :class:`Deadline` — an
+absolute monotonic instant derived from the injected
+:class:`~repro.observability.clock.Clock` — and every tier the request
+flows through (gateway → ranker → engine) polls it at a *checkpoint*
+before starting the next unit of work.  Work whose deadline has passed
+is shed where it stands instead of finishing a result nobody will read:
+the engine refuses to open a new shortest-path search, the ranking loop
+refuses to start the next segment, the gateway refuses to descend the
+degradation ladder.
+
+The module lives in the observability foundation (layer rank 0, next to
+the clock it is built on) so that network, core, resilience, and server
+can all import it without bending the layer DAG (repro-check rule R14).
+Lower tiers never *construct* deadlines — they only honour a
+:class:`CancellationToken` handed down from the scheduler — so the
+budget policy stays a serving-tier concern.
+
+:class:`DeadlineExpired` is deliberately **not** an
+:class:`~repro.resilience.errors.UpstreamError`: the degradation ladder
+must never absorb it (retrying or serving stale cannot buy time back),
+and the ranking loop must not record it as a failed segment — the only
+valid handler is the scheduler, which turns it into a shed response.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+from .clock import Clock
+
+
+class DeadlineExpired(RuntimeError):
+    """Raised at a checkpoint once the request's deadline has passed.
+
+    ``where`` names the checkpoint that shed the work (``"dispatch"``,
+    ``"segment"``, ``"pool"``, ``"gateway"``, ``"engine-search"``), so a
+    shed request's trace shows exactly how deep it got.
+    """
+
+    def __init__(self, where: str, overrun_s: float) -> None:
+        super().__init__(
+            f"deadline expired at checkpoint '{where}' ({overrun_s:.4f}s past due)"
+        )
+        self.where = where
+        self.overrun_s = overrun_s
+
+
+@runtime_checkable
+class CancellationToken(Protocol):
+    """What the lower tiers see of a deadline: a poll point.
+
+    ``checkpoint`` returns normally while work may continue and raises
+    :class:`DeadlineExpired` once it may not.  Implementations must be
+    cheap (one clock read) and thread-safe — a token is polled from
+    whichever worker thread carries the request.
+    """
+
+    def checkpoint(self, where: str) -> None:
+        """Raise :class:`DeadlineExpired` if the budget is exhausted."""
+        ...
+
+
+class Deadline:
+    """An absolute due-instant on an injected clock.
+
+    Built once at admission from a relative budget; every later poll is
+    a single ``monotonic()`` read against the precomputed due instant,
+    so checkpoints cost nothing measurable on the hot path.  A
+    ``budget_s`` of ``math.inf`` never expires (the scheduler's
+    configuration escape hatch for offline/batch use).
+    """
+
+    __slots__ = ("_clock", "issued_s", "due_s")
+
+    def __init__(
+        self, clock: Clock, budget_s: float, issued_s: float | None = None
+    ) -> None:
+        if budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        self._clock = clock
+        self.issued_s = issued_s if issued_s is not None else clock.monotonic()
+        self.due_s = self.issued_s + budget_s
+
+    @property
+    def budget_s(self) -> float:
+        return self.due_s - self.issued_s
+
+    def remaining_s(self) -> float:
+        """Seconds of budget left (negative once expired)."""
+        if math.isinf(self.due_s):
+            return math.inf
+        return self.due_s - self._clock.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_s() < 0.0
+
+    def checkpoint(self, where: str) -> None:
+        """Raise :class:`DeadlineExpired` once the budget is exhausted."""
+        remaining = self.remaining_s()
+        if remaining < 0.0:
+            raise DeadlineExpired(where, -remaining)
+
+
+class NeverExpires:
+    """The no-op token installed when no deadline is in force.
+
+    Keeps every checkpoint site unconditional (no ``if token is not
+    None`` branches on hot paths) — polling this token is one attribute
+    lookup and an empty method body.
+    """
+
+    __slots__ = ()
+
+    def checkpoint(self, where: str) -> None:
+        return None
+
+
+#: Shared no-deadline token; environments and engines default to this.
+NEVER_EXPIRES = NeverExpires()

@@ -92,6 +92,16 @@ class Telemetry:
             "ecocharge_journal_snapshots_total",
             "Durable-session snapshots written.",
         )
+        reg.counter(
+            "ecocharge_scheduler_requests_total",
+            "Serving-tier requests resolved, by final outcome.",
+            labels=("outcome",),
+        )
+        reg.histogram(
+            "ecocharge_scheduler_latency_seconds",
+            "Seconds from scheduler submission to resolution.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
         reg.histogram(
             "ecocharge_segment_seconds",
             "Wall-clock seconds per ranked trip segment.",

@@ -29,6 +29,7 @@ from .faults import (
     FaultyWeatherApi,
     NO_FAULTS,
     OutageWindow,
+    OverloadChaos,
     SessionCrash,
 )
 from .gateway import FetchResult, ResilienceGateway, ServiceLevel
@@ -73,6 +74,7 @@ __all__ = [
     "FetchResult",
     "HealthRegistry",
     "OutageWindow",
+    "OverloadChaos",
     "ResilienceConfig",
     "ResilienceGateway",
     "ResilientEndpoint",

@@ -36,6 +36,7 @@ if TYPE_CHECKING:
     from ..estimation.derouting import DeroutingEstimator
     from ..estimation.sustainable import SustainableChargingEstimator, SustainableLevel
     from ..network.path import TripSegment
+    from ..observability.deadline import CancellationToken
     from ..observability.recorder import Telemetry
 
 
@@ -163,6 +164,7 @@ class FaultTolerantEnvironment(ChargingEnvironment):
         self.eta = inner.eta
         self.charging_window_h = inner.charging_window_h
         self.telemetry = inner.telemetry
+        self.cancellation = inner.cancellation
         self.sustainable = _ResilientSustainable(inner.sustainable, gateway)
         self.availability = _ResilientAvailability(inner.availability, gateway)
         self.derouting = _ResilientDerouting(inner.derouting, gateway)
@@ -172,6 +174,13 @@ class FaultTolerantEnvironment(ChargingEnvironment):
         gateway reads the inner environment's recorder at fetch time)."""
         self.telemetry = telemetry
         self.inner.set_telemetry(telemetry)
+
+    def set_cancellation(self, token: "CancellationToken") -> None:
+        """Install the deadline token on this view *and* the inner
+        environment (the gateway polls the inner environment's token
+        before every upstream descent)."""
+        self.cancellation = token
+        self.inner.set_cancellation(token)
 
     @classmethod
     def build(

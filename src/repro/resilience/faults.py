@@ -125,6 +125,52 @@ class CrashPoint:
             raise ValueError("at_occurrence is 1-based")
 
 
+@dataclass(frozen=True, slots=True)
+class OverloadChaos:
+    """An overload fault plan for the concurrent serving tier.
+
+    Three deterministic pressure sources mirror how real serving tiers
+    melt down:
+
+    * **burst arrivals** — the load generator multiplies its sustained
+      arrival rate by ``burst_multiplier`` inside
+      ``[burst_start_s, burst_start_s + burst_duration_s)``;
+    * **slow shard** — every dispatch on ``slow_shard`` is charged an
+      extra ``slow_delay_s`` of simulated service time (one worker
+      lagging: queue depth grows, brownout must engage);
+    * **stuck worker** — ``stuck_shard`` wedges after serving
+      ``stuck_after`` requests: later dispatches never complete and the
+      scheduler must shed them at the deadline instead of waiting.
+
+    Like :class:`CrashPoint`, there is no randomness here — the plan is
+    an exact schedule, so an overload bug replays identically forever.
+    """
+
+    burst_multiplier: float = 1.0
+    burst_start_s: float = 0.0
+    burst_duration_s: float = 0.0
+    slow_shard: int | None = None
+    slow_delay_s: float = 0.0
+    stuck_shard: int | None = None
+    stuck_after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst_multiplier must be >= 1 (1 = no burst)")
+        if self.burst_duration_s < 0 or self.burst_start_s < 0:
+            raise ValueError("burst window must be non-negative")
+        if self.slow_delay_s < 0:
+            raise ValueError("slow_delay_s must be non-negative")
+        if self.stuck_after < 0:
+            raise ValueError("stuck_after must be non-negative")
+
+    def in_burst(self, at_s: float) -> bool:
+        return (
+            self.burst_duration_s > 0
+            and self.burst_start_s <= at_s < self.burst_start_s + self.burst_duration_s
+        )
+
+
 @dataclass(slots=True)
 class FaultStats:
     """Per-endpoint injection accounting."""
@@ -154,6 +200,7 @@ class FaultInjector:
         profiles: dict[str, FaultProfile] | None = None,
         default: FaultProfile = NO_FAULTS,
         crash_plan: "tuple[CrashPoint, ...] | list[CrashPoint] | None" = None,
+        overload: OverloadChaos | None = None,
     ):
         self._seed = seed
         self._profiles = dict(profiles) if profiles is not None else {}
@@ -165,6 +212,11 @@ class FaultInjector:
         )
         self._crash_counts: dict[str, int] = {}
         self.crashes_fired: list[SessionCrash] = []
+        self._overload = overload
+        self._shard_dispatches: dict[int, int] = {}
+        #: Deterministic firing counters per overload fault kind
+        #: (``"burst"``, ``"slow"``, ``"stuck"``) for test reconciliation.
+        self.overload_events: dict[str, int] = {}
 
     def profile(self, endpoint: str) -> FaultProfile:
         return self._profiles.get(endpoint, self._default)
@@ -217,6 +269,51 @@ class FaultInjector:
                 crash = SessionCrash(point, count)
                 self.crashes_fired.append(crash)
                 raise crash
+
+    # -- overload chaos (concurrent serving tier) ---------------------------
+
+    @property
+    def overload(self) -> OverloadChaos | None:
+        return self._overload
+
+    def burst_factor(self, at_s: float) -> float:
+        """Arrival-rate multiplier at scheduler time ``at_s``.
+
+        1.0 outside any burst window; the load generator multiplies its
+        sustained rate by this when scheduling arrivals.
+        """
+        plan = self._overload
+        if plan is None or not plan.in_burst(at_s):
+            return 1.0
+        self.overload_events["burst"] = self.overload_events.get("burst", 0) + 1
+        return plan.burst_multiplier
+
+    def shard_delay_s(self, shard_id: int) -> float:
+        """Extra simulated service time charged to a dispatch on
+        ``shard_id`` (the slow-shard fault; 0.0 for healthy shards)."""
+        plan = self._overload
+        if plan is None or plan.slow_shard != shard_id or plan.slow_delay_s <= 0:
+            return 0.0
+        self.overload_events["slow"] = self.overload_events.get("slow", 0) + 1
+        return plan.slow_delay_s
+
+    def shard_stuck(self, shard_id: int) -> bool:
+        """Register one dispatch on ``shard_id``; True once it is wedged.
+
+        Deterministic by construction — a counter per shard, no
+        randomness — so a stuck-worker schedule replays exactly.  A
+        wedged dispatch never completes: the scheduler must shed it at
+        its deadline rather than wait for the worker.
+        """
+        plan = self._overload
+        if plan is None or plan.stuck_shard != shard_id:
+            return False
+        count = self._shard_dispatches.get(shard_id, 0) + 1
+        self._shard_dispatches[shard_id] = count
+        if count <= plan.stuck_after:
+            return False
+        self.overload_events["stuck"] = self.overload_events.get("stuck", 0) + 1
+        return True
 
     def roll(self, endpoint: str, now_h: float) -> float:
         """One provider call at simulated time ``now_h``.

@@ -218,6 +218,11 @@ class ResilienceGateway:
         if cached is not None:
             health.record_cache_hit()
             return FetchResult(cached.value, ServiceLevel.CACHED, cached.age_h)
+        # Deadline checkpoint before descending to the upstream rungs: a
+        # cache hit above is served regardless (already paid for), but an
+        # expired request must not spend a provider call, a retry budget,
+        # or a fallback computation it can no longer use.
+        self.environment.cancellation.checkpoint("gateway")
         retried_before = health.retried
         try:
             value = compute_result = endpoint.call(compute, now_h)

@@ -4,6 +4,19 @@ from .api import ApiUsage, BusyTimesApi, ChargerCatalogApi, TrafficApi, WeatherA
 from .cache import ResponseCache, ResponseCacheStats
 from .client import EcoChargeClient, SessionStats
 from .eis import EcoChargeInformationServer, RegionSnapshot
+from .scheduling import (
+    AdmissionController,
+    BrownoutController,
+    BrownoutLevel,
+    Outcome,
+    Priority,
+    RankRequest,
+    RankResponse,
+    SchedulerConfig,
+    SchedulerStats,
+    ShardedScheduler,
+    TokenBucket,
+)
 from .sessions import DurableSessionService
 from .modes import (
     LATENCY_MODELS,
@@ -15,7 +28,10 @@ from .modes import (
 )
 
 __all__ = [
+    "AdmissionController",
     "ApiUsage",
+    "BrownoutController",
+    "BrownoutLevel",
     "BusyTimesApi",
     "ChargerCatalogApi",
     "DeploymentMode",
@@ -25,10 +41,18 @@ __all__ = [
     "LATENCY_MODELS",
     "LatencyModel",
     "ModeReport",
+    "Outcome",
+    "Priority",
+    "RankRequest",
+    "RankResponse",
     "RegionSnapshot",
     "ResponseCache",
     "ResponseCacheStats",
+    "SchedulerConfig",
+    "SchedulerStats",
     "SessionStats",
+    "ShardedScheduler",
+    "TokenBucket",
     "TrafficApi",
     "WeatherApi",
     "compare_modes",

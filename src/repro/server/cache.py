@@ -18,6 +18,7 @@ response on the happy path.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
@@ -31,11 +32,18 @@ class ResponseCacheStats:
     evictions: int = 0
     stale_hits: int = 0
     compute_errors: int = 0
+    #: ``get_or_compute`` callers that joined another caller's in-flight
+    #: computation instead of starting their own (single-flight).
+    coalesced: int = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # Each counter is read exactly once: re-reading ``hits`` for the
+        # numerator after a concurrent increment slipped between the two
+        # reads can report a rate above 1.0 (the torn-read bug).
+        hits = self.hits
+        total = hits + self.misses
+        return hits / total if total else 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +62,23 @@ class _Entry:
     stored_h: float
     last_access_h: float
     value: Any
+
+
+class _Flight:
+    """One in-progress ``get_or_compute`` computation (single-flight).
+
+    The leader computes and publishes either ``value`` or ``error``
+    before setting ``done``; followers block on ``done`` and then read
+    whichever was published.  The fields are written exactly once,
+    before the event is set, so followers never observe a torn flight.
+    """
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
 
 
 class ResponseCache:
@@ -75,9 +100,15 @@ class ResponseCache:
         self.max_entries = max_entries
         self.stats = ResponseCacheStats()
         self._entries: dict[Hashable, _Entry] = {}
+        # Entries, stats, and the in-flight table mutate under one
+        # re-entrant lock; ``compute()`` itself always runs outside it so
+        # a slow upstream never blocks unrelated keys.
+        self._lock = threading.RLock()
+        self._inflight: dict[Hashable, _Flight] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def spatial_key(
@@ -99,13 +130,14 @@ class ResponseCache:
 
     def lookup(self, key: Hashable, now_h: float) -> CachedValue | None:
         """Fresh entry under ``key`` or None; counts a hit or a miss."""
-        entry = self._fresh_entry(key, now_h)
-        if entry is not None:
-            self.stats.hits += 1
-            entry.last_access_h = now_h
-            return CachedValue(entry.value, entry.stored_h, now_h - entry.stored_h)
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            entry = self._fresh_entry(key, now_h)
+            if entry is not None:
+                self.stats.hits += 1
+                entry.last_access_h = now_h
+                return CachedValue(entry.value, entry.stored_h, now_h - entry.stored_h)
+            self.stats.misses += 1
+            return None
 
     def lookup_stale(
         self, key: Hashable, now_h: float, max_stale_h: float | None = None
@@ -118,58 +150,101 @@ class ResponseCache:
         hits/misses, so serve-stale never distorts the hit rate the
         caching experiments measure.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        age_h = now_h - entry.stored_h
-        if max_stale_h is not None and age_h > max_stale_h:
-            return None
-        self.stats.stale_hits += 1
-        entry.last_access_h = now_h
-        return CachedValue(entry.value, entry.stored_h, max(0.0, age_h))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            age_h = now_h - entry.stored_h
+            if max_stale_h is not None and age_h > max_stale_h:
+                return None
+            self.stats.stale_hits += 1
+            entry.last_access_h = now_h
+            return CachedValue(entry.value, entry.stored_h, max(0.0, age_h))
 
     def get_or_compute(self, key: Hashable, now_h: float, compute: Callable[[], Any]) -> Any:
         """Cached value if fresh, else compute, store, and return.
+
+        Concurrent callers for the same key **coalesce into one
+        computation** (single-flight): the first caller becomes the
+        leader and runs ``compute()`` outside the cache lock; later
+        callers park on the flight and receive the leader's value (or
+        error) when it lands, counted as ``coalesced`` — never as extra
+        hits, misses, or errors, so one upstream computation reconciles
+        to exactly one miss (or one ``compute_errors``) however many
+        requests rode it.
 
         A ``compute()`` failure is counted as ``compute_errors`` (not a
         miss), leaves any previous entry in place for serve-stale, and
         propagates to the caller — the cache never swallows upstream
         errors and never stores a placeholder for a failed computation.
         """
-        entry = self._fresh_entry(key, now_h)
-        if entry is not None:
-            self.stats.hits += 1
-            entry.last_access_h = now_h
-            return entry.value
+        with self._lock:
+            entry = self._fresh_entry(key, now_h)
+            if entry is not None:
+                self.stats.hits += 1
+                entry.last_access_h = now_h
+                return entry.value
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._inflight[key] = flight
+            else:
+                self.stats.coalesced += 1
+        if not leader:
+            flight.done.wait(timeout=None)
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
         try:
             value = compute()
-        except Exception:
-            self.stats.compute_errors += 1
+        except BaseException as error:
+            with self._lock:
+                if isinstance(error, Exception):
+                    self.stats.compute_errors += 1
+                self._inflight.pop(key, None)
+            # Publish before waking followers so they never read a torn
+            # flight; the flight is already unlinked, so a retry starts
+            # a fresh computation instead of inheriting this failure.
+            flight.error = error
+            flight.done.set()
             raise
-        self.stats.misses += 1
-        self.put(key, now_h, value)
+        with self._lock:
+            self.stats.misses += 1
+            self.put(key, now_h, value)
+            self._inflight.pop(key, None)
+        flight.value = value
+        flight.done.set()
         return value
 
     def put(self, key: Hashable, now_h: float, value: Any) -> None:
         """Store ``value`` under ``key``, evicting the least recently
         *used* entry if full (reads refresh recency, so hot entries
         survive write bursts)."""
-        if len(self._entries) >= self.max_entries and key not in self._entries:
-            coldest = min(self._entries, key=lambda k: self._entries[k].last_access_h)
-            del self._entries[coldest]
-            self.stats.evictions += 1
-        self._entries[key] = _Entry(stored_h=now_h, last_access_h=now_h, value=value)
+        with self._lock:
+            if len(self._entries) >= self.max_entries and key not in self._entries:
+                coldest = min(
+                    self._entries, key=lambda k: self._entries[k].last_access_h
+                )
+                del self._entries[coldest]
+                self.stats.evictions += 1
+            self._entries[key] = _Entry(stored_h=now_h, last_access_h=now_h, value=value)
 
     def invalidate_older_than(self, now_h: float) -> int:
         """Drop expired entries; returns how many were removed."""
-        stale = [
-            k for k, entry in self._entries.items() if now_h - entry.stored_h > self.ttl_h
-        ]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [
+                k
+                for k, entry in self._entries.items()
+                if now_h - entry.stored_h > self.ttl_h
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def clear(self) -> None:
-        """Drop every entry and reset statistics."""
-        self._entries.clear()
-        self.stats = ResponseCacheStats()
+        """Drop every entry and reset statistics (in-flight computations
+        are left to land; their stores repopulate the fresh cache)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = ResponseCacheStats()

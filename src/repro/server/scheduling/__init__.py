@@ -1,0 +1,36 @@
+"""Overload-safe concurrent serving: scheduling, admission, backpressure.
+
+The multi-tenant serving tier in front of the ranking stack (see
+``docs/serving.md``).  Requests run a fixed gauntlet — per-tenant token
+buckets and a global concurrency cap (:mod:`.admission`), bounded
+per-shard priority queues (:mod:`.queueing`, the tier's only sanctioned
+queues under repro-check rule R15), deadline checkpoints threaded down
+to the engine (:mod:`repro.observability.deadline`), and a brownout
+ladder that degrades honestly — serve-stale, widened intervals — before
+it ever drops interactive work (:mod:`.brownout`).  The
+:class:`ShardedScheduler` (:mod:`.scheduler`) owns the gauntlet and the
+exact one-response-per-request accounting.
+"""
+
+from .admission import AdmissionController, ConcurrencyLimiter, TokenBucket
+from .brownout import BrownoutController, BrownoutLevel, widen_table
+from .queueing import BoundedShardQueue
+from .requests import Outcome, Priority, RankRequest, RankResponse
+from .scheduler import SchedulerConfig, SchedulerStats, ShardedScheduler
+
+__all__ = [
+    "AdmissionController",
+    "BoundedShardQueue",
+    "BrownoutController",
+    "BrownoutLevel",
+    "ConcurrencyLimiter",
+    "Outcome",
+    "Priority",
+    "RankRequest",
+    "RankResponse",
+    "SchedulerConfig",
+    "SchedulerStats",
+    "ShardedScheduler",
+    "TokenBucket",
+    "widen_table",
+]

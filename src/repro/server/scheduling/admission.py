@@ -1,0 +1,151 @@
+"""Admission control: per-tenant token buckets + a global concurrency cap.
+
+The first gate a request meets.  Both limiters are deliberately
+*non-blocking* — ``try_acquire``/``try_enter`` return ``False`` instead
+of waiting, so an overloaded scheduler rejects in O(1) rather than
+stacking callers on a lock (repro-check rule R15 polices indefinite
+blocking in this tier).  Time comes exclusively from the injected
+:class:`~repro.observability.clock.Clock`, which is what makes the
+hypothesis/stateful tests of the refill arithmetic deterministic under
+``SimulatedClock``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ...observability.clock import Clock
+
+
+class TokenBucket:
+    """Classic token bucket on an injected clock.
+
+    ``rate_per_s`` tokens accrue per second of ``clock.monotonic()``
+    time, capped at ``burst``; each admitted request spends one token
+    (or ``amount``).  The bucket starts full, so a tenant can always
+    burst up to ``burst`` requests after an idle period, then settles to
+    the sustained rate.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float, clock: Clock) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_s = clock.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill(self, now_s: float) -> None:
+        # Monotonic clocks never run backwards, but a SimulatedClock
+        # shared with auto-ticking telemetry can hand two readers the
+        # same instant; clamp so a zero elapsed never drains tokens.
+        elapsed_s = max(0.0, now_s - self._refilled_s)
+        self._tokens = min(float(self.burst), self._tokens + elapsed_s * self.rate_per_s)
+        self._refilled_s = now_s
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Spend ``amount`` tokens if available; never blocks."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        with self._lock:
+            self._refill(self._clock.monotonic())
+            if self._tokens + 1e-12 >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens available right now (refilled to the current instant)."""
+        with self._lock:
+            self._refill(self._clock.monotonic())
+            return self._tokens
+
+
+class ConcurrencyLimiter:
+    """Global cap on requests concurrently *in the system* (queued or
+    executing).  Non-blocking: ``try_enter`` refuses instead of waiting."""
+
+    def __init__(self, max_inflight: int) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self.peak_inflight = 0
+        self._lock = threading.Lock()
+
+    def try_enter(self) -> bool:
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            if self._inflight > self.peak_inflight:
+                self.peak_inflight = self._inflight
+            return True
+
+    def exit(self) -> None:
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("exit() without a matching try_enter()")
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+
+class AdmissionController:
+    """Per-tenant token buckets in front of the global limiter.
+
+    ``try_admit`` returns ``None`` on admission (the global slot is then
+    *held* and must be released exactly once via :meth:`release` when
+    the request leaves the system) or the rejection reason (``"rate"`` /
+    ``"capacity"``).  Rate is checked first: a tenant hammering past its
+    quota is rejected on its own budget before it can contend for — and
+    exhaust — the shared capacity.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        rate_per_s: float,
+        burst: float,
+        max_inflight: int,
+    ) -> None:
+        self._clock = clock
+        self._rate_per_s = rate_per_s
+        self._burst = burst
+        self.limiter = ConcurrencyLimiter(max_inflight)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket_for(self, tenant: str) -> TokenBucket:
+        """The (lazily created) token bucket owned by ``tenant``."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self._rate_per_s, self._burst, self._clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def try_admit(self, tenant: str) -> str | None:
+        """``None`` = admitted (slot held); else the rejection reason."""
+        if not self.bucket_for(tenant).try_acquire():
+            return "rate"
+        if not self.limiter.try_enter():
+            return "capacity"
+        return None
+
+    def release(self) -> None:
+        """Give back the global slot of one admitted request."""
+        self.limiter.exit()
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._buckets))

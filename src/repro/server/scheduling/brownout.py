@@ -1,0 +1,118 @@
+"""Brownout: graceful degradation under queue pressure.
+
+Instead of collapsing when a shard's queue fills, the scheduler walks a
+degradation ladder keyed to queue depth — the serving-tier twin of the
+resilience gateway's upstream ladder (``docs/resilience.md``):
+
+1. **NORMAL** — compute fresh answers.
+2. **SERVE_STALE** — prefer a bounded-staleness answer from the shard's
+   response cache over fresh computation (explicitly marked stale).
+3. **WIDEN** — additionally widen every served interval: the system
+   keeps answering, but honestly reports the extra uncertainty that
+   skipped refreshes introduce.  Widening is *sound by construction* —
+   a widened interval contains the original, and every original
+   forecast interval contains its ground truth — so a brownout answer
+   is never a lie, just a humbler truth.
+4. **SHED_REFRESH** — additionally drop refresh/background submissions
+   at admission, reserving the remaining capacity for interactive work.
+
+Thresholds are deterministic fractions of queue capacity, so a seeded
+burst replays the exact same brownout trajectory every run.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from ...core.offering import OfferingTable, build_table
+from ...core.scoring import ComponentScores, Weights, sc_score
+
+
+class BrownoutLevel(IntEnum):
+    """The degradation ladder, ordered: higher levels include the lower
+    ones' behaviour (WIDEN also serves stale; SHED_REFRESH does both)."""
+
+    NORMAL = 0
+    SERVE_STALE = 1
+    WIDEN = 2
+    SHED_REFRESH = 3
+
+
+class BrownoutController:
+    """Maps a shard's queue depth to a :class:`BrownoutLevel`.
+
+    ``level_for(depth, capacity)`` is a pure function of its arguments —
+    no hidden hysteresis state — which keeps the chaos tests' expected
+    trajectories derivable by hand.
+    """
+
+    def __init__(
+        self,
+        serve_stale_at: float = 0.5,
+        widen_at: float = 0.75,
+        shed_refresh_at: float = 0.9,
+        widen_factor: float = 0.5,
+    ) -> None:
+        if not 0.0 < serve_stale_at <= widen_at <= shed_refresh_at <= 1.0:
+            raise ValueError(
+                "brownout thresholds must satisfy 0 < serve_stale <= widen <= shed <= 1"
+            )
+        if widen_factor < 0:
+            raise ValueError("widen_factor must be non-negative")
+        self.serve_stale_at = serve_stale_at
+        self.widen_at = widen_at
+        self.shed_refresh_at = shed_refresh_at
+        self.widen_factor = widen_factor
+
+    def level_for(self, depth: int, capacity: int) -> BrownoutLevel:
+        """The ladder level for a queue at ``depth`` of ``capacity``."""
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        fill = depth / capacity
+        if fill >= self.shed_refresh_at:
+            return BrownoutLevel.SHED_REFRESH
+        if fill >= self.widen_at:
+            return BrownoutLevel.WIDEN
+        if fill >= self.serve_stale_at:
+            return BrownoutLevel.SERVE_STALE
+        return BrownoutLevel.NORMAL
+
+
+def widen_table(table: OfferingTable, factor: float, weights: Weights) -> OfferingTable:
+    """``table`` with every component interval widened by ``factor``.
+
+    Each entry's L/A/D interval grows via ``Interval.widened`` (which
+    contains the original by contract) and is clamped back into the
+    admissible ``[0, 1]`` range; the ground truth lay inside both the
+    original interval and ``[0, 1]``, so it lies inside the widened
+    clamp too — interval soundness survives brownout.  Scores are
+    re-evaluated from the widened components with the same Eq. 4-5
+    weights so ``sc_min``/``sc_max`` honestly span the wider scenarios,
+    while the *ordering* of entries is preserved: the ranking decision
+    was made at compute time and widening must not quietly re-rank.
+    """
+    rows = []
+    for entry in table.entries:
+        sustainable = entry.sustainable.widened(factor).clamp(0.0, 1.0)
+        availability = entry.availability.widened(factor).clamp(0.0, 1.0)
+        derouting = entry.derouting.widened(factor).clamp(0.0, 1.0)
+        score = sc_score(
+            ComponentScores(
+                charger_id=entry.charger_id,
+                sustainable=sustainable,
+                availability=availability,
+                derouting=derouting,
+            ),
+            weights,
+        )
+        rows.append(
+            (score, entry.charger, sustainable, availability, derouting, entry.eta_h)
+        )
+    return build_table(
+        segment_index=table.segment_index,
+        origin=table.origin,
+        generated_at_h=table.generated_at_h,
+        radius_km=table.radius_km,
+        ranked=rows,
+        adapted_from=table.adapted_from,
+    )

@@ -1,0 +1,122 @@
+"""Bounded per-shard request queues with priority-aware shedding.
+
+This module is the owning home of the serving tier's only queues —
+repro-check rule R15 (backpressure-bypass) forbids unbounded queue
+construction anywhere else in ``server/`` precisely so that backpressure
+cannot be silently reintroduced by a convenience ``Queue()``.
+
+The queue is a capacity-bounded priority heap.  ``offer`` never blocks
+and never grows past capacity: when full it sheds the *worst* resident
+(lowest priority, then latest arrival) if the newcomer outranks it, or
+refuses the newcomer itself — either way exactly one request is shed
+and reported to the caller, so the scheduler's accounting stays exact.
+``poll`` pops the *best* resident (highest priority, then earliest
+deadline, then FIFO) with a mandatory timeout — a worker waiting on an
+idle shard must remain stoppable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+
+from .requests import Priority, RankRequest
+
+
+class BoundedShardQueue:
+    """One shard's bounded, priority-ordered request queue."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        #: (-priority, due_s, seq) heap entries: highest priority first,
+        #: then the most urgent deadline, then arrival order.
+        self._heap: list[tuple[tuple[float, float, int], RankRequest]] = []
+        self._seq = 0
+        self.peak_depth = 0
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        return len(self)
+
+    def _key(self, request: RankRequest, seq: int) -> tuple[float, float, int]:
+        due_s = request.deadline.due_s
+        return (-float(request.priority), due_s if math.isfinite(due_s) else math.inf, seq)
+
+    def offer(self, request: RankRequest) -> RankRequest | None:
+        """Admit ``request``; returns the shed victim when full, else None.
+
+        The victim may be ``request`` itself (everything already queued
+        outranks it).  The queue depth never exceeds ``capacity`` — the
+        no-unbounded-growth invariant the burst chaos test asserts.
+        """
+        with self._ready:
+            if len(self._heap) < self.capacity:
+                self._push(request)
+                self._ready.notify()
+                return None
+            victim_at = self._worst_index()
+            victim = self._heap[victim_at][1]
+            if victim.priority >= request.priority:
+                # Nothing queued is more expendable than the newcomer.
+                return request
+            self._heap.pop(victim_at)
+            heapq.heapify(self._heap)
+            self._push(request)
+            self._ready.notify()
+            return victim
+
+    def _push(self, request: RankRequest) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._key(request, self._seq), request))
+        if len(self._heap) > self.peak_depth:
+            self.peak_depth = len(self._heap)
+
+    def _worst_index(self) -> int:
+        """Index of the most expendable resident: lowest priority, and
+        among equals the latest arrival (highest seq).  The stored key
+        leads with ``-priority``, so the maximum of ``(key[0], seq)``
+        is exactly the lowest-priority, latest-queued entry."""
+        return max(
+            range(len(self._heap)),
+            key=lambda i: (self._heap[i][0][0], self._heap[i][0][2]),
+        )
+
+    def pop(self) -> RankRequest | None:
+        """Best request now, or None when empty (deterministic drain mode)."""
+        with self._lock:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[1]
+
+    def poll(self, timeout_s: float) -> RankRequest | None:
+        """Best request, waiting up to ``timeout_s`` for one to arrive.
+
+        The timeout is mandatory (and must be positive): an indefinitely
+        parked worker thread could never be stopped, which is exactly
+        the blocking pattern rule R15 exists to keep out of this tier.
+        """
+        if timeout_s <= 0:
+            raise ValueError("poll needs a positive timeout")
+        with self._ready:
+            if not self._heap:
+                self._ready.wait(timeout_s)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[1]
+
+    def drain(self) -> list[RankRequest]:
+        """Remove and return everything queued, best first (shutdown)."""
+        out: list[RankRequest] = []
+        with self._lock:
+            while self._heap:
+                out.append(heapq.heappop(self._heap)[1])
+        return out

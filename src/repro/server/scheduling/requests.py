@@ -1,0 +1,123 @@
+"""Request/response envelopes for the concurrent serving tier.
+
+A :class:`RankRequest` is one tenant's continuous-query submission: the
+trip to rank, a priority class, and the :class:`Deadline` minted by the
+scheduler at admission.  A :class:`RankResponse` is the scheduler's
+final word on it — exactly one response per submitted request, with an
+:class:`Outcome` that says *how* it was resolved: served fresh, served
+stale (never silently — ``stale_age_h`` is populated), or shed/rejected
+at a named point.  The one-response-per-request identity is what makes
+the scheduler's accounting reconcile exactly (see
+``SchedulerStats.accounting_ok``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, IntEnum
+
+from ...core.offering import OfferingTable
+from ...network.path import Trip
+from ...observability.deadline import Deadline
+
+
+class Priority(IntEnum):
+    """Shedding order under pressure: lowest value goes first."""
+
+    #: Prefetch/maintenance work; first to be shed.
+    BACKGROUND = 0
+    #: Periodic re-rank of an ongoing trip; shed under brownout.
+    REFRESH = 1
+    #: A driver waiting on the answer; shed only at the deadline.
+    INTERACTIVE = 2
+
+
+class Outcome(Enum):
+    """How one request left the system (exactly one per request)."""
+
+    #: Freshly computed Offering Tables, inside the deadline.
+    COMPLETED = "completed"
+    #: Served from the shard's response cache past its TTL — explicitly
+    #: marked stale, never passed off as fresh.
+    STALE = "stale"
+    #: Deadline expired (pre-dispatch, at an in-flight checkpoint, or at
+    #: serve time) and no acceptable stale answer existed.
+    SHED_DEADLINE = "shed-deadline"
+    #: Displaced from a full bounded queue by higher-priority work (or
+    #: refused because everything queued outranked it).
+    SHED_QUEUE = "shed-queue"
+    #: Low-priority work dropped at admission while the shard was in the
+    #: shed-refresh brownout level.
+    SHED_BROWNOUT = "shed-brownout"
+    #: Tenant token bucket empty at admission.
+    REJECTED_RATE = "rejected-rate"
+    #: Global concurrency limit reached at admission.
+    REJECTED_CAPACITY = "rejected-capacity"
+    #: The ranking itself failed past every resilience rung.
+    FAILED = "failed"
+
+    @property
+    def is_served(self) -> bool:
+        """True when the client received Offering Tables."""
+        return self in (Outcome.COMPLETED, Outcome.STALE)
+
+    @property
+    def is_shed(self) -> bool:
+        return self in (
+            Outcome.SHED_DEADLINE,
+            Outcome.SHED_QUEUE,
+            Outcome.SHED_BROWNOUT,
+        )
+
+    @property
+    def is_rejected(self) -> bool:
+        return self in (Outcome.REJECTED_RATE, Outcome.REJECTED_CAPACITY)
+
+
+@dataclass(frozen=True, slots=True)
+class RankRequest:
+    """One tenant's ranking submission, stamped at admission."""
+
+    request_id: int
+    tenant: str
+    trip: Trip
+    deadline: Deadline
+    priority: Priority = Priority.INTERACTIVE
+    #: Scheduler-clock instant the request entered ``submit`` (monotonic
+    #: seconds); queue wait and total latency are measured from here.
+    submitted_s: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class RankResponse:
+    """The scheduler's single, final answer for one request.
+
+    ``tables`` is non-empty only for served outcomes; ``stale_age_h`` is
+    set exactly when ``outcome is Outcome.STALE``, so a deadline-expired
+    request can never masquerade as a fresh answer.  ``brownout`` is the
+    shard's brownout level (``BrownoutLevel`` value) at resolution time
+    and ``widened`` records whether the served intervals were widened by
+    the degradation ladder.
+    """
+
+    request: RankRequest
+    outcome: Outcome
+    tables: tuple[OfferingTable, ...] = ()
+    shard: int = -1
+    brownout: int = 0
+    widened: bool = False
+    stale_age_h: float | None = None
+    latency_s: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.outcome is Outcome.STALE and self.stale_age_h is None:
+            raise ValueError("a stale response must carry its staleness age")
+        if self.outcome is not Outcome.STALE and self.stale_age_h is not None:
+            raise ValueError("only stale responses carry a staleness age")
+        if self.tables and not self.outcome.is_served:
+            raise ValueError(f"{self.outcome.value} responses must not carry tables")
+
+    @property
+    def served_fresh(self) -> bool:
+        return self.outcome is Outcome.COMPLETED

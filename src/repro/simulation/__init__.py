@@ -24,6 +24,7 @@ from .fleet import (
     VehicleOutcome,
     VehiclePhase,
 )
+from .load import LoadProfile, LoadReport, percentile, run_load, run_load_threaded
 
 __all__ = [
     "ChaosReport",
@@ -35,6 +36,8 @@ __all__ = [
     "EventLog",
     "FleetReport",
     "FleetSimulation",
+    "LoadProfile",
+    "LoadReport",
     "OccupancyStats",
     "SCENARIOS",
     "SHOPPING_TRIP",
@@ -45,8 +48,11 @@ __all__ = [
     "VehicleOutcome",
     "VehiclePhase",
     "WAITING_PARENT",
+    "percentile",
     "run_chaos",
     "run_crash_chaos",
+    "run_load",
+    "run_load_threaded",
     "run_scenario",
     "scenario_comparison",
 ]

@@ -1,4 +1,5 @@
-"""The ``repro.analysis`` subsystem: per-file rules R1-R10, suppressions,
+"""The ``repro.analysis`` subsystem: per-file rules R1-R10 and R15,
+suppressions,
 CLI, and runtime contracts (the whole-program passes R11-R14, the
 baseline ratchet, and SARIF live in ``test_analysis_project.py``).
 
@@ -590,6 +591,132 @@ class TestR10ClockBypass:
 
 
 # ---------------------------------------------------------------------------
+# R15 — backpressure bypass in the serving tier
+# ---------------------------------------------------------------------------
+
+
+class TestR15BackpressureBypass:
+    SERVER_PATH = "src/repro/server/example.py"
+    SCHEDULING_PATH = "src/repro/server/scheduling/example.py"
+
+    def test_fires_on_unbounded_queue(self):
+        snippet = (
+            "import queue\n"
+            "def build():\n"
+            "    return queue.Queue()\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R15"]
+
+    def test_fires_on_simple_queue_even_with_args(self):
+        # SimpleQueue has no maxsize at all; it can never be bounded.
+        snippet = (
+            "from queue import SimpleQueue\n"
+            "def build():\n"
+            "    return SimpleQueue()\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R15"]
+
+    def test_fires_on_priority_queue_with_zero_maxsize(self):
+        # maxsize=0 is the stdlib's spelling of "unbounded".
+        snippet = (
+            "import queue\n"
+            "def build():\n"
+            "    return queue.PriorityQueue(maxsize=0)\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R15"]
+
+    def test_fires_on_unbounded_deque(self):
+        snippet = (
+            "from collections import deque\n"
+            "def build():\n"
+            "    return deque()\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R15"]
+
+    def test_clean_on_bounded_queue_and_deque(self):
+        snippet = (
+            "import queue\n"
+            "from collections import deque\n"
+            "def build():\n"
+            "    return queue.Queue(maxsize=8), deque((), 32), deque(maxlen=4)\n"
+        )
+        assert check_source(snippet, self.SERVER_PATH) == []
+
+    def test_fires_on_time_sleep_in_scheduling(self):
+        snippet = (
+            "import time\n"
+            "def backoff():\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert rule_ids(check_source(snippet, self.SCHEDULING_PATH)) == ["R15"]
+
+    def test_fires_on_aliased_sleep_import(self):
+        snippet = (
+            "from time import sleep as doze\n"
+            "def backoff():\n"
+            "    doze(0.1)\n"
+        )
+        assert rule_ids(check_source(snippet, self.SCHEDULING_PATH)) == ["R15"]
+
+    def test_fires_on_zero_arg_blocking_calls(self):
+        snippet = (
+            "def park(event, lock, worker):\n"
+            "    event.wait()\n"
+            "    lock.acquire()\n"
+            "    worker.join()\n"
+        )
+        assert rule_ids(check_source(snippet, self.SCHEDULING_PATH)) == [
+            "R15", "R15", "R15",
+        ]
+
+    def test_clean_on_timed_blocking_calls(self):
+        # Any argument counts as an explicit decision, including an
+        # explicit timeout=None on a single-flight follower wait.
+        snippet = (
+            "def park(event, lock, worker, flight):\n"
+            "    event.wait(0.05)\n"
+            "    lock.acquire(timeout=1.0)\n"
+            "    worker.join(timeout=5.0)\n"
+            "    flight.done.wait(timeout=None)\n"
+        )
+        assert check_source(snippet, self.SCHEDULING_PATH) == []
+
+    def test_blocking_calls_allowed_outside_scheduling(self):
+        # The blocking-call discipline is scoped to the scheduling
+        # package; the wider server tier only owes bounded queues.
+        snippet = (
+            "def park(event):\n"
+            "    event.wait()\n"
+        )
+        assert check_source(snippet, self.SERVER_PATH) == []
+
+    def test_queue_owner_module_is_exempt(self):
+        snippet = (
+            "import queue\n"
+            "def build():\n"
+            "    return queue.Queue()\n"
+        )
+        path = "src/repro/server/scheduling/queueing.py"
+        assert check_source(snippet, path) == []
+
+    def test_non_server_tier_is_exempt(self):
+        snippet = (
+            "import queue\n"
+            "def build():\n"
+            "    return queue.Queue()\n"
+        )
+        assert check_source(snippet, "src/repro/io/example.py") == []
+
+    def test_tests_are_exempt(self):
+        snippet = (
+            "import queue\n"
+            "def test_build():\n"
+            "    assert queue.Queue() is not None\n"
+        )
+        assert check_source(snippet, "tests/server/test_example.py") == []
+
+
+# ---------------------------------------------------------------------------
 # engine / CLI
 # ---------------------------------------------------------------------------
 
@@ -600,10 +727,10 @@ class TestEngineAndCli:
         with pytest.raises(KeyError):
             select_rules(["R99"])
 
-    def test_all_fourteen_rules_registered(self):
+    def test_all_fifteen_rules_registered(self):
         assert [r.rule_id for r in ALL_RULES] == [
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-            "R11", "R12", "R13", "R14",
+            "R11", "R12", "R13", "R14", "R15",
         ]
 
     def test_cli_clean_tree_exits_zero(self, capsys):
@@ -637,14 +764,14 @@ class TestEngineAndCli:
         out = capsys.readouterr().out
         for rule_id in (
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-            "R11", "R12", "R13", "R14",
+            "R11", "R12", "R13", "R14", "R15",
         ):
             assert rule_id in out
 
     def test_cli_annotations_flag(self, tmp_path, capsys):
         unannotated = tmp_path / "loose.py"
         unannotated.write_text("def f(x):\n    return x\n")
-        assert main([str(unannotated)]) == 0  # R1-R14 clean
+        assert main([str(unannotated)]) == 0  # R1-R15 clean
         assert main(["--annotations", str(unannotated)]) == 1
         out = capsys.readouterr().out
         assert "TYP" in out
@@ -667,7 +794,7 @@ class TestRealTree:
         assert report.files_checked > 50
         assert report.rules_run == (
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-            "R11", "R12", "R13", "R14",
+            "R11", "R12", "R13", "R14", "R15",
         )
 
     def test_tests_tree_is_clean(self):
@@ -762,6 +889,7 @@ class TestContracts:
         """Sabotage the admission check and watch the contract catch it —
         the runtime twin of rule R5's 'validity rides with the value'."""
         code = (
+            "import threading\n"
             "from repro.core.caching import CachedSolution, CacheStats, DynamicCache\n"
             "from repro.analysis.contracts import ContractViolation\n"
             "from repro.spatial.geometry import Point\n"
@@ -772,6 +900,7 @@ class TestContracts:
             "    def __init__(self):\n"
             "        self.ttl_h = 1.0\n"
             "        self.stats = CacheStats()\n"
+            "        self._lock = threading.RLock()\n"
             "        self._entry = CachedSolution(0, Point(0.0, 0.0), 0.0, 0.0, 50.0, (), ())\n"
             "        self._reads = 0\n"
             "    @property\n"

@@ -588,7 +588,7 @@ class TestDocSync:
 
 
 # ---------------------------------------------------------------------------
-# The real tree under the full 14-rule battery
+# The real tree under the full 15-rule battery
 # ---------------------------------------------------------------------------
 
 
