@@ -58,6 +58,14 @@ class TokenBucket:
                 return True
             return False
 
+    def refund(self, amount: float = 1.0) -> None:
+        """Return ``amount`` tokens (capped at ``burst``) for a spend that
+        did not result in admission."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        with self._lock:
+            self._tokens = min(float(self.burst), self._tokens + amount)
+
     @property
     def available(self) -> float:
         """Tokens available right now (refilled to the current instant)."""
@@ -135,9 +143,14 @@ class AdmissionController:
 
     def try_admit(self, tenant: str) -> str | None:
         """``None`` = admitted (slot held); else the rejection reason."""
-        if not self.bucket_for(tenant).try_acquire():
+        bucket = self.bucket_for(tenant)
+        if not bucket.try_acquire():
             return "rate"
         if not self.limiter.try_enter():
+            # A capacity rejection is the system's fault, not the
+            # tenant's: refund the token so a well-behaved tenant is not
+            # also rate-starved during a global overload episode.
+            bucket.refund()
             return "capacity"
         return None
 

@@ -357,7 +357,7 @@ class ShardedScheduler:
         request = shard.queue.pop()
         if request is None:
             return False
-        self._finish(self._execute(shard, request), admitted=True)
+        self._run_request(shard, request)
         return True
 
     def drain(self) -> int:
@@ -373,11 +373,30 @@ class ShardedScheduler:
                     progressed = True
         return executed
 
+    def _run_request(self, shard: _Shard, request: RankRequest) -> None:
+        """Execute and resolve one popped request.
+
+        A popped request must reach :meth:`_finish` exactly once whatever
+        ``_execute`` raises — a leaked exception would kill the shard's
+        worker thread, strand the admission slot, and break the exact
+        accounting invariant — so unexpected errors resolve as FAILED
+        instead of propagating.
+        """
+        try:
+            response = self._execute(shard, request)
+        except Exception as error:  # noqa: BLE001 — the shard must survive
+            response = self._response(
+                request,
+                Outcome.FAILED,
+                shard=shard.shard_id,
+                detail=f"unexpected {type(error).__name__}: {error}",
+            )
+        self._finish(response, admitted=True)
+
     def _execute(self, shard: _Shard, request: RankRequest) -> RankResponse:
         deadline = request.deadline
         level = self.brownout.level_for(len(shard.queue), self.config.queue_capacity)
         key = ("tables", trip_correlation_id(request.trip))
-        now_h = self.clock.monotonic() / 3600.0
         if self.injector is not None:
             if self.injector.shard_stuck(shard.shard_id):
                 # A wedged worker burns the whole budget producing nothing.
@@ -425,7 +444,10 @@ class ShardedScheduler:
         tables = tuple(run.tables)
         # The response cache always stores the *unwidened* truth: brownout
         # widening is a per-response serving decision, not a property of
-        # the computed answer.
+        # the computed answer.  Stamp it with the clock *after* the ranking
+        # run (and any chaos delay) — a pre-execution timestamp would make
+        # the entry look older than it is and shorten its staleness window.
+        now_h = self.clock.monotonic() / 3600.0
         shard.responses.put(key, now_h, tables)
         widened = False
         if level >= BrownoutLevel.WIDEN:
@@ -581,18 +603,27 @@ class ShardedScheduler:
             request = shard.queue.poll(self.config.poll_timeout_s)
             if request is None:
                 continue
-            self._finish(self._execute(shard, request), admitted=True)
+            self._run_request(shard, request)
 
     def stop(self, drain: bool = True) -> None:
-        """Stop workers; with ``drain`` the queues are emptied first (every
-        admitted request still gets its one response)."""
+        """Stop workers; with ``drain`` the remaining queued requests are
+        then executed on the caller's thread (every admitted request still
+        gets its one response).
+
+        Workers are stopped *before* draining: a shard's environment and
+        rankers are single-threaded by design, so the caller must never
+        execute on a shard while its worker might still be mid-request —
+        two concurrent ``_execute`` calls would race on the environment's
+        cancellation token and could serve one request against the other's
+        deadline.
+        """
+        self._stop_event.set()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
         if drain:
             while self.pending:
                 for shard in self.shards:
                     request = shard.queue.pop()
                     if request is not None:
-                        self._finish(self._execute(shard, request), admitted=True)
-        self._stop_event.set()
-        for worker in self._workers:
-            worker.join(timeout=5.0)
-        self._workers = []
+                        self._run_request(shard, request)

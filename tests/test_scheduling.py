@@ -299,6 +299,11 @@ class TestAdmission:
         assert admission.try_admit("a") == "rate"
         # b still has tokens, so it reaches — and hits — the global cap.
         assert admission.try_admit("b") == "capacity"
+        # A capacity rejection refunds b's token: the global overload must
+        # not also drain the well-behaved tenant's rate budget.
+        assert admission.bucket_for("b").available == pytest.approx(1.0)
+        admission.release()
+        assert admission.try_admit("b") is None
         admission.release()
         clock.advance(1.0)
         assert admission.try_admit("a") is None
@@ -492,6 +497,30 @@ class TestSchedulerPath:
         assert outcomes == [Outcome.REJECTED_RATE, Outcome.REJECTED_CAPACITY]
         assert scheduler.stats.rejected_rate == 1
         assert scheduler.stats.rejected_capacity == 1
+
+    def test_unexpected_error_resolves_as_failed(
+        self, small_network, small_registry, trips, monkeypatch
+    ):
+        """A bug below the scheduler must not strand the request: it
+        resolves as FAILED, releases the admission slot, and keeps the
+        exact-accounting invariant (a worker thread would otherwise die
+        silently and leak its inflight slot forever)."""
+        scheduler = _scheduler(
+            small_network, small_registry, SchedulerConfig(shards=1, queue_capacity=8)
+        )
+
+        def boom(shard, request):
+            raise RuntimeError("ranker bug")
+
+        monkeypatch.setattr(scheduler, "_execute", boom)
+        scheduler.submit("tenant", trips[0])
+        scheduler.drain()
+        (response,) = scheduler.drain_responses()
+        assert response.outcome is Outcome.FAILED
+        assert "RuntimeError" in (response.detail or "")
+        assert scheduler.stats.failed == 1
+        assert scheduler.accounting_ok()
+        assert scheduler.admission.limiter.inflight == 0
         scheduler.drain()
         assert scheduler.accounting_ok()
 
