@@ -60,9 +60,10 @@ from .engine import RuleProtocol, SourceFile, Violation
 # R1 — interval endpoint comparisons
 # --------------------------------------------------------------------------
 
-#: Files allowed to compare endpoints directly: the interval implementation
-#: itself (it *defines* the comparators).
-_R1_ALLOWED_SUFFIXES = ("intervals.py",)
+#: Files allowed to compare endpoints directly: the interval
+#: implementations themselves (they *define* the comparators) — the
+#: scalar dataclass and its structure-of-arrays mirror.
+_R1_ALLOWED_SUFFIXES = ("intervals.py", "interval_array.py")
 
 _RELATIONAL_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
 

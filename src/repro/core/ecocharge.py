@@ -33,10 +33,18 @@ from ..network.path import DEFAULT_SEGMENT_KM, Trip, TripSegment
 from ..observability.recorder import Telemetry
 from .caching import CachedSolution, CacheState, CacheStats, DynamicCache
 from .environment import ChargingEnvironment
+from .interval_array import ComponentArrays
 from .intervals import Interval
-from .offering import OfferingTable, build_table
+from .offering import OfferingTable, build_table, build_table_from_arrays
 from .ranking import RankingRun, run_over_trip
-from .scoring import ComponentScores, Weights, intersect_top_k, sc_score
+from .scoring import (
+    ComponentScores,
+    Weights,
+    intersect_top_k,
+    intersect_top_k_batch,
+    sc_score,
+    sc_score_batch,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +76,13 @@ class EcoChargeConfig:
     #: truncated-Dijkstra fallback, "ch" the contraction hierarchy (same
     #: quantised distances, measured in benchmarks/bench_perf_trajectory).
     engine: str | None = None
+    #: Refinement arithmetic: "batch" (the default) evaluates Eq. 4-6
+    #: over the whole pool with numpy arrays, materialising dataclasses
+    #: only for the <= k chosen rows; "scalar" keeps the per-charger
+    #: dataclass pipeline.  Both produce bitwise-identical Offering
+    #: Tables (asserted by tests/test_batch_scoring_equality.py and the
+    #: perf experiment driver) — the knob exists for that comparison.
+    scoring: str = "batch"
     #: Install a live telemetry recorder (metrics registry + span tracer,
     #: see repro.observability) on the environment when this ranker is
     #: built.  False keeps the shared no-op recorder: instrumented call
@@ -90,6 +105,8 @@ class EcoChargeConfig:
             raise ValueError("cache_pool_limit must be at least k")
         if self.engine is not None and self.engine not in ("dijkstra", "ch"):
             raise ValueError("engine must be None, 'dijkstra', or 'ch'")
+        if self.scoring not in ("batch", "scalar"):
+            raise ValueError("scoring must be 'batch' or 'scalar'")
 
 
 class EcoChargeRanker:
@@ -297,6 +314,29 @@ class EcoChargeRanker:
         adapted_from: int | None = None,
     ) -> OfferingTable:
         """Eq. 6 intersection + sort + table assembly (lines 16-18)."""
+        if self.config.scoring == "batch":
+            arrays = ComponentArrays.from_scores(components)
+            sc_min, sc_max = sc_score_batch(arrays, self.config.weights)
+            chosen_rows = intersect_top_k_batch(
+                arrays.charger_ids,
+                sc_min,
+                sc_max,
+                self.config.k,
+                pad=self.config.pad_intersection,
+            )
+            return build_table_from_arrays(
+                segment_index=segment_index,
+                origin=origin,
+                generated_at_h=generated_at_h,
+                radius_km=self.config.radius_km,
+                components=arrays,
+                sc_min=sc_min,
+                sc_max=sc_max,
+                chosen_rows=chosen_rows,
+                chargers_by_id={charger.charger_id: charger for charger in pool},
+                eta_h=eta_h,
+                adapted_from=adapted_from,
+            )
         by_id: dict[int, tuple[Charger, ComponentScores]] = {
             comp.charger_id: (charger, comp) for charger, comp in zip(pool, components)
         }

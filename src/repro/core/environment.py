@@ -28,6 +28,7 @@ from ..network.graph import RoadNetwork
 from ..network.path import TripSegment
 from ..observability.deadline import NEVER_EXPIRES, CancellationToken
 from ..observability.recorder import NOOP_TELEMETRY, Telemetry
+from .interval_array import ComponentArrays, IntervalArray
 from .scoring import ComponentScores
 
 
@@ -145,6 +146,48 @@ class ChargingEnvironment:
                 )
             )
         return scores
+
+    def score_pool_arrays(
+        self,
+        segment: TripSegment,
+        chargers: Sequence[Charger],
+        eta_h: float,
+        now_h: float,
+        next_segment: TripSegment | None = None,
+        search_budget_h: float | None = None,
+    ) -> ComponentArrays:
+        """Flat-array form of :meth:`score_pool` (the batched funnel).
+
+        Derouting comes back as arrays directly; sustainable and
+        availability reuse the same memoised per-charger estimators and
+        are packed from their interval results, so every value is bitwise
+        equal to the :class:`ComponentScores` the scalar path builds —
+        without materialising a dataclass per charger.
+        """
+        derouting = self.derouting.batch_estimate_arrays(
+            segment,
+            chargers,
+            time_h=eta_h,
+            now_h=now_h,
+            next_segment=next_segment,
+            search_budget_h=search_budget_h,
+        )
+        levels = []
+        avails = []
+        for charger in chargers:
+            # Same per-charger deadline checkpoint as the scalar path.
+            self.cancellation.checkpoint("pool")
+            level = self.sustainable.estimate(
+                charger, eta_h, now_h, window_h=self.charging_window_h
+            )
+            levels.append(level.normalised)
+            avails.append(self.availability.estimate(charger, eta_h, now_h))
+        return ComponentArrays(
+            charger_ids=derouting.charger_ids,
+            sustainable=IntervalArray.from_intervals(levels),
+            availability=IntervalArray.from_intervals(avails),
+            derouting=derouting.normalised,
+        )
 
     # -- oracle view (what the evaluation grades against) -------------------
 

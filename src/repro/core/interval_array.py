@@ -1,0 +1,12 @@
+"""Structure-of-arrays interval arithmetic (re-export).
+
+The implementation lives in :mod:`repro.interval_array` — a top-level
+module, like :mod:`repro.intervals`, so the estimation subpackage can use
+the flat interval form without importing the whole ``repro.core`` package
+(which itself depends on estimation).  This module preserves the
+``repro.core.interval_array`` import path used by the scoring pipeline.
+"""
+
+from ..interval_array import ComponentArrays, IntervalArray, quantize
+
+__all__ = ["ComponentArrays", "IntervalArray", "quantize"]

@@ -8,12 +8,17 @@ sequence ``O_p1 ... O_pn``, one table per segment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from ..chargers.charger import Charger
 from ..spatial.geometry import Point
 from .intervals import Interval
 from .scoring import ScScore
+
+if TYPE_CHECKING:
+    from .interval_array import ComponentArrays
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,6 +120,55 @@ def build_table(
             eta_h=eta_h,
         )
         for i, (score, charger, l_iv, a_iv, d_iv, eta_h) in enumerate(ranked)
+    )
+    return OfferingTable(
+        segment_index=segment_index,
+        origin=origin,
+        generated_at_h=generated_at_h,
+        radius_km=radius_km,
+        entries=entries,
+        adapted_from=adapted_from,
+    )
+
+
+def build_table_from_arrays(
+    segment_index: int,
+    origin: Point,
+    generated_at_h: float,
+    radius_km: float,
+    components: "ComponentArrays",
+    sc_min: np.ndarray,
+    sc_max: np.ndarray,
+    chosen_rows: Sequence[int] | np.ndarray,
+    chargers_by_id: Mapping[int, Charger],
+    eta_h: float,
+    adapted_from: int | None = None,
+) -> OfferingTable:
+    """Assemble an :class:`OfferingTable` straight from flat score arrays.
+
+    ``chosen_rows`` is the final rank order of row indices (the output of
+    :func:`~repro.core.scoring.intersect_top_k_batch`).  This is the API
+    boundary of the batched scoring path: :class:`ScScore` and
+    :class:`~repro.core.intervals.Interval` dataclasses exist only for
+    the ``<= k`` chosen rows, never for the whole pool.  Values are
+    passed through ``float()`` untouched, so the table is bitwise equal
+    to :func:`build_table` over the scalar pipeline.
+    """
+    sustainable = components.sustainable
+    availability = components.availability
+    derouting = components.derouting
+    ids = components.charger_ids
+    entries = tuple(
+        OfferingEntry(
+            rank=rank,
+            charger=chargers_by_id[int(ids[row])],
+            score=ScScore(int(ids[row]), float(sc_min[row]), float(sc_max[row])),
+            sustainable=sustainable.at(int(row)),
+            availability=availability.at(int(row)),
+            derouting=derouting.at(int(row)),
+            eta_h=eta_h,
+        )
+        for rank, row in enumerate(chosen_rows, start=1)
     )
     return OfferingTable(
         segment_index=segment_index,

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..analysis.contracts import ensure, require
+from .interval_array import ComponentArrays
 from .intervals import Interval
 
 
@@ -191,6 +194,68 @@ def intersect_top_k(
         chosen.extend(leftovers[: k - len(chosen)])
     chosen.sort(key=lambda s: (-s.sc_max, -s.sc_min, s.charger_id))
     return chosen[:k]
+
+
+def sc_score_batch(
+    components: ComponentArrays, weights: Weights
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eq. 4 and Eq. 5 over a whole pool in six elementwise operations.
+
+    Returns ``(sc_min, sc_max)`` float64 arrays aligned with
+    ``components.charger_ids``.  The expressions repeat :func:`sc_score`'s
+    arithmetic with identical association (``(a*w1 + b*w2) + (1-d)*w3``),
+    so every element is bitwise equal to the scalar result — asserted by
+    the property tests and the perf experiment driver.
+    """
+    w1, w2, w3 = weights.as_tuple()
+    sc_min = (
+        components.sustainable.lo * w1
+        + components.availability.lo * w2
+        + (1.0 - components.derouting.lo) * w3
+    )
+    sc_max = (
+        components.sustainable.hi * w1
+        + components.availability.hi * w2
+        + (1.0 - components.derouting.hi) * w3
+    )
+    return sc_min, sc_max
+
+
+def intersect_top_k_batch(
+    charger_ids: np.ndarray,
+    sc_min: np.ndarray,
+    sc_max: np.ndarray,
+    k: int,
+    pad: bool = True,
+) -> np.ndarray:
+    """Eq. 6 on flat score arrays; returns *row indices* in final order.
+
+    Exactly replicates :func:`intersect_top_k` including every tie-break:
+    each ``sorted(key=(-score, id))`` becomes a stable
+    ``np.lexsort((ids, -score))`` (lexsort keys are listed last-primary),
+    and ids are unique within a pool, so ordering is fully determined.
+    The caller materialises :class:`ScScore` dataclasses only for the
+    ``<= k`` selected rows.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    by_min = np.lexsort((charger_ids, -sc_min))[:k]
+    by_max = np.lexsort((charger_ids, -sc_max))[:k]
+    min_ids = set(charger_ids[by_min].tolist())
+    chosen = [int(i) for i in by_max if int(charger_ids[i]) in min_ids]
+    if pad and len(chosen) < k:
+        chosen_ids = {int(charger_ids[i]) for i in chosen}
+        midpoint = (sc_min + sc_max) / 2.0
+        for i in np.lexsort((charger_ids, -midpoint)):
+            if len(chosen) >= k:
+                break
+            if int(charger_ids[i]) not in chosen_ids:
+                chosen.append(int(i))
+    if not chosen:
+        return np.empty(0, dtype=np.int64)
+    rows = np.array(chosen, dtype=np.int64)
+    order = np.lexsort((charger_ids[rows], -sc_min[rows], -sc_max[rows]))
+    return rows[order][:k]
 
 
 def rank_by_midpoint(scores: list[ScScore], k: int) -> list[ScScore]:

@@ -95,6 +95,11 @@ class AvailabilityEstimator:
             charger.charger_id: BusyTimetable.generate(seed * 1_000_003 + charger.charger_id)
             for charger in registry
         }
+        # Deterministic model of (charger, eta, now) — continuous serving
+        # re-estimates the same triples every warm pass, so a bounded memo
+        # turns warm ``A`` into a dict probe.  Lives below the resilience
+        # proxies so fault injection still sees every logical call.
+        self._memo: dict[tuple[int, float, float], Interval] = {}
 
     def timetable(self, charger_id: int) -> BusyTimetable:
         """The weekly busy profile backing ``charger_id``."""
@@ -112,8 +117,17 @@ class AvailabilityEstimator:
 
     def estimate(self, charger: Charger, eta_h: float, now_h: float) -> Interval:
         """``[A_min, A_max]``: true availability widened by horizon."""
+        key = (charger.charger_id, eta_h, now_h)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         truth = self.true_availability(charger, eta_h)
         horizon = eta_h - now_h
         if horizon <= 0:
-            return Interval.exact(truth)
-        return self.confidence.interval_around(truth, horizon)
+            result = Interval.exact(truth)
+        else:
+            result = self.confidence.interval_around(truth, horizon)
+        if len(self._memo) >= 65_536:
+            self._memo.clear()
+        self._memo[key] = result
+        return result

@@ -20,7 +20,10 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from ..chargers.charger import Charger
+from ..interval_array import IntervalArray
 from ..intervals import Interval
 from ..network.distance_engine import DistanceEngine
 from ..network.graph import RoadNetwork
@@ -39,6 +42,18 @@ class DeroutingCost:
     charger_id: int
     hours: Interval
     normalised: Interval
+
+
+@dataclass(frozen=True, slots=True)
+class DeroutingArrays:
+    """A pool's derouting costs in flat form: row ``i`` belongs to
+    ``charger_ids[i]``.  The array counterpart of
+    ``dict[int, DeroutingCost]`` — bitwise-equal values, no per-charger
+    dataclasses (see :meth:`DeroutingEstimator.batch_estimate_arrays`)."""
+
+    charger_ids: np.ndarray
+    hours: IntervalArray
+    normalised: IntervalArray
 
 
 class DeroutingEstimator:
@@ -97,6 +112,112 @@ class DeroutingEstimator:
         pool = list(chargers)
         if not pool:
             return {}
+        (
+            out_low,
+            out_high,
+            back_same_low,
+            back_same_high,
+            back_next_low,
+            back_next_high,
+        ) = self._query_round_trip_maps(
+            segment, pool, time_h, now_h, next_segment, search_budget_h
+        )
+
+        results: dict[int, DeroutingCost] = {}
+        for charger in pool:
+            node = charger.node_id
+            lo = self._round_trip(node, out_low, back_same_low, back_next_low)
+            hi = self._round_trip(node, out_high, back_same_high, back_next_high)
+            if lo is None or hi is None:
+                hours = Interval.exact(self.max_derouting_h)
+            else:
+                hours = Interval(min(lo, hi), max(lo, hi))
+            results[charger.charger_id] = DeroutingCost(
+                charger_id=charger.charger_id,
+                hours=hours,
+                normalised=hours.scaled_by_max(self.max_derouting_h).clamp(0.0, 1.0),
+            )
+        return results
+
+    def batch_estimate_arrays(
+        self,
+        segment: TripSegment,
+        chargers: Iterable[Charger],
+        time_h: float,
+        now_h: float,
+        next_segment: TripSegment | None = None,
+        search_budget_h: float | None = None,
+    ) -> DeroutingArrays:
+        """Array form of :func:`batch_estimate`: same engine queries, same
+        values, no per-charger ``Interval``/``DeroutingCost`` objects.
+
+        Missing distance-map entries become ``inf`` so that
+        ``out + min(back_same, back_next)`` reproduces the scalar
+        ``None``-propagation exactly: any leg unreachable makes the total
+        ``inf``, and ``inf`` rows collapse to the saturated
+        ``max_derouting_h`` cost.  Elementwise arithmetic matches the
+        scalar path operation-for-operation, so results are bitwise equal.
+        """
+        pool = list(chargers)
+        ids = np.array([charger.charger_id for charger in pool], dtype=np.int64)
+        if not pool:
+            empty = IntervalArray.exact(np.empty(0, dtype=np.float64))
+            return DeroutingArrays(charger_ids=ids, hours=empty, normalised=empty)
+        (
+            out_low,
+            out_high,
+            back_same_low,
+            back_same_high,
+            back_next_low,
+            back_next_high,
+        ) = self._query_round_trip_maps(
+            segment, pool, time_h, now_h, next_segment, search_budget_h
+        )
+
+        inf = math.inf
+        nodes = [charger.node_id for charger in pool]
+
+        def gather(dist: Mapping[int, float]) -> np.ndarray:
+            return np.array([dist.get(node, inf) for node in nodes], dtype=np.float64)
+
+        total_lo = gather(out_low) + np.minimum(
+            gather(back_same_low), gather(back_next_low)
+        )
+        total_hi = gather(out_high) + np.minimum(
+            gather(back_same_high), gather(back_next_high)
+        )
+        unreachable = np.isinf(total_lo) | np.isinf(total_hi)
+        max_h = self.max_derouting_h
+        hours = IntervalArray(
+            lo=np.where(unreachable, max_h, np.minimum(total_lo, total_hi)),
+            hi=np.where(unreachable, max_h, np.maximum(total_lo, total_hi)),
+        )
+        return DeroutingArrays(
+            charger_ids=ids,
+            hours=hours,
+            normalised=hours.scaled_by_max(max_h).clamp(0.0, 1.0),
+        )
+
+    def _query_round_trip_maps(
+        self,
+        segment: TripSegment,
+        pool: list[Charger],
+        time_h: float,
+        now_h: float,
+        next_segment: TripSegment | None,
+        search_budget_h: float | None,
+    ) -> tuple[
+        Mapping[int, float],
+        Mapping[int, float],
+        Mapping[int, float],
+        Mapping[int, float],
+        Mapping[int, float],
+        Mapping[int, float],
+    ]:
+        """The six distance maps both estimate paths share: optimistic and
+        pessimistic bounds for outbound, return-to-same-segment, and
+        return-to-next-segment legs (four engine searches per bound pair
+        when the rejoin points coincide)."""
         budget = search_budget_h if search_budget_h is not None else self.max_derouting_h
         spec_low, spec_high = self._traffic.travel_time_bound_specs(time_h, now_h)
         # One stacked sweep customises both bound metrics (CH backend).
@@ -118,22 +239,14 @@ class DeroutingEstimator:
         else:
             back_next_low = back_same_low
             back_next_high = back_same_high
-
-        results: dict[int, DeroutingCost] = {}
-        for charger in pool:
-            node = charger.node_id
-            lo = self._round_trip(node, out_low, back_same_low, back_next_low)
-            hi = self._round_trip(node, out_high, back_same_high, back_next_high)
-            if lo is None or hi is None:
-                hours = Interval.exact(self.max_derouting_h)
-            else:
-                hours = Interval(min(lo, hi), max(lo, hi))
-            results[charger.charger_id] = DeroutingCost(
-                charger_id=charger.charger_id,
-                hours=hours,
-                normalised=hours.scaled_by_max(self.max_derouting_h).clamp(0.0, 1.0),
-            )
-        return results
+        return (
+            out_low,
+            out_high,
+            back_same_low,
+            back_same_high,
+            back_next_low,
+            back_next_high,
+        )
 
     @staticmethod
     def _round_trip(

@@ -56,6 +56,12 @@ class SustainableChargingEstimator:
         self._sunset_h = sunset_h
         self._peak_fraction = peak_fraction
         self._profiles: dict[int, SolarProfile] = {}
+        #: Memoised estimates: the model is a deterministic function of
+        #: (charger, eta, now, window), and continuous serving re-asks the
+        #: same question every warm pass — a warm segment's ``L`` is one
+        #: dict probe.  The memo sits *below* the resilience proxies, so
+        #: fault injection and the degradation ladder see every call.
+        self._memo: dict[tuple[int, float, float, float], SustainableLevel] = {}
         # Environment maximum deliverable clean power: the best any charger
         # could do under clear sky, bounded by its rate.
         self._max_power_kw = max(
@@ -126,8 +132,16 @@ class SustainableChargingEstimator:
         self, charger: Charger, eta_h: float, now_h: float, window_h: float = 1.0
     ) -> SustainableLevel:
         """Full ``L`` estimate: raw kW interval plus the normalised one."""
+        key = (charger.charger_id, eta_h, now_h, window_h)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         power = self.power_interval_kw(charger, eta_h, now_h, window_h)
-        return self.normalised_level(charger, power)
+        level = self.normalised_level(charger, power)
+        if len(self._memo) >= 65_536:
+            self._memo.clear()
+        self._memo[key] = level
+        return level
 
     def true_power_kw(self, charger: Charger, time_h: float) -> float:
         """Ground-truth deliverable clean power (no forecast error) —

@@ -65,6 +65,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--k", type=int, default=5, help="top-k table size (default 5)")
     parser.add_argument("--seed", type=int, default=0, help="harness seed (default 0)")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="perf driver: re-serve each scenario's warm pass under a live "
+        "span tracer and print the top self-time spans",
+    )
     return parser
 
 
@@ -76,6 +82,7 @@ def main(argv: list[str] | None = None) -> int:
         k=args.k,
         dataset_scale=args.scale,
         seed=args.seed,
+        profile=args.profile,
     )
     names = sorted(_DRIVERS) if args.experiment == "all" else [args.experiment]
     for name in names:

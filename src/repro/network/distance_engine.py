@@ -26,6 +26,7 @@ members are accepted directly.
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 from collections import OrderedDict
@@ -81,15 +82,39 @@ class WeightSpec:
 
 @dataclass(slots=True)
 class EngineStats:
-    """Cache and search accounting for one engine."""
+    """Cache and search accounting for one engine.
+
+    ``cache_hits``/``cache_misses`` count settled-map lookups; each query
+    issued through the public API accounts for *exactly one* lookup per
+    participating (weight, node, direction) map — never two (regression-
+    tested, since an inflated denominator pins the hit rate at a
+    meaningless constant).  ``pair_hits``/``pair_misses`` count the CH
+    backend's pair-join result cache, the warm-path fast lane that
+    answers a bipartite query member without touching the settled maps.
+    """
 
     searches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    pair_hits: int = 0
+    pair_misses: int = 0
     customisations: int = 0
     customisation_hits: int = 0
     evictions: int = 0
     ch_builds: int = 0
+
+    #: Integer counter fields, in report order (used for snapshot deltas).
+    COUNTER_FIELDS = (
+        "searches",
+        "cache_hits",
+        "cache_misses",
+        "pair_hits",
+        "pair_misses",
+        "customisations",
+        "customisation_hits",
+        "evictions",
+        "ch_builds",
+    )
 
     @property
     def lookups(self) -> int:
@@ -105,18 +130,18 @@ class EngineStats:
         total = hits + self.cache_misses
         return hits / total if total else 0.0
 
+    @property
+    def pair_hit_rate(self) -> float:
+        hits = self.pair_hits
+        total = hits + self.pair_misses
+        return hits / total if total else 0.0
+
     def as_dict(self) -> dict[str, float]:
         """Flat counters for experiment reports (JSON-serialisable)."""
-        return {
-            "searches": self.searches,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "hit_rate": self.hit_rate,
-            "customisations": self.customisations,
-            "customisation_hits": self.customisation_hits,
-            "evictions": self.evictions,
-            "ch_builds": self.ch_builds,
-        }
+        out: dict[str, float] = {name: getattr(self, name) for name in self.COUNTER_FIELDS}
+        out["hit_rate"] = self.hit_rate
+        out["pair_hit_rate"] = self.pair_hit_rate
+        return out
 
 
 def _quantize(value: float) -> float:
@@ -139,6 +164,7 @@ class DistanceEngine:
         capacity_nodes: int = 500_000,
         max_customizations: int = 64,
         hierarchy: ContractionHierarchy | None = None,
+        capacity_pairs: int = 262_144,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -146,16 +172,42 @@ class DistanceEngine:
             raise ValueError("capacity_nodes must be positive")
         if max_customizations < 1:
             raise ValueError("max_customizations must be positive")
+        if capacity_pairs < 1:
+            raise ValueError("capacity_pairs must be positive")
         self._network = network
         self._backend = backend
         self._capacity_nodes = capacity_nodes
         self._max_customizations = max_customizations
+        self._capacity_pairs = capacity_pairs
         self._hierarchy = hierarchy
         #: (weight key, node, direction) -> (computed budget, settled map)
         self._maps: OrderedDict[tuple[Hashable, int, str], tuple[float, dict[int, float]]]
         self._maps = OrderedDict()
         self._cached_nodes = 0
         self._customized: OrderedDict[Hashable, CustomizedHierarchy] = OrderedDict()
+        #: Metrics announced by :meth:`prepare` but not yet customised.
+        #: Customisation is *deferred* to the first settled-map miss that
+        #: needs one of them: a warm segment whose maps are all cached
+        #: never pays a triangle sweep (the PR-3 design re-customised on
+        #: ``prepare`` even when every search would be served from cache,
+        #: which is exactly what made warm CH serving slower than warm
+        #: Dijkstra).
+        self._pending: tuple[WeightSpec, ...] = ()
+        #: Interned small-int ids per weight key: pair-cache keys hash a
+        #: 4-int tuple instead of a nested tuple of floats.
+        self._spec_ids: dict[Hashable, int] = {}
+        #: (spec id, anchor, node, forward) -> (budget, quantised join).
+        #: The CH warm path: a bipartite query member whose join result is
+        #: cached is answered by this one dict probe — no settled maps, no
+        #: space combine, no re-quantisation.  Insertion-ordered; oldest
+        #: half dropped in bulk when ``capacity_pairs`` is exceeded.
+        self._pairs: dict[tuple[int, int, int, bool], tuple[float, float]] = {}
+        #: Whole-query memo in front of the pair cache: a repeated
+        #: bipartite query (same spec, anchor, pool, budget, direction) is
+        #: one probe plus a shallow copy of the small result dict.
+        self._queries: dict[
+            tuple[int, int, bool, float, tuple[int, ...]], dict[int, float]
+        ] = {}
         self.stats = EngineStats()
         #: Installed by the owning environment's ``set_telemetry``; the
         #: no-op default keeps cache hits span-free and searches unguarded.
@@ -202,6 +254,10 @@ class DistanceEngine:
         with self._lock:
             self._maps.clear()
             self._customized.clear()
+            self._pending = ()
+            self._spec_ids.clear()
+            self._pairs.clear()
+            self._queries.clear()
             self._cached_nodes = 0
 
     def ensure_hierarchy(self) -> ContractionHierarchy:
@@ -212,33 +268,33 @@ class DistanceEngine:
         return self._hierarchy
 
     def prepare(self, *weights: EdgeWeight | WeightSpec) -> None:
-        """Pre-customise several metrics in one stacked triangle sweep.
+        """Announce the metrics the next queries will price, as one group.
 
         Derouting prices each segment under a lower *and* an upper
-        travel-time bound; customising them together
-        (:meth:`~repro.network.contraction.ContractionHierarchy.customize_many`)
-        costs barely more than one sweep.  Metrics already customised are
-        skipped; on the Dijkstra backend this is a no-op.
+        travel-time bound; announcing them together means that when a
+        settled-map miss does force a customisation, the whole group is
+        customised in one stacked triangle sweep
+        (:meth:`~repro.network.contraction.ContractionHierarchy.customize_many`
+        — k metrics for barely more than one).  Nothing is customised
+        *here*: a warm segment whose searches are all served from the map
+        or pair caches pays zero customisation work.  Metrics already
+        customised are dropped from the group; on the Dijkstra backend
+        this is a no-op.
         """
         if self._backend != "ch":
             return
         with self._lock:
-            missing: list[WeightSpec] = []
+            pending: list[WeightSpec] = []
             seen: set[Hashable] = set()
             for weight in weights:
                 spec = WeightSpec.of(weight)
                 if spec.key in self._customized or spec.key in seen:
                     continue
                 seen.add(spec.key)
-                missing.append(spec)
-            if not missing:
-                return
-            hierarchy = self.ensure_hierarchy()
-            rows = [self._arc_costs(spec, hierarchy) for spec in missing]
-            for spec, custom in zip(missing, hierarchy.customize_many(rows)):
-                self._customized[spec.key] = custom
-                self.stats.customisations += 1
-            self._trim_customizations()
+                pending.append(spec)
+            # Replace (not extend): stale never-queried groups from earlier
+            # segments must not grow the sweep unboundedly.
+            self._pending = tuple(pending)
 
     # -- queries ------------------------------------------------------------
 
@@ -381,6 +437,13 @@ class DistanceEngine:
             self.stats.evictions += 1
 
     def _customize(self, spec: WeightSpec) -> CustomizedHierarchy:
+        """The customisation for ``spec``, built lazily on first need.
+
+        A miss customises the whole :meth:`prepare`-announced group (plus
+        ``spec`` itself) in one stacked sweep — the cold path pays the same
+        single sweep per segment as the eager design did, but a warm
+        segment whose searches never miss skips customisation entirely.
+        """
         with self._lock:
             cached = self._customized.get(spec.key)
             if cached is not None:
@@ -388,17 +451,22 @@ class DistanceEngine:
                 self.stats.customisation_hits += 1
                 return cached
             hierarchy = self.ensure_hierarchy()
-            arc_costs = None
-            if spec.batch is not None:
-                arc_costs = spec.batch(hierarchy.original_edges)
+            group = [spec] + [
+                p
+                for p in self._pending
+                if p.key != spec.key and p.key not in self._customized
+            ]
+            self._pending = ()
+            rows = [self._arc_costs(p, hierarchy) for p in group]
             with self.telemetry.span(
-                "engine.customize", tier="engine", key=str(spec.key)
+                "engine.customize", tier="engine", key=str(spec.key), stacked=len(group)
             ):
-                custom = hierarchy.customize(spec.fn, arc_costs=arc_costs)
-            self._customized[spec.key] = custom
-            self.stats.customisations += 1
+                customs = hierarchy.customize_many(rows)
+            for p, custom in zip(group, customs):
+                self._customized[p.key] = custom
+                self.stats.customisations += 1
             self._trim_customizations()
-            return custom
+            return customs[0]
 
     def _ch_bipartite(
         self,
@@ -411,22 +479,71 @@ class DistanceEngine:
         """One anchor against a pool, joining cached CH search spaces.
 
         ``forward=True`` answers anchor -> pool member; ``forward=False``
-        answers pool member -> anchor.  Each participant's upward space is
-        cached independently, so the per-charger spaces computed for one
-        segment are reused verbatim by the next query mode.
+        answers pool member -> anchor.  Joined, quantised results are
+        memoised per ``(spec, anchor, node, direction)`` pair, so a warm
+        query is one dict probe per pool member — the spaces themselves
+        (each independently cached in the settled-map LRU) are only
+        touched on a pair miss.
         """
         anchor = anchors[0]
-        anchor_space = self._map(spec, anchor, "f" if forward else "b", max_cost)
-        out: dict[int, float] = {}
-        for node in pool:
-            node_space = self._map(spec, node, "b" if forward else "f", max_cost)
-            best = combine_spaces(anchor_space, node_space)
-            if math.isinf(best):
-                continue
-            q = _quantize(best)
-            if q <= max_cost:
-                out[node] = q
-        return out
+        budget = max_cost if math.isinf(max_cost) else max_cost + DISTANCE_QUANTUM
+        with self._lock:
+            stats = self.stats
+            spec_id = self._spec_ids.get(spec.key)
+            if spec_id is None:
+                spec_id = len(self._spec_ids)
+                self._spec_ids[spec.key] = spec_id
+            query_key = (spec_id, anchor, forward, max_cost, tuple(pool))
+            memo = self._queries.get(query_key)
+            if memo is not None:
+                stats.pair_hits += len(query_key[4])
+                return dict(memo)
+            pairs = self._pairs
+            anchor_space: dict[int, float] | None = None
+            out: dict[int, float] = {}
+            for node in query_key[4]:
+                key = (spec_id, anchor, node, forward)
+                cached = pairs.get(key)
+                if cached is not None:
+                    cached_budget, q = cached
+                    # A cached join is exact for any distance it could
+                    # prove: within the budget it was computed under, or
+                    # already within this query's cutoff.
+                    if cached_budget >= budget:
+                        stats.pair_hits += 1
+                        if q <= max_cost and not math.isinf(q):
+                            out[node] = q
+                        continue
+                    if q <= cached_budget and q <= max_cost:
+                        stats.pair_hits += 1
+                        out[node] = q
+                        continue
+                stats.pair_misses += 1
+                if anchor_space is None:
+                    anchor_space = self._map(
+                        spec, anchor, "f" if forward else "b", max_cost
+                    )
+                node_space = self._map(spec, node, "b" if forward else "f", max_cost)
+                best = combine_spaces(anchor_space, node_space)
+                q = math.inf if math.isinf(best) else _quantize(best)
+                if len(pairs) >= self._capacity_pairs:
+                    self._trim_pairs()
+                pairs[key] = (budget, q)
+                if q <= max_cost and not math.isinf(q):
+                    out[node] = q
+            if len(self._queries) >= self._capacity_pairs:
+                self._queries.clear()
+            self._queries[query_key] = dict(out)
+            return out
+
+    def _trim_pairs(self) -> None:
+        """Drop the oldest half of the pair cache in one bulk sweep (plain
+        dicts iterate in insertion order; per-probe LRU bookkeeping would
+        cost more than the entries it saves)."""
+        drop = max(1, len(self._pairs) // 2)
+        for key in list(itertools.islice(self._pairs, drop)):
+            del self._pairs[key]
+        self.stats.evictions += drop
 
     # -- LRU bookkeeping ----------------------------------------------------
 

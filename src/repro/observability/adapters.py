@@ -34,6 +34,8 @@ _ENGINE_FIELDS = (
     "searches",
     "cache_hits",
     "cache_misses",
+    "pair_hits",
+    "pair_misses",
     "customisations",
     "customisation_hits",
     "evictions",

@@ -152,18 +152,93 @@ class TestLRU:
         assert engine.stats.evictions >= 2
 
 
+class TestStatsCounting:
+    """The 0.5-hit-rate regression: stats must separate cold from warm.
+
+    Every public query accounts *exactly one* settled-map lookup per
+    participating (weight, node, direction) map on the Dijkstra backend
+    (never two — an inflated denominator pins the aggregate hit rate at
+    a meaningless constant), and the CH backend accounts exactly one
+    pair probe per pool member.  A warm repeat of an identical workload
+    must therefore be a 100 % hit phase, not drag the rate toward 0.5.
+    """
+
+    def test_dijkstra_one_lookup_per_query(self, grid):
+        engine = DistanceEngine(grid)
+        engine.one_to_many(0, [5, 12, 30], EdgeWeight.DISTANCE_KM, max_cost=5.0)
+        assert engine.stats.lookups == 1  # one (weight, source, 'f') map
+        assert engine.stats.cache_misses == 1
+        engine.many_to_one([5, 12], 0, EdgeWeight.DISTANCE_KM, max_cost=5.0)
+        assert engine.stats.lookups == 2  # one (weight, target, 'b') map
+        engine.one_to_many(0, [12], EdgeWeight.DISTANCE_KM, max_cost=5.0)
+        assert engine.stats.lookups == 3
+        assert engine.stats.cache_hits == 1
+
+    def test_dijkstra_warm_repeat_is_all_hits(self, grid):
+        engine = DistanceEngine(grid)
+        workload = [(src, [12, 30]) for src in range(4)]
+        for src, targets in workload:
+            engine.one_to_many(src, targets, EdgeWeight.DISTANCE_KM, max_cost=8.0)
+        cold_hits = engine.stats.cache_hits
+        cold_lookups = engine.stats.lookups
+        assert cold_hits == 0
+        for src, targets in workload:
+            engine.one_to_many(src, targets, EdgeWeight.DISTANCE_KM, max_cost=8.0)
+        warm_hits = engine.stats.cache_hits - cold_hits
+        warm_lookups = engine.stats.lookups - cold_lookups
+        # The warm *delta* is a 100% hit phase; the old single aggregate
+        # read would have reported (0 + n) / 2n = 0.5 here.
+        assert warm_lookups == len(workload)
+        assert warm_hits == warm_lookups
+
+    def test_ch_one_pair_probe_per_pool_member(self, grid):
+        engine = DistanceEngine(grid, backend="ch")
+        pool = [5, 12, 30]
+        engine.one_to_many(0, pool, EdgeWeight.DISTANCE_KM, max_cost=8.0)
+        cold_probes = engine.stats.pair_hits + engine.stats.pair_misses
+        assert cold_probes == len(pool)
+        assert engine.stats.pair_hits == 0
+        engine.one_to_many(0, pool, EdgeWeight.DISTANCE_KM, max_cost=8.0)
+        warm_hits = engine.stats.pair_hits
+        warm_probes = engine.stats.pair_hits + engine.stats.pair_misses - cold_probes
+        assert warm_probes == len(pool)
+        assert warm_hits == warm_probes
+
+    def test_per_phase_driver_stats_split_cold_and_warm(self, grid):
+        from repro.experiments.perf_trajectory import _phase_stats
+        from repro.network.distance_engine import EngineStats
+
+        engine = DistanceEngine(grid)
+        for src in range(3):
+            engine.one_to_many(src, [12], EdgeWeight.DISTANCE_KM, max_cost=8.0)
+        cold = {f: getattr(engine.stats, f) for f in EngineStats.COUNTER_FIELDS}
+        for src in range(3):
+            engine.one_to_many(src, [12], EdgeWeight.DISTANCE_KM, max_cost=8.0)
+        warm = {
+            f: getattr(engine.stats, f) - cold[f] for f in EngineStats.COUNTER_FIELDS
+        }
+        assert _phase_stats(cold)["hit_rate"] == 0.0
+        assert _phase_stats(warm)["hit_rate"] == 1.0
+        # ...while the aggregate (the old, buggy report) sits at 0.5.
+        assert engine.stats.hit_rate == 0.5
+
+
 class TestPrepare:
     """engine.prepare(): stacked customisation of several metrics at once."""
 
-    def test_customises_all_specs_in_one_call(self, grid):
+    def test_customises_all_specs_in_one_stacked_sweep(self, grid):
         engine = DistanceEngine(grid, backend="ch")
         traffic = TrafficModel(seed=6)
         lo, hi = traffic.travel_time_bound_specs(9.0, 8.0)
+        # prepare() is deferred: no sweep happens until the first query...
         engine.prepare(lo, hi)
-        assert engine.stats.customisations == 2
+        assert engine.stats.customisations == 0
+        # ...which then customises the whole announced group in one
+        # stacked sweep, so the sibling spec is already resident.
         engine.one_to_many(0, [5, 30], lo, max_cost=5.0)
+        assert engine.stats.customisations == 2
         engine.one_to_many(0, [5, 30], hi, max_cost=5.0)
-        assert engine.stats.customisations == 2  # both were pre-built
+        assert engine.stats.customisations == 2  # hi rode along with lo
         assert engine.stats.customisation_hits >= 2
 
     def test_prepared_results_match_unprepared(self, grid):
@@ -183,6 +258,11 @@ class TestPrepare:
         lo, hi = traffic.travel_time_bound_specs(9.0, 8.0)
         engine.prepare(lo, hi, lo)
         engine.prepare(lo, hi)
+        engine.one_to_many(0, [5], lo, max_cost=5.0)
+        assert engine.stats.customisations == 2
+        # Re-announcing already-customised specs must not re-sweep them.
+        engine.prepare(lo, hi)
+        engine.one_to_many(1, [5], hi, max_cost=5.0)
         assert engine.stats.customisations == 2
 
     def test_noop_on_dijkstra_backend(self, grid):

@@ -28,6 +28,7 @@ SRC = REPO_ROOT / "src" / "repro"
 #: The strictly-typed surface: the packages [tool.mypy] names.
 STRICT_TARGETS = (
     SRC / "intervals.py",
+    SRC / "interval_array.py",
     SRC / "core",
     SRC / "spatial",
     SRC / "analysis",
