@@ -1,4 +1,4 @@
-"""The fifteen domain rules enforced by ``repro-check``.
+"""The sixteen domain rules enforced by ``repro-check``.
 
 Each rule encodes one invariant from the paper that Python's type system
 cannot express on its own (see ``docs/static_analysis.md`` for the
@@ -41,12 +41,18 @@ R13       shared-state-mutation   Shared caches/registries mutate only through t
 R14       layer-conformance       Module-scope imports follow the architecture layer
                                   DAG — no upward imports
                                   (whole-program, `passes/layering.py`)
+R15       backpressure-bypass     The serving tier admits load only through bounded
+                                  queues and never blocks without a timeout
+R16       epoch-bypass            Engine and dynamic-cache reads in ``core/`` and
+                                  ``server/`` flow through the epoch-fenced API —
+                                  no reach-ins past ``_observe_epoch`` /
+                                  ``observe_epoch``
 ========  ======================  =====================================================
 
-R1-R10 are per-file AST rules defined below; R11-R14 are whole-program
-passes over the project graph, defined in :mod:`repro.analysis.passes`
-and registered here so selection, suppression, listing, and docs treat
-all fifteen uniformly.
+R1-R10, R15, and R16 are per-file AST rules defined below; R11-R14 are
+whole-program passes over the project graph, defined in
+:mod:`repro.analysis.passes` and registered here so selection,
+suppression, listing, and docs treat all sixteen uniformly.
 """
 
 from __future__ import annotations
@@ -1011,6 +1017,146 @@ class BackpressureBypassRule(RuleProtocol):
 
 
 # --------------------------------------------------------------------------
+# R16 — epoch-fence bypass around live-graph caches
+# --------------------------------------------------------------------------
+
+#: Packages whose distance reads must be epoch-sound: the ranking core
+#: and the serving tier both hold references to fenced caches.
+_R16_PACKAGES = ("core/", "server/")
+
+#: The module that owns the dynamic cache's fence (it implements
+#: ``observe_epoch`` and may touch ``_entry`` on ``self``).
+_R16_CACHE_OWNER = "core/caching.py"
+
+#: Private stores inside :class:`DistanceEngine` and
+#: :class:`DynamicCache` that the epoch fence invalidates.  Reading one
+#: through another object's attribute skips ``_observe_epoch`` /
+#: ``observe_epoch`` entirely, so a stale-epoch distance can escape.
+_R16_FENCED_STORES = frozenset({"_maps", "_customized", "_pairs", "_queries", "_entry"})
+
+#: Engine internals that sit *below* the fence: the public
+#: ``one_to_many`` / ``many_to_one`` / ``many_to_many`` entry points call
+#: ``_observe_epoch`` first, these do not.
+_R16_UNFENCED_METHODS = frozenset(
+    {"_map", "_search", "_subset", "_ch_bipartite", "_customize", "_observe_epoch"}
+)
+
+
+class EpochBypassRule(RuleProtocol):
+    """R16: engine and dynamic-cache reads go through the epoch-fenced API.
+
+    The live-graph guarantee — no Offering Table ever mixes distances
+    from two network epochs — is enforced at exactly two choke points:
+    :class:`~repro.network.distance_engine.DistanceEngine`'s public
+    query methods (which call ``_observe_epoch`` before touching any
+    cache) and ``DynamicCache.observe_epoch`` (which callers must invoke
+    before ``lookup``).  Reaching around either one — reading a fenced
+    store (``_maps``/``_pairs``/``_queries``/``_customized``/``_entry``)
+    through another object, calling a below-fence engine internal, or
+    looking up a solution cache in a function that never observes the
+    epoch — recreates the stale-serve bug the fence exists to prevent,
+    and only under live-graph churn, where it is hardest to debug.
+    """
+
+    rule_id = "R16"
+    name = "epoch-bypass"
+    description = "live-graph cache read that bypasses the epoch fence"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        path = f"/{source.rel_path}"
+        return any(f"/{pkg}" in path for pkg in _R16_PACKAGES)
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        is_owner = source.rel_path.endswith(_R16_CACHE_OWNER)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute):
+                violation = self._store_violation(source, node, is_owner)
+                if violation is not None:
+                    yield violation
+            if isinstance(node, ast.FunctionDef):
+                yield from self._unfenced_lookups(source, node, is_owner)
+
+    def _store_violation(
+        self, source: SourceFile, node: ast.Attribute, is_owner: bool
+    ) -> Violation | None:
+        attr = node.attr
+        on_self = isinstance(node.value, ast.Name) and node.value.id == "self"
+        if attr in _R16_FENCED_STORES and not on_self and not is_owner:
+            return Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    f"direct read of fenced cache store '.{attr}' — it is "
+                    f"invalidated by the epoch fence, so reaching in can "
+                    f"serve distances from a retired network epoch; use the "
+                    f"public engine/cache API"
+                ),
+            )
+        if attr in _R16_UNFENCED_METHODS and not on_self:
+            return Violation(
+                rule_id=self.rule_id,
+                path=source.rel_path,
+                line=node.lineno,
+                message=(
+                    f"call to below-fence engine internal '.{attr}' skips "
+                    f"_observe_epoch — use one_to_many / many_to_one / "
+                    f"many_to_many, which fence first"
+                ),
+            )
+        return None
+
+    def _unfenced_lookups(
+        self, source: SourceFile, func: ast.FunctionDef, is_owner: bool
+    ) -> Iterator[Violation]:
+        """Flag solution-cache ``lookup`` calls in functions that never
+        observe the epoch.
+
+        Scoped to ``core/`` (R9 already keeps ``DynamicCache`` out of the
+        server tier, whose response cache is a different, epoch-stamped
+        layer) and to receivers whose name mentions ``cache`` — the
+        project-wide naming convention for solution-cache handles.
+        """
+        if is_owner or "core/" not in f"/{source.rel_path}":
+            return
+        fenced = any(
+            isinstance(inner, ast.Call)
+            and isinstance(inner.func, ast.Attribute)
+            and inner.func.attr == "observe_epoch"
+            for inner in ast.walk(func)
+        )
+        if fenced:
+            return
+        for inner in ast.walk(func):
+            if not (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "lookup"
+            ):
+                continue
+            receiver = inner.func.value
+            name = (
+                receiver.id
+                if isinstance(receiver, ast.Name)
+                else receiver.attr if isinstance(receiver, ast.Attribute) else ""
+            )
+            if "cache" in name.lower():
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=source.rel_path,
+                    line=inner.lineno,
+                    message=(
+                        f"'{name}.lookup()' in a function that never calls "
+                        f"observe_epoch — under live-graph churn the entry "
+                        f"may predate the current epoch; fence with "
+                        f"observe_epoch(env.weights_token()) first"
+                    ),
+                )
+
+
+# --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
 
@@ -1029,13 +1175,14 @@ ALL_RULES: tuple[RuleProtocol, ...] = (
     ClockBypassRule(),
     *PROJECT_RULES,
     BackpressureBypassRule(),
+    EpochBypassRule(),
 )
 
 RULES_BY_ID: dict[str, RuleProtocol] = {rule.rule_id: rule for rule in ALL_RULES}
 
 
 def select_rules(ids: Sequence[str] | None = None) -> tuple[RuleProtocol, ...]:
-    """The rule objects for ``ids`` (all fifteen when None)."""
+    """The rule objects for ``ids`` (all sixteen when None)."""
     if ids is None:
         return ALL_RULES
     unknown = [rule_id for rule_id in ids if rule_id.upper() not in RULES_BY_ID]

@@ -35,6 +35,10 @@ class CacheStats:
     misses: int = 0
     expirations: int = 0
     out_of_range: int = 0
+    #: Entries dropped because the live graph moved past the epoch they
+    #: were computed on (:meth:`DynamicCache.observe_epoch`) — distinct
+    #: from ``expirations`` (time) and ``out_of_range`` (space).
+    epoch_invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -68,6 +72,12 @@ class CachedSolution:
     radius_km: float
     pool: tuple[Charger, ...]
     components: tuple[ComponentScores, ...]
+    #: Live-graph *weight-changing* epoch token the solution was computed
+    #: on (the manager's ``weights_version``; 0 is the static network).
+    #: A solution is only reusable on its own token —
+    #: :meth:`DynamicCache.observe_epoch` enforces it — while no-op epoch
+    #: bumps, which leave the token unchanged, never cost the entry.
+    epoch: int = 0
 
 
 class DynamicCache:
@@ -119,6 +129,24 @@ class DynamicCache:
                 return None
             self.stats.hits += 1
             return entry
+
+    def observe_epoch(self, epoch: int) -> bool:
+        """Fence the cache against the live graph's current ``epoch``.
+
+        Drops the entry (counting ``epoch_invalidations``) when it was
+        computed on a *different* epoch — derouting distances from an old
+        graph must never be adapted onto the new one, whatever their TTL
+        or range say.  Returns True when an entry was invalidated.  Call
+        before :meth:`lookup`; the check is separate so a static-network
+        deployment (no epochs) pays nothing.
+        """
+        with self._lock:
+            entry = self._entry
+            if entry is None or entry.epoch == epoch:
+                return False
+            self._entry = None
+            self.stats.epoch_invalidations += 1
+            return True
 
     def store(self, solution: CachedSolution) -> None:
         """Replace the cached solution with ``solution``."""

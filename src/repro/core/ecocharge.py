@@ -184,6 +184,12 @@ class EcoChargeRanker:
         telemetry = self._env.telemetry
         origin = segment.midpoint
         with telemetry.span("cache.lookup", tier="cache", segment=segment.index):
+            # Epoch fence before the Q/TTL admission test: a solution
+            # computed on an older graph is unusable however close and
+            # fresh it is (its derouting distances priced roads that may
+            # since have closed).  The token is the *weights* version, so
+            # a no-op epoch bump never costs a warm entry.
+            self._cache.observe_epoch(self._env.weights_token())
             cached = self._cache.lookup(origin, now_h=eta_h)
         if cached is not None:
             with telemetry.span("ranker.adapt", tier="ranker", segment=segment.index):
@@ -228,6 +234,7 @@ class EcoChargeRanker:
                 radius_km=self.config.radius_km,
                 pool=kept_pool,
                 components=kept_components,
+                epoch=self._env.weights_token(),
             )
         )
         return self._refine(segment.index, origin, eta_h, eta_h, pool, components)
@@ -291,6 +298,7 @@ class EcoChargeRanker:
                 radius_km=cached.radius_km,
                 pool=cached.pool,
                 components=tuple(adapted),
+                epoch=cached.epoch,
             )
         )
         return self._refine(

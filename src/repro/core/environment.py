@@ -24,6 +24,7 @@ from ..estimation.sustainable import SustainableChargingEstimator
 from ..estimation.traffic import TrafficModel
 from ..estimation.weather import WeatherModel
 from ..network.distance_engine import DistanceEngine
+from ..network.epochs import GraphEpochManager
 from ..network.graph import RoadNetwork
 from ..network.path import TripSegment
 from ..observability.deadline import NEVER_EXPIRES, CancellationToken
@@ -78,6 +79,8 @@ class ChargingEnvironment:
         #: The active request's cancellation token (scheduler-installed);
         #: the no-op default keeps uncancellable callers checkpoint-free.
         self.cancellation: CancellationToken = NEVER_EXPIRES
+        #: Live-graph epoch manager (None = static network).
+        self.epochs: GraphEpochManager | None = None
 
     def set_engine_backend(self, backend: str) -> None:
         """Switch the shared distance engine backend ("dijkstra" | "ch")."""
@@ -101,6 +104,36 @@ class ChargingEnvironment:
         """
         self.cancellation = token
         self.engine.cancellation = token
+
+    def set_epochs(self, epochs: GraphEpochManager) -> None:
+        """Attach a live-graph epoch manager, mirroring :meth:`set_telemetry`.
+
+        Wires the tiers this environment owns: the traffic model starts
+        pricing against the manager's incident factors (metrics built
+        *after* this call see the live graph; earlier specs keep their
+        admission epoch), and the shared distance engine fences its warm
+        caches on every weight-changing epoch bump.
+        """
+        if epochs.network is not self.network:
+            raise ValueError("epoch manager must wrap this environment's network")
+        self.epochs = epochs
+        self.traffic.set_epochs(epochs)
+        self.engine.attach_epochs(epochs)
+
+    def current_epoch(self) -> int:
+        """The live-graph epoch (0 when no manager is attached)."""
+        return self.epochs.epoch if self.epochs is not None else 0
+
+    def weights_token(self) -> int:
+        """The *weight-changing* epoch token caches fence on.
+
+        Distinct from :meth:`current_epoch`: the manager bumps the epoch
+        on every ``apply`` (a durable audit event), but the weights
+        version only when an edge cost actually changed — so fencing the
+        dynamic cache on this token keeps a no-op epoch bump free (zero
+        invalidations, bitwise-identical tables).
+        """
+        return self.epochs.weights_version if self.epochs is not None else 0
 
     # -- forecast view (what the algorithms see) ----------------------------
 

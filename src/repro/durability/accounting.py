@@ -29,6 +29,7 @@ class CacheEventDelta:
     misses: int = 0
     expirations: int = 0
     out_of_range: int = 0
+    epoch_invalidations: int = 0
     stores: int = 0
 
     @staticmethod
@@ -38,6 +39,7 @@ class CacheEventDelta:
             misses=after.misses - before.misses,
             expirations=after.expirations - before.expirations,
             out_of_range=after.out_of_range - before.out_of_range,
+            epoch_invalidations=after.epoch_invalidations - before.epoch_invalidations,
             stores=stores,
         )
 
@@ -47,6 +49,7 @@ class CacheEventDelta:
             "misses": self.misses,
             "expirations": self.expirations,
             "out_of_range": self.out_of_range,
+            "epoch_invalidations": self.epoch_invalidations,
             "stores": self.stores,
         }
 
@@ -60,6 +63,9 @@ class CacheEventDelta:
                 misses=int(payload["misses"]),
                 expirations=int(payload["expirations"]),
                 out_of_range=int(payload["out_of_range"]),
+                # Absent in records journaled before the live-graph layer
+                # existed: decode as 0 so old journals replay unchanged.
+                epoch_invalidations=int(payload.get("epoch_invalidations", 0)),
                 stores=int(payload["stores"]),
             )
         except KeyError as error:
@@ -79,6 +85,7 @@ class JournalCacheAccounting:
     misses: int = 0
     expirations: int = 0
     out_of_range: int = 0
+    epoch_invalidations: int = 0
     stores: int = 0
 
     @classmethod
@@ -88,6 +95,7 @@ class JournalCacheAccounting:
             misses=base.misses,
             expirations=base.expirations,
             out_of_range=base.out_of_range,
+            epoch_invalidations=base.epoch_invalidations,
         )
 
     def apply(self, delta: CacheEventDelta) -> None:
@@ -95,6 +103,7 @@ class JournalCacheAccounting:
         self.misses += delta.misses
         self.expirations += delta.expirations
         self.out_of_range += delta.out_of_range
+        self.epoch_invalidations += delta.epoch_invalidations
         self.stores += delta.stores
 
     def accounts_for(self, stats: CacheStats) -> bool:
@@ -109,5 +118,6 @@ class JournalCacheAccounting:
             and self.misses == stats.misses
             and self.expirations == stats.expirations
             and self.out_of_range == stats.out_of_range
+            and self.epoch_invalidations == stats.epoch_invalidations
             and self.expirations + self.out_of_range <= self.misses
         )

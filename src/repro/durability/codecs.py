@@ -344,7 +344,9 @@ class CachedSolutionCodec:
     """``CachedSolution`` ⇄ the scored pool behind one Offering Table."""
 
     tag = "cached-solution"
-    version = 1
+    #: v2 adds the live-graph ``epoch`` the solution was computed on, so
+    #: a crash/resume replays against the correct graph generation.
+    version = 2
 
     @staticmethod
     def encode(value: CachedSolution) -> dict[str, Any]:
@@ -358,6 +360,7 @@ class CachedSolutionCodec:
             "components": [
                 ComponentScoresCodec.encode(comp) for comp in value.components
             ],
+            "epoch": value.epoch,
         }
 
     @staticmethod
@@ -379,14 +382,17 @@ class CachedSolutionCodec:
             components=tuple(
                 ComponentScoresCodec.decode(comp) for comp in components
             ),
+            # Absent from v1 payloads (static network): epoch 0.
+            epoch=int(data.get("epoch", 0)),
         )
 
 
 class CacheStatsCodec:
-    """``CacheStats`` ⇄ its four counters (plain ints, no floats)."""
+    """``CacheStats`` ⇄ its counters (plain ints, no floats)."""
 
     tag = "cache-stats"
-    version = 1
+    #: v2 adds ``epoch_invalidations`` (live-graph fencing drops).
+    version = 2
 
     @staticmethod
     def encode(value: CacheStats) -> dict[str, Any]:
@@ -395,6 +401,7 @@ class CacheStatsCodec:
             "misses": value.misses,
             "expirations": value.expirations,
             "out_of_range": value.out_of_range,
+            "epoch_invalidations": value.epoch_invalidations,
         }
 
     @staticmethod
@@ -405,6 +412,8 @@ class CacheStatsCodec:
             misses=int(_field(data, "misses", CacheStatsCodec.tag)),
             expirations=int(_field(data, "expirations", CacheStatsCodec.tag)),
             out_of_range=int(_field(data, "out_of_range", CacheStatsCodec.tag)),
+            # Absent from v1 payloads (static network): 0.
+            epoch_invalidations=int(data.get("epoch_invalidations", 0)),
         )
 
 

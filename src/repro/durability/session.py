@@ -96,6 +96,11 @@ class RecoveryInfo:
     failed_restored: int
     next_position: int
     accounting_ok: bool
+    #: The last live-graph epoch the journal proves the session observed
+    #: (0 = static network, or no epoch record survived truncation).  A
+    #: resumed session re-journals the current epoch on its next segment,
+    #: so the audit trail stays complete across the truncation window.
+    last_epoch: int = 0
 
 
 def encode_config(config: EcoChargeConfig) -> dict[str, Any]:
@@ -160,6 +165,7 @@ class RankingSession:
         next_position: int = 0,
         accounting: JournalCacheAccounting | None = None,
         recovery: RecoveryInfo | None = None,
+        last_epoch: int = 0,
     ) -> None:
         self.session_id = session_id
         self.directory = directory
@@ -179,6 +185,10 @@ class RankingSession:
         )
         self.ranker = EcoChargeRanker(environment, config)
         self._run: RankingRun | None = None
+        #: The last live-graph epoch journaled for this session; segments
+        #: journaled after an epoch bump are preceded by an "epoch" record
+        #: so crash/resume replays against the correct graph generation.
+        self._journaled_epoch = last_epoch
         self._pre_segment: CacheState | None = None
         self._segments_since_snapshot = 0
         self._next_position = next_position
@@ -252,12 +262,33 @@ class RankingSession:
     ) -> None:
         if self._injector is not None:
             self._injector.maybe_crash(CRASH_SEGMENT_START)
+        self._journal_epoch_transition()
         if (
             self._segments_since_snapshot >= self.durability.snapshot_every
             and position > self._start_position
         ):
             self.checkpoint()
         self._pre_segment = self.ranker.checkpoint_state()
+
+    def _journal_epoch_transition(self) -> None:
+        """Append an "epoch" record when the live graph moved since the
+        last journaled epoch, so recovery knows which graph generation
+        every subsequent segment was priced on.  A static environment
+        (no epoch manager) journals nothing."""
+        current_epoch = getattr(self.environment, "current_epoch", None)
+        epoch = current_epoch() if callable(current_epoch) else 0
+        if epoch == self._journaled_epoch:
+            return
+        epochs = getattr(self.environment, "epochs", None)
+        payload = {
+            "epoch": epoch,
+            "weights_version": epochs.weights_version if epochs is not None else 0,
+        }
+        telemetry = self.environment.telemetry
+        with telemetry.span("journal.append", tier="journal", record_type="epoch"):
+            self._journal.append("epoch", payload)
+        telemetry.inc("ecocharge_journal_appends_total", record_type="epoch")
+        self._journaled_epoch = epoch
 
     def record_table(
         self,
@@ -483,6 +514,7 @@ class SessionManager:
 
         accounting = JournalCacheAccounting.from_base(cache_stats)
         replayed = 0
+        last_epoch = 0
         for record in read_result.records:
             if record.seq <= base_seq:
                 continue
@@ -510,6 +542,9 @@ class SessionManager:
                 failed.append(int(record.payload["segment_index"]))
                 accounting.apply(CacheEventDelta.decode(record.payload["events"]))
                 next_position = int(record.payload["position"]) + 1
+                replayed += 1
+            elif record.record_type == "epoch":
+                last_epoch = int(record.payload["epoch"])
                 replayed += 1
             elif record.record_type == "session-close":
                 replayed += 1
@@ -549,6 +584,7 @@ class SessionManager:
             failed_restored=len(failed),
             next_position=next_position,
             accounting_ok=accounting_ok,
+            last_epoch=last_epoch,
         )
         return RankingSession(
             session_id=session_id,
@@ -565,6 +601,7 @@ class SessionManager:
             next_position=next_position,
             accounting=accounting,
             recovery=recovery,
+            last_epoch=last_epoch,
         )
 
     def close(self, session: RankingSession) -> None:

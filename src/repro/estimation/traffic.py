@@ -6,6 +6,19 @@ commuter double peak, scaled by road class (arterials congest more), with
 an uncertainty band that widens with forecast horizon.  The model hands
 the shortest-path layer min/max cost functions, which is exactly how the
 derouting cost ``D`` becomes an interval.
+
+**Live incidents.** When a :class:`~repro.network.epochs.
+GraphEpochManager` is attached (:meth:`TrafficModel.set_epochs`), every
+travel-time metric is additionally scaled by the current epoch's
+per-edge incident factor (``inf`` = closed).  Factors are *observed*
+state, not a forecast, so they multiply the optimistic and pessimistic
+bounds identically and interval validity is preserved.  Cost functions
+capture the epoch's immutable factor table at construction — a metric
+built on epoch *e* prices epoch *e* forever — and spec keys embed the
+weights version, so the distance engine can never join results across a
+weight change.  Raw static-map metrics (``EdgeWeight`` specs) and the
+energy metric deliberately never see incidents: they are the map view,
+not the traffic view.
 """
 
 from __future__ import annotations
@@ -15,10 +28,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..intervals import Interval
 from ..network.distance_engine import WeightSpec
+from ..network.epochs import GraphEpochManager
 from ..network.graph import EdgeWeight, RoadEdge
 from ..network.shortest_path import CostFn
 from .component import DEFAULT_CONFIDENCE, ForecastConfidence
@@ -67,6 +81,38 @@ class TrafficModel:
         #: by the identity of the (stable) edge sequence a DistanceEngine
         #: hierarchy hands us.  Tiny: one entry per hierarchy.
         self._batch_arrays: dict[int, tuple[object, tuple]] = {}
+        #: Live-graph epoch manager; ``None`` keeps the model static.
+        self._epochs: GraphEpochManager | None = None
+        #: Incident factor arrays per (arc-list id, weights version) —
+        #: one entry per hierarchy per epoch, cleared when it grows.
+        self._factor_arrays: dict[tuple[int, int], tuple[object, np.ndarray]] = {}
+
+    def set_epochs(self, epochs: GraphEpochManager | None) -> None:
+        """Attach the live-graph epoch manager (``None`` detaches).
+
+        Only metrics built *after* this call see incident factors; metrics
+        already handed out keep pricing the epoch they captured, which is
+        exactly the in-flight-completes-on-admission-epoch contract.
+        """
+        self._epochs = epochs
+
+    @property
+    def epochs(self) -> GraphEpochManager | None:
+        return self._epochs
+
+    def _epoch_state(
+        self,
+    ) -> tuple[int, Mapping[tuple[int, int], float]] | tuple[None, None]:
+        """(weights version, immutable factor snapshot) or (None, None).
+
+        Read once per metric construction so the key, the scalar closure,
+        and the batch evaluator all price the *same* epoch even if a bump
+        lands mid-call.
+        """
+        manager = self._epochs
+        if manager is None:
+            return (None, None)
+        return manager.snapshot()
 
     def _diurnal_gain(self, time_h: float) -> float:
         p = self.params
@@ -115,18 +161,39 @@ class TrafficModel:
 
     # -- cost-function factories for the shortest-path layer ---------------
 
+    @staticmethod
+    def _with_factors(
+        base: CostFn, factors: Mapping[tuple[int, int], float] | None
+    ) -> CostFn:
+        """Scale ``base`` by the captured epoch's incident factors.
+
+        A closed edge (factor ``inf``) returns ``inf`` directly — never
+        ``base * inf``, which would be NaN on a zero-length edge.  The
+        default factor 1.0 multiplies through so the operation sequence
+        matches the batch evaluator exactly (``x * 1.0`` is bitwise
+        ``x``, so detached and no-incident costs are identical).
+        """
+        if factors is None:
+            return base
+
+        def cost(edge: RoadEdge) -> float:
+            factor = factors.get((edge.source, edge.target), 1.0)
+            if math.isinf(factor):
+                return math.inf
+            return base(edge) * factor
+
+        return cost
+
     def travel_time_fn(self, time_h: float) -> CostFn:
         """True travel-time cost (hours) at ``time_h``."""
-        return lambda edge: edge.weight(EdgeWeight.TRAVEL_TIME_H) * self.multiplier(
+        _, factors = self._epoch_state()
+        base = lambda edge: edge.weight(EdgeWeight.TRAVEL_TIME_H) * self.multiplier(
             edge, time_h
         )
+        return self._with_factors(base, factors)
 
-    def travel_time_bounds(self, time_h: float, now_h: float) -> tuple[CostFn, CostFn]:
-        """(optimistic, pessimistic) travel-time cost functions.
-
-        Optimistic uses each edge's lower multiplier bound, pessimistic the
-        upper — running Dijkstra under each yields ``[D_min, D_max]``.
-        """
+    def _bound_fns(self, time_h: float, now_h: float) -> tuple[CostFn, CostFn]:
+        """The raw (incident-free) optimistic/pessimistic cost closures."""
 
         def low(edge: RoadEdge) -> float:
             return edge.weight(EdgeWeight.TRAVEL_TIME_H) * self.multiplier_interval(
@@ -140,14 +207,42 @@ class TrafficModel:
 
         return low, high
 
+    def travel_time_bounds(self, time_h: float, now_h: float) -> tuple[CostFn, CostFn]:
+        """(optimistic, pessimistic) travel-time cost functions.
+
+        Optimistic uses each edge's lower multiplier bound, pessimistic the
+        upper — running Dijkstra under each yields ``[D_min, D_max]``.
+        Incident factors are observed state and scale both bounds alike.
+        """
+        _, factors = self._epoch_state()
+        low, high = self._bound_fns(time_h, now_h)
+        return self._with_factors(low, factors), self._with_factors(high, factors)
+
     # -- keyed weight specs for the DistanceEngine -------------------------
+
+    @staticmethod
+    def _spec_key(kind: str, version: int | None, *times: float) -> tuple:
+        """Metric cache identity; the weights version is part of the key
+        when the live graph is attached, so results can never be joined
+        across an epoch bump even before the engine fences."""
+        if version is None:
+            return (kind, *times)
+        return (kind, *times, "w", version)
 
     def travel_time_spec(self, time_h: float) -> WeightSpec:
         """True travel-time metric with a cache identity (oracle view)."""
+        version, factors = self._epoch_state()
         return WeightSpec(
-            key=("travel_time", time_h),
-            fn=self.travel_time_fn(time_h),
-            batch=lambda edges: self._batch_travel_time(edges, time_h, time_h, "true"),
+            key=self._spec_key("travel_time", version, time_h),
+            fn=self._with_factors(
+                lambda edge: edge.weight(EdgeWeight.TRAVEL_TIME_H)
+                * self.multiplier(edge, time_h),
+                factors,
+            ),
+            batch=lambda edges: self._batch_travel_time(
+                edges, time_h, time_h, "true", factors, version
+            ),
+            epoch_version=version,
         )
 
     def travel_time_bound_specs(
@@ -159,19 +254,29 @@ class TrafficModel:
         re-pricings, and chaos re-rankings share cached distance maps; the
         ``batch`` evaluators mirror the scalar cost functions operation-
         for-operation so CH customisation is bitwise-consistent with the
-        Dijkstra fallback.
+        Dijkstra fallback.  Both specs capture one epoch snapshot — the
+        lower and upper bound always price the same graph.
         """
-        low, high = self.travel_time_bounds(time_h, now_h)
+        version, factors = self._epoch_state()
+        base_low, base_high = self._bound_fns(time_h, now_h)
+        low = self._with_factors(base_low, factors)
+        high = self._with_factors(base_high, factors)
         return (
             WeightSpec(
-                key=("travel_time_lo", time_h, now_h),
+                key=self._spec_key("travel_time_lo", version, time_h, now_h),
                 fn=low,
-                batch=lambda edges: self._batch_travel_time(edges, time_h, now_h, "lo"),
+                batch=lambda edges: self._batch_travel_time(
+                    edges, time_h, now_h, "lo", factors, version
+                ),
+                epoch_version=version,
             ),
             WeightSpec(
-                key=("travel_time_hi", time_h, now_h),
+                key=self._spec_key("travel_time_hi", version, time_h, now_h),
                 fn=high,
-                batch=lambda edges: self._batch_travel_time(edges, time_h, now_h, "hi"),
+                batch=lambda edges: self._batch_travel_time(
+                    edges, time_h, now_h, "hi", factors, version
+                ),
+                epoch_version=version,
             ),
         )
 
@@ -195,19 +300,48 @@ class TrafficModel:
         self._batch_arrays[key] = (edges, arrays)
         return arrays
 
+    def _factor_array(
+        self,
+        edges: "Sequence[RoadEdge | None]",
+        index: "np.ndarray",
+        factors: Mapping[tuple[int, int], float],
+        version: int,
+    ) -> "np.ndarray":
+        """Incident factors aligned with the real (non-shortcut) arcs of
+        ``edges``, cached per (arc list, weights version)."""
+        key = (id(edges), version)
+        cached = self._factor_arrays.get(key)
+        if cached is not None and cached[0] is edges:
+            return cached[1]
+        farr = np.array(
+            [
+                factors.get((edges[i].source, edges[i].target), 1.0)  # type: ignore[union-attr]
+                for i in index
+            ],
+            dtype=np.float64,
+        )
+        if len(self._factor_arrays) > 16:
+            self._factor_arrays.clear()
+        self._factor_arrays[key] = (edges, farr)
+        return farr
+
     def _batch_travel_time(
         self,
         edges: "Sequence[RoadEdge | None]",
         time_h: float,
         now_h: float,
         bound: str,
+        factors: Mapping[tuple[int, int], float] | None = None,
+        version: int | None = None,
     ) -> "np.ndarray":
         """Vectorised travel-time costs over an arc list (inf for shortcuts).
 
         Every operation replays :meth:`multiplier` /
         :meth:`multiplier_interval` in the same order and association so
         each element is bitwise equal to the scalar cost function —
-        verified by ``tests/test_distance_engine.py``.
+        verified by ``tests/test_distance_engine.py``.  Incident factors
+        multiply last, exactly as :meth:`_with_factors` does in the
+        scalar closure (closures become ``inf``, never ``0 * inf`` NaN).
         """
         index, total, length, speed, noise = self._edge_arrays(edges)
         p = self.params
@@ -225,7 +359,11 @@ class TrafficModel:
             else:
                 multiplier = truth * (1.0 + rel)
         out = np.full(total, math.inf, dtype=np.float64)
-        out[index] = (length / speed) * multiplier
+        costs = (length / speed) * multiplier
+        if factors is not None:
+            farr = self._factor_array(edges, index, factors, version or 0)
+            costs = np.where(np.isinf(farr), math.inf, costs * farr)
+        out[index] = costs
         return out
 
     def energy_fn(self, time_h: float, congestion_energy_gain: float = 0.25) -> CostFn:

@@ -19,6 +19,7 @@ from . import (
     figure7,
     figure8,
     figure9,
+    incident_report,
     modes_report,
     observability_report,
     perf_trajectory,
@@ -33,6 +34,7 @@ _DRIVERS: dict[str, Callable[[HarnessConfig], str]] = {
     "figure7": figure7.main,
     "figure8": figure8.main,
     "figure9": figure9.main,
+    "incidents": incident_report.main,
     "modes": modes_report.main,
     "observability": observability_report.main,
     "perf": perf_trajectory.main,

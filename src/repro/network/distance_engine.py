@@ -22,6 +22,17 @@ Cost functions are identified by :class:`WeightSpec` — a hashable key
 plus the per-edge callable (and optionally a vectorised batch evaluator
 used by CH customisation).  Raw :class:`~repro.network.graph.EdgeWeight`
 members are accepted directly.
+
+**Live-graph fencing.** When a :class:`~repro.network.epochs.
+GraphEpochManager` is attached, every public query first observes the
+manager's ``weights_version`` and *fences*: cached settled maps,
+customisations, pair joins, and whole-query memos belonging to specs
+built against an older version are dropped before anything is served, so
+a stale-epoch read is structurally impossible.  Fencing is incremental —
+only specs that carry a stale ``epoch_version`` are invalidated; static
+specs (``epoch_version=None``, e.g. raw ``EdgeWeight`` metrics that never
+see incidents) keep their warm state, and re-customization on the CH
+backend therefore sweeps only the metrics the incident actually touched.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from typing import Callable, Hashable, Iterable, Sequence
 from ..observability.deadline import NEVER_EXPIRES, CancellationToken
 from ..observability.recorder import NOOP_TELEMETRY, Telemetry
 from .contraction import ContractionHierarchy, CustomizedHierarchy, combine_spaces
+from .epochs import GraphEpochManager
 from .graph import EdgeWeight, RoadEdge, RoadNetwork
 from .shortest_path import CostFn, dijkstra_all, dijkstra_all_backward
 
@@ -61,11 +73,20 @@ class WeightSpec:
     optionally evaluates the metric over a fixed edge sequence in one
     call — the vectorised fast path for CH customisation; it must agree
     bitwise with ``fn`` edge-by-edge.
+
+    ``epoch_version`` is the live-graph ``weights_version`` the metric
+    was built against, or ``None`` for metrics that never see incidents
+    (raw :class:`EdgeWeight` specs — the static map view).  The engine
+    fences cached state per key when the recorded version goes stale, and
+    rejects a *reused* key whose version changed — the contract that
+    makes serving distances across a weight change structurally
+    impossible (see ``docs/live_graph.md``).
     """
 
     key: Hashable
     fn: CostFn
     batch: Callable[[Sequence[RoadEdge | None]], Sequence[float]] | None = None
+    epoch_version: int | None = None
 
     @classmethod
     def of(cls, weight: "EdgeWeight | WeightSpec") -> "WeightSpec":
@@ -102,6 +123,11 @@ class EngineStats:
     customisation_hits: int = 0
     evictions: int = 0
     ch_builds: int = 0
+    #: Weight-version bumps the engine observed and fenced (live graph).
+    epoch_fences: int = 0
+    #: Cached artifacts (maps, customisations, pair joins, query memos)
+    #: dropped by epoch fencing — zero across a no-op epoch bump.
+    epoch_invalidations: int = 0
 
     #: Integer counter fields, in report order (used for snapshot deltas).
     COUNTER_FIELDS = (
@@ -114,6 +140,8 @@ class EngineStats:
         "customisation_hits",
         "evictions",
         "ch_builds",
+        "epoch_fences",
+        "epoch_invalidations",
     )
 
     @property
@@ -146,6 +174,11 @@ class EngineStats:
 
 def _quantize(value: float) -> float:
     return round(value, DISTANCE_DECIMALS)
+
+
+#: Sentinel distinguishing "key never seen" from the valid version
+#: ``None`` (static spec) in the engine's per-key version ledger.
+_UNSEEN = object()
 
 
 class DistanceEngine:
@@ -209,6 +242,20 @@ class DistanceEngine:
             tuple[int, int, bool, float, tuple[int, ...]], dict[int, float]
         ] = {}
         self.stats = EngineStats()
+        #: Live-graph epoch manager (``attach_epochs``); ``None`` keeps
+        #: the engine in its historical static-network behaviour.
+        self._epochs: GraphEpochManager | None = None
+        #: The weights version all cached state is currently valid for.
+        self._fenced_version = 0
+        #: Per weight key: the ``epoch_version`` the key was first seen
+        #: with (``None`` marks static specs that never fence).
+        self._spec_versions: dict[Hashable, object] = {}
+        #: Set by a fence that dropped live-metric state; the next CH
+        #: customisation is the *re*-customization and reports its latency.
+        self._epoch_dirty = False
+        #: Duration of the most recent post-fence re-customization sweep
+        #: (telemetry-clocked; ``None`` until one happens).
+        self.last_recustomize_s: float | None = None
         #: Installed by the owning environment's ``set_telemetry``; the
         #: no-op default keeps cache hits span-free and searches unguarded.
         self.telemetry: Telemetry = NOOP_TELEMETRY
@@ -258,7 +305,98 @@ class DistanceEngine:
             self._spec_ids.clear()
             self._pairs.clear()
             self._queries.clear()
+            self._spec_versions.clear()
             self._cached_nodes = 0
+            self._epoch_dirty = False
+
+    # -- live-graph epoch fencing -------------------------------------------
+
+    def attach_epochs(self, epochs: GraphEpochManager | None) -> None:
+        """Bind the engine to the live graph's epoch manager.
+
+        From here on every public query fences first: cached state built
+        against an older ``weights_version`` is unreachable before any
+        distance is served.  Detaching (``None``) restores static-network
+        behaviour for state cached afterwards.
+        """
+        with self._lock:
+            self._epochs = epochs
+            self._fenced_version = 0 if epochs is None else epochs.weights_version
+
+    @property
+    def epochs(self) -> GraphEpochManager | None:
+        return self._epochs
+
+    def _observe_epoch(self) -> None:
+        """Fence cached state up to the manager's current weights version
+        (no-op when detached or already current — the no-incident hot
+        path pays one integer compare)."""
+        manager = self._epochs
+        if manager is None:
+            return
+        version = manager.weights_version
+        if version != self._fenced_version:
+            self._fence_to(version)
+
+    def _fence_to(self, version: int) -> None:
+        """Drop every cached artifact owned by a stale live spec.
+
+        Static specs (``epoch_version=None``) survive — their metrics do
+        not depend on incident factors — which is what makes a fence
+        incremental rather than a full :meth:`clear`.
+        """
+        stale = {
+            key
+            for key, recorded in self._spec_versions.items()
+            if recorded is not None and recorded < version  # type: ignore[operator]
+        }
+        self._fenced_version = version
+        self.stats.epoch_fences += 1
+        if not stale:
+            return
+        dropped = 0
+        for key in stale:
+            dropped += self._invalidate_key(key)
+            del self._spec_versions[key]
+        self.stats.epoch_invalidations += dropped
+        self._epoch_dirty = True
+
+    def _invalidate_key(self, key: Hashable) -> int:
+        """Remove every cached artifact for one weight key; returns how
+        many artifacts were dropped."""
+        dropped = 0
+        for map_key in [k for k in self._maps if k[0] == key]:
+            _, settled = self._maps.pop(map_key)
+            self._cached_nodes -= len(settled)
+            dropped += 1
+        if key in self._customized:
+            del self._customized[key]
+            dropped += 1
+        if self._pending:
+            self._pending = tuple(p for p in self._pending if p.key != key)
+        spec_id = self._spec_ids.get(key)
+        if spec_id is not None:
+            for pair_key in [k for k in self._pairs if k[0] == spec_id]:
+                del self._pairs[pair_key]
+                dropped += 1
+            for query_key in [k for k in self._queries if k[0] == spec_id]:
+                del self._queries[query_key]
+                dropped += 1
+        return dropped
+
+    def _note_spec(self, spec: WeightSpec) -> None:
+        """Pin the key -> epoch-version binding; a key *reused* under a
+        different version is a weight change in disguise, and its cached
+        state is dropped before the query runs (the satellite contract:
+        the pair-join cache and whole-query memo can never serve
+        distances across a weight change)."""
+        recorded = self._spec_versions.get(spec.key, _UNSEEN)
+        if recorded is _UNSEEN:
+            self._spec_versions[spec.key] = spec.epoch_version
+            return
+        if recorded != spec.epoch_version:
+            self.stats.epoch_invalidations += self._invalidate_key(spec.key)
+            self._spec_versions[spec.key] = spec.epoch_version
 
     def ensure_hierarchy(self) -> ContractionHierarchy:
         """Build (once) and return the contraction hierarchy."""
@@ -284,10 +422,12 @@ class DistanceEngine:
         if self._backend != "ch":
             return
         with self._lock:
+            self._observe_epoch()
             pending: list[WeightSpec] = []
             seen: set[Hashable] = set()
             for weight in weights:
                 spec = WeightSpec.of(weight)
+                self._note_spec(spec)
                 if spec.key in self._customized or spec.key in seen:
                     continue
                 seen.add(spec.key)
@@ -312,10 +452,13 @@ class DistanceEngine:
         :func:`~repro.network.shortest_path.dijkstra_to_targets`.
         """
         spec = WeightSpec.of(weight)
-        if self._backend == "ch":
-            return self._ch_bipartite(spec, [source], targets, max_cost, forward=True)
-        ball = self._map(spec, source, "f", max_cost)
-        return self._subset(ball, targets, max_cost)
+        with self._lock:
+            self._observe_epoch()
+            self._note_spec(spec)
+            if self._backend == "ch":
+                return self._ch_bipartite(spec, [source], targets, max_cost, forward=True)
+            ball = self._map(spec, source, "f", max_cost)
+            return self._subset(ball, targets, max_cost)
 
     def many_to_one(
         self,
@@ -326,10 +469,13 @@ class DistanceEngine:
     ) -> dict[int, float]:
         """Quantised distances ``source -> target`` keyed by source."""
         spec = WeightSpec.of(weight)
-        if self._backend == "ch":
-            return self._ch_bipartite(spec, [target], sources, max_cost, forward=False)
-        ball = self._map(spec, target, "b", max_cost)
-        return self._subset(ball, sources, max_cost)
+        with self._lock:
+            self._observe_epoch()
+            self._note_spec(spec)
+            if self._backend == "ch":
+                return self._ch_bipartite(spec, [target], sources, max_cost, forward=False)
+            ball = self._map(spec, target, "b", max_cost)
+            return self._subset(ball, sources, max_cost)
 
     def many_to_many(
         self,
@@ -413,7 +559,10 @@ class DistanceEngine:
             if d is None:
                 continue
             q = _quantize(d)
-            if q <= max_cost:
+            # The isinf guard keeps closed-off nodes (infinite cost under
+            # a live-graph closure) out of an unbudgeted query's result:
+            # "unreachable" means absent, never a served infinity.
+            if q <= max_cost and not math.isinf(q):
                 out[node] = q
         return out
 
@@ -458,10 +607,27 @@ class DistanceEngine:
             ]
             self._pending = ()
             rows = [self._arc_costs(p, hierarchy) for p in group]
-            with self.telemetry.span(
+            telemetry = self.telemetry
+            recustomizing = self._epoch_dirty
+            timed = telemetry.enabled and recustomizing
+            started_s = telemetry.clock.monotonic() if timed else 0.0
+            with telemetry.span(
                 "engine.customize", tier="engine", key=str(spec.key), stacked=len(group)
             ):
                 customs = hierarchy.customize_many(rows)
+            if recustomizing:
+                # First sweep after an epoch fence rebinds the live
+                # metrics on the new graph: that is the re-customization
+                # whose latency degraded serving is hiding.
+                self._epoch_dirty = False
+                if timed:
+                    elapsed = telemetry.clock.monotonic() - started_s
+                    self.last_recustomize_s = elapsed
+                    telemetry.observe(
+                        "ecocharge_engine_recustomize_seconds",
+                        elapsed,
+                        backend=self._backend,
+                    )
             for p, custom in zip(group, customs):
                 self._customized[p.key] = custom
                 self.stats.customisations += 1

@@ -28,6 +28,7 @@ from .adapters import (
     mirror_breakers,
     mirror_cache_stats,
     mirror_engine_stats,
+    mirror_epoch_stats,
     mirror_health,
     mirror_journal_accounting,
     mirror_scheduler_stats,
@@ -83,6 +84,7 @@ __all__ = [
     "mirror_all",
     "mirror_cache_stats",
     "mirror_engine_stats",
+    "mirror_epoch_stats",
     "mirror_api_usage",
     "mirror_health",
     "mirror_breakers",

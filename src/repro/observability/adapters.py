@@ -25,11 +25,12 @@ if TYPE_CHECKING:
     from ..core.caching import CacheStats
     from ..durability.accounting import JournalCacheAccounting
     from ..network.distance_engine import EngineStats
+    from ..network.epochs import EpochStats, GraphEpochManager
     from ..resilience.health import HealthRegistry
     from ..server.api import ApiUsage
     from ..server.scheduling.scheduler import SchedulerStats
 
-_CACHE_FIELDS = ("hits", "misses", "expirations", "out_of_range")
+_CACHE_FIELDS = ("hits", "misses", "expirations", "out_of_range", "epoch_invalidations")
 _ENGINE_FIELDS = (
     "searches",
     "cache_hits",
@@ -40,9 +41,18 @@ _ENGINE_FIELDS = (
     "customisation_hits",
     "evictions",
     "ch_builds",
+    "epoch_fences",
+    "epoch_invalidations",
 )
 _API_FIELDS = ("weather_calls", "busy_calls", "traffic_calls", "catalog_calls")
-_JOURNAL_FIELDS = ("hits", "misses", "expirations", "out_of_range", "stores")
+_JOURNAL_FIELDS = (
+    "hits",
+    "misses",
+    "expirations",
+    "out_of_range",
+    "epoch_invalidations",
+    "stores",
+)
 _SCHEDULER_FIELDS = (
     "submitted",
     "completed",
@@ -54,6 +64,16 @@ _SCHEDULER_FIELDS = (
     "rejected_capacity",
     "failed",
     "widened",
+    "epoch_degraded",
+    "stale_epoch_rejections",
+)
+_EPOCH_FIELDS = (
+    "epochs",
+    "weight_epochs",
+    "noop_epochs",
+    "incidents_applied",
+    "closures_applied",
+    "reopenings_applied",
 )
 
 
@@ -146,6 +166,28 @@ def mirror_journal_accounting(
         family.labels(event=name).set_total(float(getattr(accounting, name)))
 
 
+def mirror_epoch_stats(
+    registry: MetricsRegistry, epochs: "GraphEpochManager"
+) -> None:
+    """Live-graph epoch accounting → ``ecocharge_epoch_events`` plus the
+    ``ecocharge_epoch_current`` / ``ecocharge_weights_version`` gauges."""
+    family = registry.counter(
+        "ecocharge_epoch_events",
+        "Live-graph epoch and incident accounting, mirrored from EpochStats.",
+        labels=("event",),
+    )
+    for name in _EPOCH_FIELDS:
+        family.labels(event=name).set_total(float(getattr(epochs.stats, name)))
+    registry.gauge(
+        "ecocharge_epoch_current",
+        "The live graph's current epoch.",
+    ).set(float(epochs.epoch))
+    registry.gauge(
+        "ecocharge_weights_version",
+        "The live graph's current weights version (bumps only on real changes).",
+    ).set(float(epochs.weights_version))
+
+
 def mirror_scheduler_stats(registry: MetricsRegistry, stats: "SchedulerStats") -> None:
     """Serving-tier scheduler accounting → ``ecocharge_scheduler_events``.
 
@@ -172,6 +214,7 @@ def mirror_all(
     breaker_states: Mapping[str, str] | None = None,
     journal_accounting: "JournalCacheAccounting | None" = None,
     scheduler_stats: "SchedulerStats | None" = None,
+    epochs: "GraphEpochManager | None" = None,
 ) -> None:
     """Mirror every provided stats object in one call."""
     if cache_stats is not None:
@@ -188,6 +231,8 @@ def mirror_all(
         mirror_journal_accounting(registry, journal_accounting)
     if scheduler_stats is not None:
         mirror_scheduler_stats(registry, scheduler_stats)
+    if epochs is not None:
+        mirror_epoch_stats(registry, epochs)
 
 
 def reconcile(
@@ -197,6 +242,7 @@ def reconcile(
     api_usage: "ApiUsage | None" = None,
     journal_accounting: "JournalCacheAccounting | None" = None,
     scheduler_stats: "SchedulerStats | None" = None,
+    epochs: "GraphEpochManager | None" = None,
 ) -> list[str]:
     """Exact-equality check of mirrored samples against the live objects.
 
@@ -241,4 +287,13 @@ def reconcile(
                 {"event": name},
                 float(getattr(scheduler_stats, name)),
             )
+    if epochs is not None:
+        for name in _EPOCH_FIELDS:
+            check(
+                "ecocharge_epoch_events",
+                {"event": name},
+                float(getattr(epochs.stats, name)),
+            )
+        check("ecocharge_epoch_current", {}, float(epochs.epoch))
+        check("ecocharge_weights_version", {}, float(epochs.weights_version))
     return problems

@@ -119,6 +119,13 @@ class Telemetry:
             labels=("backend",),
             buckets=DEFAULT_LATENCY_BUCKETS,
         )
+        reg.histogram(
+            "ecocharge_engine_recustomize_seconds",
+            "Seconds per incremental re-customization after a live-graph "
+            "epoch fence (the epoch-swap latency of docs/live_graph.md).",
+            labels=("backend",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
 
     # -- tracing passthroughs ----------------------------------------------
 

@@ -29,6 +29,7 @@ from .faults import (
     FaultyWeatherApi,
     NO_FAULTS,
     OutageWindow,
+    IncidentChaos,
     OverloadChaos,
     SessionCrash,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "FetchResult",
     "HealthRegistry",
     "OutageWindow",
+    "IncidentChaos",
     "OverloadChaos",
     "ResilienceConfig",
     "ResilienceGateway",

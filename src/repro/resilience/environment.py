@@ -35,6 +35,7 @@ if TYPE_CHECKING:
     from ..estimation.availability import AvailabilityEstimator
     from ..estimation.derouting import DeroutingEstimator
     from ..estimation.sustainable import SustainableChargingEstimator, SustainableLevel
+    from ..network.epochs import GraphEpochManager
     from ..network.path import TripSegment
     from ..observability.deadline import CancellationToken
     from ..observability.recorder import Telemetry
@@ -165,6 +166,7 @@ class FaultTolerantEnvironment(ChargingEnvironment):
         self.charging_window_h = inner.charging_window_h
         self.telemetry = inner.telemetry
         self.cancellation = inner.cancellation
+        self.epochs = inner.epochs
         self.sustainable = _ResilientSustainable(inner.sustainable, gateway)
         self.availability = _ResilientAvailability(inner.availability, gateway)
         self.derouting = _ResilientDerouting(inner.derouting, gateway)
@@ -181,6 +183,13 @@ class FaultTolerantEnvironment(ChargingEnvironment):
         before every upstream descent)."""
         self.cancellation = token
         self.inner.set_cancellation(token)
+
+    def set_epochs(self, epochs: "GraphEpochManager") -> None:
+        """Attach the live-graph epoch manager on this view *and* the
+        inner environment (which owns the traffic model and engine the
+        manager must fence)."""
+        self.inner.set_epochs(epochs)
+        self.epochs = epochs
 
     @classmethod
     def build(

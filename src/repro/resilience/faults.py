@@ -171,6 +171,46 @@ class OverloadChaos:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class IncidentChaos:
+    """A live-graph incident-storm plan (the epoch-chaos mode).
+
+    Seeds a deterministic
+    :class:`~repro.network.epochs.IncidentStream` and bounds the storm:
+    ``batches`` epoch bumps of ``batch_size`` incidents each, with every
+    ``noop_every``-th bump an *empty* batch (epoch advances, no weights
+    change) so the chaos run also proves a no-op bump invalidates
+    nothing.  Like :class:`CrashPoint` and :class:`OverloadChaos` the
+    plan is exact and seeded — a storm that finds an epoch bug replays
+    identically forever.
+    """
+
+    seed: int = 0
+    batches: int = 4
+    batch_size: int = 3
+    multiplier_lo: float = 1.25
+    multiplier_hi: float = 4.0
+    closure_rate: float = 0.2
+    reopen_rate: float = 0.5
+    max_closed: int = 2
+    #: Every Nth bump is an empty batch (0 disables no-op bumps).
+    noop_every: int = 3
+
+    def __post_init__(self) -> None:
+        if self.batches < 1:
+            raise ValueError("an incident plan needs at least one batch")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if not 1.0 <= self.multiplier_lo <= self.multiplier_hi:
+            raise ValueError("need 1.0 <= multiplier_lo <= multiplier_hi")
+        if not 0.0 <= self.closure_rate <= 1.0 or not 0.0 <= self.reopen_rate <= 1.0:
+            raise ValueError("rates must be in [0, 1]")
+        if self.max_closed < 0:
+            raise ValueError("max_closed must be non-negative")
+        if self.noop_every < 0:
+            raise ValueError("noop_every must be non-negative (0 disables)")
+
+
 @dataclass(slots=True)
 class FaultStats:
     """Per-endpoint injection accounting."""
@@ -201,6 +241,7 @@ class FaultInjector:
         default: FaultProfile = NO_FAULTS,
         crash_plan: "tuple[CrashPoint, ...] | list[CrashPoint] | None" = None,
         overload: OverloadChaos | None = None,
+        incidents: IncidentChaos | None = None,
     ):
         self._seed = seed
         self._profiles = dict(profiles) if profiles is not None else {}
@@ -217,6 +258,13 @@ class FaultInjector:
         #: Deterministic firing counters per overload fault kind
         #: (``"burst"``, ``"slow"``, ``"stuck"``) for test reconciliation.
         self.overload_events: dict[str, int] = {}
+        self._incidents = incidents
+        self._incident_stream: Any = None
+        self._incident_network: Any = None
+        #: Deterministic counters per incident-chaos event kind
+        #: (``"batches"``, ``"noops"``, ``"incidents"``, ``"closures"``,
+        #: ``"reopenings"``) for test reconciliation.
+        self.incident_events: dict[str, int] = {}
 
     def profile(self, endpoint: str) -> FaultProfile:
         return self._profiles.get(endpoint, self._default)
@@ -314,6 +362,59 @@ class FaultInjector:
             return False
         self.overload_events["stuck"] = self.overload_events.get("stuck", 0) + 1
         return True
+
+    # -- incident chaos (live-graph tier) -----------------------------------
+
+    @property
+    def incidents(self) -> IncidentChaos | None:
+        return self._incidents
+
+    def next_incidents(self, network: Any) -> "tuple | None":
+        """The next incident batch of the plan, or None when exhausted.
+
+        Returns a (possibly empty) tuple of
+        :class:`~repro.network.epochs.Incident` — an *empty* tuple is a
+        scheduled no-op bump and must still be applied (the epoch
+        advances, no weights change).  The underlying seeded stream is
+        built lazily on first call against ``network``.
+        """
+        plan = self._incidents
+        if plan is None:
+            return None
+        emitted = self.incident_events.get("batches", 0)
+        if emitted >= plan.batches:
+            return None
+        from ..network.epochs import IncidentStream
+
+        if self._incident_stream is None or self._incident_network is not network:
+            self._incident_stream = IncidentStream(
+                network,
+                seed=plan.seed,
+                multiplier_lo=plan.multiplier_lo,
+                multiplier_hi=plan.multiplier_hi,
+                closure_rate=plan.closure_rate,
+                reopen_rate=plan.reopen_rate,
+                max_closed=plan.max_closed,
+            )
+            self._incident_network = network
+        self.incident_events["batches"] = emitted + 1
+        if plan.noop_every and (emitted + 1) % plan.noop_every == 0:
+            self.incident_events["noops"] = self.incident_events.get("noops", 0) + 1
+            return ()
+        batch = self._incident_stream.next_batch(plan.batch_size)
+        self.incident_events["incidents"] = (
+            self.incident_events.get("incidents", 0) + len(batch)
+        )
+        for incident in batch:
+            if incident.is_closure:
+                self.incident_events["closures"] = (
+                    self.incident_events.get("closures", 0) + 1
+                )
+            elif incident.is_reopening:
+                self.incident_events["reopenings"] = (
+                    self.incident_events.get("reopenings", 0) + 1
+                )
+        return batch
 
     def roll(self, endpoint: str, now_h: float) -> float:
         """One provider call at simulated time ``now_h``.

@@ -22,8 +22,10 @@ burst replays the exact same brownout trajectory every run.
 
 from __future__ import annotations
 
+import math
 from enum import IntEnum
 
+from ...core.intervals import Interval
 from ...core.offering import OfferingTable, build_table
 from ...core.scoring import ComponentScores, Weights, sc_score
 
@@ -107,6 +109,75 @@ def widen_table(table: OfferingTable, factor: float, weights: Weights) -> Offeri
         )
         rows.append(
             (score, entry.charger, sustainable, availability, derouting, entry.eta_h)
+        )
+    return build_table(
+        segment_index=table.segment_index,
+        origin=table.origin,
+        generated_at_h=table.generated_at_h,
+        radius_km=table.radius_km,
+        ranked=rows,
+        adapted_from=table.adapted_from,
+    )
+
+
+def widen_table_for_epoch(
+    table: OfferingTable, ratio_lo: float, ratio_hi: float, weights: Weights
+) -> OfferingTable:
+    """``table`` (computed on an older live-graph epoch) with derouting
+    intervals widened to cover every graph the incidents since could have
+    produced.
+
+    ``[ratio_lo, ratio_hi]`` is the :meth:`GraphEpochManager.bound_since`
+    bracket: any shortest-path cost ``d`` on the old epoch satisfies
+    ``d_new ∈ [ratio_lo * d, ratio_hi * d]`` on the new one, and the
+    normalised derouting component is a clamp of ``hours / max_h`` — a
+    monotone map — so scaling the old interval's endpoints by the bracket
+    and re-clamping to ``[0, 1]`` yields an interval that contains the
+    fresh-epoch value (widened ⊇ true).  ``L`` and ``A`` do not depend on
+    the road graph and pass through untouched.  Entry *order* is
+    preserved exactly as :func:`widen_table` does: the ranking decision
+    stays the admission epoch's, honestly re-scored over the wider
+    scenarios.
+
+    A closure makes ``ratio_hi`` infinite (the bound is vacuous — the
+    caller should recompute on the live graph instead); if called anyway
+    the non-finite endpoint saturates to the admissible bound, which is
+    still sound for the ``[0, 1]``-clamped component.
+
+    **Adapted tables degrade to the vacuous bound.**  The multiplicative
+    bracket is a theorem about pure sums of shortest-path legs; a table
+    built by dynamic-cache adaptation (``adapted_from`` set) carries a
+    straight-line *additive* shift on every derouting value, and for a
+    negative shift ``ratio_lo * d`` can overshoot the fresh value
+    (scaling the shift term, which incidents never touched).  Rather
+    than serve a plausible-but-unsound interval, adapted tables get the
+    full ``[0, 1]`` derouting range — maximally uncertain, trivially
+    containing the fresh epoch, and still honestly re-scored.
+    """
+    if math.isnan(ratio_lo) or math.isnan(ratio_hi):
+        raise ValueError("epoch ratio bounds must not be NaN")
+    if not 0.0 <= ratio_lo <= 1.0 <= ratio_hi:
+        raise ValueError("epoch ratio bounds must bracket 1.0 with ratio_lo >= 0")
+    if table.adapted_from is not None and (ratio_lo, ratio_hi) != (1.0, 1.0):
+        ratio_lo, ratio_hi = 0.0, math.inf
+    rows = []
+    for entry in table.entries:
+        lo = entry.derouting.lo * ratio_lo
+        hi = entry.derouting.hi * ratio_hi
+        if math.isinf(hi) or math.isnan(hi):  # inf * 0 -> nan; saturate
+            hi = 1.0
+        derouting = Interval(lo, hi).clamp(0.0, 1.0)
+        score = sc_score(
+            ComponentScores(
+                charger_id=entry.charger_id,
+                sustainable=entry.sustainable,
+                availability=entry.availability,
+                derouting=derouting,
+            ),
+            weights,
+        )
+        rows.append(
+            (score, entry.charger, entry.sustainable, entry.availability, derouting, entry.eta_h)
         )
     return build_table(
         segment_index=table.segment_index,

@@ -86,6 +86,12 @@ class RankRequest:
     #: Scheduler-clock instant the request entered ``submit`` (monotonic
     #: seconds); queue wait and total latency are measured from here.
     submitted_s: float = 0.0
+    #: Live-graph epoch observed at admission (0 = static network).  An
+    #: in-flight request completes on this epoch; if the graph moves past
+    #: it before the answer is cached, the scheduler serves the result
+    #: (computed consistently on the admission epoch) but never caches it
+    #: as fresh for the new epoch.
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,6 +115,11 @@ class RankResponse:
     stale_age_h: float | None = None
     latency_s: float = 0.0
     detail: str = ""
+    #: True when the tables were served from a *previous* live-graph
+    #: epoch with intervals widened by the per-incident worst-case bound
+    #: (the sound degraded mode of docs/live_graph.md).  Always paired
+    #: with ``widened`` and a served outcome.
+    epoch_degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.outcome is Outcome.STALE and self.stale_age_h is None:
@@ -117,6 +128,10 @@ class RankResponse:
             raise ValueError("only stale responses carry a staleness age")
         if self.tables and not self.outcome.is_served:
             raise ValueError(f"{self.outcome.value} responses must not carry tables")
+        if self.epoch_degraded and not self.outcome.is_served:
+            raise ValueError("epoch-degraded responses must be served responses")
+        if self.epoch_degraded and not self.widened:
+            raise ValueError("epoch-degraded responses carry widened intervals")
 
     @property
     def served_fresh(self) -> bool:

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from ...core.ranking import run_over_trip
+from ...network.epochs import GraphEpochManager
 from ...network.path import Trip
 from ...observability.clock import Clock
 from ...observability.deadline import NEVER_EXPIRES, Deadline, DeadlineExpired
@@ -50,7 +51,7 @@ from ...observability.tracing import trip_correlation_id
 from ...resilience.errors import UpstreamError
 from ..cache import ResponseCache
 from .admission import AdmissionController
-from .brownout import BrownoutController, BrownoutLevel, widen_table
+from .brownout import BrownoutController, BrownoutLevel, widen_table, widen_table_for_epoch
 from .queueing import BoundedShardQueue
 from .requests import Outcome, Priority, RankRequest, RankResponse
 
@@ -134,6 +135,13 @@ class SchedulerStats:
     #: Served responses whose intervals were widened (subset of
     #: completed + served_stale, not a terminal outcome).
     widened: int = 0
+    #: Served responses answered from a *previous* live-graph epoch with
+    #: epoch-bound widening (subset of ``widened``, not a terminal).
+    epoch_degraded: int = 0
+    #: Fresh results discarded from the response cache because the graph
+    #: epoch moved while they were being computed — served to their
+    #: requester but never cached as fresh (not a terminal).
+    stale_epoch_rejections: int = 0
 
     _TERMINALS = (
         "completed",
@@ -160,6 +168,8 @@ class SchedulerStats:
         return {name: getattr(self, name) for name in self._TERMINALS} | {
             "submitted": self.submitted,
             "widened": self.widened,
+            "epoch_degraded": self.epoch_degraded,
+            "stale_epoch_rejections": self.stale_epoch_rejections,
         }
 
 
@@ -228,6 +238,7 @@ class ShardedScheduler:
         clock: Clock | None = None,
         telemetry: Telemetry | None = None,
         injector: "FaultInjector | None" = None,
+        epochs: GraphEpochManager | None = None,
     ) -> None:
         from ...core.ecocharge import EcoChargeConfig
 
@@ -255,6 +266,14 @@ class ShardedScheduler:
             _Shard(i, environment_factory(), self.config)
             for i in range(self.config.shards)
         )
+        #: Live-graph epoch manager shared by every shard (None = static
+        #: network).  Requests are stamped with the epoch at admission;
+        #: the response cache stores ``(epoch, tables)`` pairs so a
+        #: post-bump lookup can widen (or refuse) an old-epoch answer.
+        self.epochs = epochs
+        if epochs is not None:
+            for shard in self.shards:
+                shard.environment.set_epochs(epochs)
         self._lock = threading.Lock()
         self._completed: list[RankResponse] = []
         self._next_id = 0
@@ -300,6 +319,7 @@ class ShardedScheduler:
             deadline=deadline,
             priority=priority,
             submitted_s=now_s,
+            epoch=self._current_epoch(),
         )
         rejection = self.admission.try_admit(tenant)
         if rejection == "rate":
@@ -347,6 +367,10 @@ class ShardedScheduler:
                 admitted=True,
             )
         return request
+
+    def _current_epoch(self) -> int:
+        """The live-graph epoch (0 when no manager is attached)."""
+        return self.epochs.epoch if self.epochs is not None else 0
 
     # -- execution ----------------------------------------------------------
 
@@ -417,6 +441,12 @@ class ShardedScheduler:
                 return stale
         environment = shard.environment
         environment.set_cancellation(deadline)
+        # The epoch this execution dispatches on.  Specs capture their
+        # factor snapshot at construction, so the computed tables price
+        # this epoch (or, if a bump lands mid-request in threaded mode, a
+        # prefix of segments on it) — the serve-time re-check below
+        # decides whether the result may be cached as fresh.
+        epoch_at_dispatch = self._current_epoch()
         try:
             run = run_over_trip(
                 shard.ranker_for(self.ranker_config),
@@ -442,14 +472,42 @@ class ShardedScheduler:
         finally:
             environment.set_cancellation(NEVER_EXPIRES)
         tables = tuple(run.tables)
-        # The response cache always stores the *unwidened* truth: brownout
-        # widening is a per-response serving decision, not a property of
-        # the computed answer.  Stamp it with the clock *after* the ranking
-        # run (and any chaos delay) — a pre-execution timestamp would make
-        # the entry look older than it is and shorten its staleness window.
-        now_h = self.clock.monotonic() / 3600.0
-        shard.responses.put(key, now_h, tables)
-        widened = False
+        epoch_at_serve = self._current_epoch()
+        epoch_degraded = False
+        bound = (
+            self.epochs.bound_since(epoch_at_dispatch)
+            if epoch_at_serve != epoch_at_dispatch
+            else (1.0, 1.0)
+        )
+        if bound == (1.0, 1.0):
+            # No *weight-changing* transition landed since dispatch (same
+            # epoch, or only no-op bumps — whose ratio bound is exactly
+            # (1, 1)), so the tables are the fresh truth for the serve
+            # epoch too.  The response cache always stores the *unwidened*
+            # answer: brownout widening is a per-response serving
+            # decision, not a property of the computed result.  Stamp it
+            # with the clock *after* the ranking run (and any chaos
+            # delay) — a pre-execution timestamp would make the entry look
+            # older than it is and shorten its staleness window.  The
+            # epoch rides along so a post-bump stale lookup can widen it
+            # soundly.
+            now_h = self.clock.monotonic() / 3600.0
+            shard.responses.put(key, now_h, (epoch_at_serve, tables))
+        else:
+            # The graph's weights moved while this request was executing:
+            # the tables are consistent for their compute epoch(s) but
+            # must never be cached as fresh for the new one.  Serve them
+            # to their requester widened by the worst-case bound over the
+            # missed transitions (a vacuous bound saturates derouting to
+            # [0, 1] — still sound, never a lie).
+            self._note_stale_epoch_rejection()
+            lo, hi = bound
+            tables = tuple(
+                widen_table_for_epoch(table, lo, hi, self.ranker_config.weights)
+                for table in tables
+            )
+            epoch_degraded = True
+        widened = epoch_degraded
         if level >= BrownoutLevel.WIDEN:
             tables = self._widen_tables(tables)
             widened = True
@@ -460,6 +518,7 @@ class ShardedScheduler:
             shard=shard.shard_id,
             brownout=int(level),
             widened=widened,
+            epoch_degraded=epoch_degraded,
         )
 
     def _stale_response(
@@ -470,13 +529,37 @@ class ShardedScheduler:
         key: tuple,
     ) -> RankResponse | None:
         """A bounded-staleness answer from the shard's response cache, or
-        None when nothing acceptable is retained."""
+        None when nothing acceptable is retained.
+
+        Entries are ``(epoch, tables)`` pairs.  An entry from an older
+        live-graph epoch is served only with its derouting intervals
+        widened by :meth:`GraphEpochManager.bound_since` — and refused
+        outright (None, so the caller computes fresh on the live graph)
+        when that bound is vacuous, e.g. a closure landed since.
+        """
         now_h = self.clock.monotonic() / 3600.0
         cached = shard.responses.lookup_stale(key, now_h, self.config.max_stale_h)
         if cached is None:
             return None
-        tables = tuple(cached.value)
+        entry_epoch, tables = cached.value
+        tables = tuple(tables)
         widened = False
+        epoch_degraded = False
+        current = self._current_epoch()
+        if entry_epoch != current:
+            lo, hi = self.epochs.bound_since(entry_epoch)
+            if hi == float("inf") or lo == 0.0:
+                return None
+            if (lo, hi) != (1.0, 1.0):
+                # Only no-op bumps landed since the entry was cached when
+                # the bound is exactly (1, 1): the entry is still the
+                # fresh truth and needs no widening.
+                tables = tuple(
+                    widen_table_for_epoch(table, lo, hi, self.ranker_config.weights)
+                    for table in tables
+                )
+                widened = True
+                epoch_degraded = True
         if level >= BrownoutLevel.WIDEN:
             tables = self._widen_tables(tables)
             widened = True
@@ -487,6 +570,7 @@ class ShardedScheduler:
             shard=shard.shard_id,
             brownout=int(level),
             widened=widened,
+            epoch_degraded=epoch_degraded,
             stale_age_h=cached.age_h,
         )
 
@@ -510,6 +594,13 @@ class ShardedScheduler:
             brownout=int(level),
             detail=detail,
         )
+
+    def _note_stale_epoch_rejection(self) -> None:
+        """Count one fresh result barred from the response cache by an
+        epoch bump that landed while it was computing (mutated under the
+        scheduler lock like every stats counter)."""
+        with self._lock:
+            self.stats.stale_epoch_rejections += 1
 
     def _widen_tables(self, tables: tuple) -> tuple:
         factor = self.brownout.widen_factor
@@ -550,6 +641,8 @@ class ShardedScheduler:
             setattr(self.stats, counter, getattr(self.stats, counter) + 1)
             if response.widened:
                 self.stats.widened += 1
+            if response.epoch_degraded:
+                self.stats.epoch_degraded += 1
             self.telemetry.inc(
                 "ecocharge_scheduler_requests_total", outcome=response.outcome.value
             )
@@ -580,6 +673,19 @@ class ShardedScheduler:
     def peak_depths(self) -> tuple[int, ...]:
         """Per-shard high-water queue depths (bounded-growth evidence)."""
         return tuple(shard.queue.peak_depth for shard in self.shards)
+
+    def epoch_cache_invalidations(self) -> int:
+        """Entries dropped by live-graph epoch fencing across every
+        shard's engine and dynamic caches — the incident-chaos evidence
+        that a no-op epoch bump costs nothing."""
+        total = 0
+        for shard in self.shards:
+            total += shard.environment.engine.stats.epoch_invalidations
+            total += sum(
+                ranker.cache_stats.epoch_invalidations
+                for ranker in shard._rankers.values()
+            )
+        return total
 
     # -- threaded mode ------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""The ``repro.analysis`` subsystem: per-file rules R1-R10 and R15,
+"""The ``repro.analysis`` subsystem: per-file rules R1-R10, R15, and R16,
 suppressions,
 CLI, and runtime contracts (the whole-program passes R11-R14, the
 baseline ratchet, and SARIF live in ``test_analysis_project.py``).
@@ -699,6 +699,101 @@ class TestR15BackpressureBypass:
         path = "src/repro/server/scheduling/queueing.py"
         assert check_source(snippet, path) == []
 
+
+# ---------------------------------------------------------------------------
+# R16 — epoch-fence bypass around live-graph caches
+# ---------------------------------------------------------------------------
+
+
+class TestR16EpochBypass:
+    CORE_PATH = "src/repro/core/example.py"
+    SERVER_PATH = "src/repro/server/example.py"
+
+    def test_fires_on_fenced_store_reach_in(self):
+        snippet = (
+            "def peek(engine, node):\n"
+            "    return engine._pairs, engine._maps.get(node)\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R16", "R16"]
+
+    def test_fires_on_dynamic_cache_entry_reach_in(self):
+        snippet = (
+            "def raw(cache):\n"
+            "    return cache._entry\n"
+        )
+        assert rule_ids(check_source(snippet, self.CORE_PATH)) == ["R16"]
+
+    def test_fires_on_below_fence_engine_call(self):
+        snippet = (
+            "def price(engine, spec, anchor, pool):\n"
+            "    return engine._ch_bipartite(spec, anchor, pool)\n"
+        )
+        assert rule_ids(check_source(snippet, self.CORE_PATH)) == ["R16"]
+
+    def test_fires_on_unfenced_solution_cache_lookup(self):
+        snippet = (
+            "def reuse(self, origin, now_h):\n"
+            "    return self._cache.lookup(origin, now_h)\n"
+        )
+        assert rule_ids(check_source(snippet, self.CORE_PATH)) == ["R16"]
+
+    def test_clean_when_lookup_is_fenced(self):
+        snippet = (
+            "def reuse(self, origin, now_h):\n"
+            "    self._cache.observe_epoch(self._env.weights_token())\n"
+            "    return self._cache.lookup(origin, now_h)\n"
+        )
+        assert check_source(snippet, self.CORE_PATH) == []
+
+    def test_clean_on_public_engine_api(self):
+        snippet = (
+            "def price(engine, spec, anchor, pool, budget):\n"
+            "    return engine.many_to_one(spec, pool, anchor, budget)\n"
+        )
+        assert check_source(snippet, self.CORE_PATH) == []
+
+    def test_self_access_is_allowed(self):
+        # An owner class implementing its own store is not a reach-in.
+        snippet = (
+            "class Ledger:\n"
+            "    def __init__(self):\n"
+            "        self._pairs = {}\n"
+            "    def size(self):\n"
+            "        return len(self._pairs)\n"
+        )
+        assert check_source(snippet, self.CORE_PATH) == []
+
+    def test_cache_owner_module_is_exempt(self):
+        snippet = (
+            "def migrate(cache):\n"
+            "    return cache._entry\n"
+        )
+        assert check_source(snippet, "src/repro/core/caching.py") == []
+
+    def test_server_response_cache_lookup_is_exempt(self):
+        # The server-tier response cache is its own epoch-stamped layer;
+        # the lookup-fence discipline is scoped to core/, where the
+        # solution cache lives.
+        snippet = (
+            "def serve(self, key, now_h):\n"
+            "    return self.cache.lookup(key, now_h)\n"
+        )
+        assert check_source(snippet, self.SERVER_PATH) == []
+
+    def test_non_cache_lookup_is_not_flagged(self):
+        snippet = (
+            "def resolve(registry, name):\n"
+            "    return registry.lookup(name)\n"
+        )
+        assert check_source(snippet, self.CORE_PATH) == []
+
+    def test_tests_are_exempt(self):
+        snippet = (
+            "def test_fence(engine):\n"
+            "    assert engine._pairs == {}\n"
+        )
+        assert check_source(snippet, "tests/test_example.py") == []
+
     def test_non_server_tier_is_exempt(self):
         snippet = (
             "import queue\n"
@@ -727,10 +822,10 @@ class TestEngineAndCli:
         with pytest.raises(KeyError):
             select_rules(["R99"])
 
-    def test_all_fifteen_rules_registered(self):
+    def test_all_sixteen_rules_registered(self):
         assert [r.rule_id for r in ALL_RULES] == [
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-            "R11", "R12", "R13", "R14", "R15",
+            "R11", "R12", "R13", "R14", "R15", "R16",
         ]
 
     def test_cli_clean_tree_exits_zero(self, capsys):
@@ -764,14 +859,14 @@ class TestEngineAndCli:
         out = capsys.readouterr().out
         for rule_id in (
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-            "R11", "R12", "R13", "R14", "R15",
+            "R11", "R12", "R13", "R14", "R15", "R16",
         ):
             assert rule_id in out
 
     def test_cli_annotations_flag(self, tmp_path, capsys):
         unannotated = tmp_path / "loose.py"
         unannotated.write_text("def f(x):\n    return x\n")
-        assert main([str(unannotated)]) == 0  # R1-R15 clean
+        assert main([str(unannotated)]) == 0  # R1-R16 clean
         assert main(["--annotations", str(unannotated)]) == 1
         out = capsys.readouterr().out
         assert "TYP" in out
@@ -794,7 +889,7 @@ class TestRealTree:
         assert report.files_checked > 50
         assert report.rules_run == (
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-            "R11", "R12", "R13", "R14", "R15",
+            "R11", "R12", "R13", "R14", "R15", "R16",
         )
 
     def test_tests_tree_is_clean(self):

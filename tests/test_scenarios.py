@@ -10,6 +10,8 @@ from repro.simulation.scenarios import (
     SHOPPING_TRIP,
     TAXI_IDLE,
     WAITING_PARENT,
+    IncidentChaosSpec,
+    run_incident_chaos,
     run_scenario,
     scenario_comparison,
 )
@@ -85,3 +87,29 @@ class TestScenarioRuns:
         short_kwh = run_scenario(short, workload, config).total_clean_kwh
         long_kwh = run_scenario(long, workload, config).total_clean_kwh
         assert long_kwh >= short_kwh - 1e-6
+
+
+class TestIncidentChaos:
+    """Smoke the live-graph storm: soundness, free no-ops, agreement."""
+
+    def test_storm_is_sound_and_reconciled(self, workload):
+        spec = IncidentChaosSpec(
+            batches=4, batch_size=1, noop_every=2, fleet_size=1,
+            duplicates=4, k=3, seed=1,
+        )
+        report = run_incident_chaos(workload, spec)
+        assert report.served > 0
+        assert report.sound and report.completed_cleanly
+        assert report.containment_violations == 0
+        assert report.fresh_checks >= 1 and report.fresh_divergences == 0
+        assert report.noop_proofs >= 1
+        assert report.noop_cache_invalidations == 0
+        assert report.backend_divergences == 0
+        assert report.reconciliation == () or not report.reconciliation
+        assert report.as_dict()["scenario"] == spec.name
+
+    def test_spec_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            IncidentChaosSpec(batches=0)
