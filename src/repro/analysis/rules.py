@@ -1,4 +1,4 @@
-"""The sixteen domain rules enforced by ``repro-check``.
+"""The seventeen domain rules enforced by ``repro-check``.
 
 Each rule encodes one invariant from the paper that Python's type system
 cannot express on its own (see ``docs/static_analysis.md`` for the
@@ -47,12 +47,15 @@ R16       epoch-bypass            Engine and dynamic-cache reads in ``core/`` an
                                   ``server/`` flow through the epoch-fenced API —
                                   no reach-ins past ``_observe_epoch`` /
                                   ``observe_epoch``
+R17       label-cardinality-bypass  Metric labels outside ``observability/`` are
+                                  bounded enumerations or registry-guarded — no
+                                  user-derived/interpolated label values
 ========  ======================  =====================================================
 
-R1-R10, R15, and R16 are per-file AST rules defined below; R11-R14 are
+R1-R10 and R15-R17 are per-file AST rules defined below; R11-R14 are
 whole-program passes over the project graph, defined in
 :mod:`repro.analysis.passes` and registered here so selection,
-suppression, listing, and docs treat all sixteen uniformly.
+suppression, listing, and docs treat all seventeen uniformly.
 """
 
 from __future__ import annotations
@@ -1157,6 +1160,142 @@ class EpochBypassRule(RuleProtocol):
 
 
 # --------------------------------------------------------------------------
+# R17 — metric label cardinality
+# --------------------------------------------------------------------------
+
+#: Metric-API methods whose keyword arguments are label values.
+_R17_LABEL_METHODS = frozenset({"inc", "observe", "labels", "set"})
+
+#: Keywords on those methods that carry *values*, not labels.
+_R17_VALUE_KEYWORDS = frozenset({"amount", "value", "exemplar", "buckets"})
+
+#: Label names with a bounded, enumerable value set (outcome enums,
+#: endpoint names, ladder levels, record types, engine backends, shard
+#: indices, alert metadata).  A label outside this set is either guarded
+#: (below) or a cardinality bomb.
+_R17_BOUNDED_LABELS = frozenset(
+    {
+        "outcome",
+        "endpoint",
+        "level",
+        "record_type",
+        "backend",
+        "shard",
+        "alertname",
+        "severity",
+        "to",
+        "state",
+        "label",
+        "metric",
+    }
+)
+
+#: Labels whose registry family declares ``max_label_values`` — the
+#: cardinality guard bounds them at the sink, so arbitrary (user-derived)
+#: values are safe to pass.
+_R17_GUARDED_LABELS = frozenset({"tenant"})
+
+
+class LabelCardinalityRule(RuleProtocol):
+    """R17: metric labels stay bounded outside the guarded registry.
+
+    Prometheus-style registries allocate one child series per distinct
+    label-value tuple, forever: a single ``tenant=<request field>`` or
+    ``trip=f"{...}"`` label on a hot counter turns an unbounded input
+    domain into unbounded process memory *and* unbounded exposition size
+    (the classic cardinality explosion).  The registry's guard
+    (``max_label_values`` + ``__other__`` overflow bucketing) makes that
+    safe — but only for families that declare it.  Outside
+    ``observability/`` (which owns the guard), this rule therefore
+    requires every label keyword on ``inc``/``observe``/``labels``/
+    ``set`` to be either a known bounded enumeration or a guarded label,
+    and rejects label values built by string interpolation — an
+    f-string/``%``/``+``/``.format`` value is how request-derived
+    identifiers sneak into label position.
+    """
+
+    rule_id = "R17"
+    name = "label-cardinality-bypass"
+    description = "unbounded or user-derived metric label outside the guarded registry"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if source.is_test:
+            return False
+        return "observability/" not in source.rel_path
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _R17_LABEL_METHODS
+                and node.keywords
+            ):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    yield Violation(
+                        rule_id=self.rule_id,
+                        path=source.rel_path,
+                        line=node.lineno,
+                        message=(
+                            "**-splatted metric labels — the label set cannot "
+                            "be checked statically; pass each label keyword "
+                            "explicitly"
+                        ),
+                    )
+                    continue
+                if keyword.arg in _R17_VALUE_KEYWORDS:
+                    continue
+                if keyword.arg not in _R17_BOUNDED_LABELS | _R17_GUARDED_LABELS:
+                    yield Violation(
+                        rule_id=self.rule_id,
+                        path=source.rel_path,
+                        line=keyword.value.lineno,
+                        message=(
+                            f"metric label '{keyword.arg}' is not a known "
+                            f"bounded enumeration — every distinct value "
+                            f"allocates a series forever; add it to the "
+                            f"bounded set or declare a max_label_values "
+                            f"guard on the family"
+                        ),
+                    )
+                    continue
+                if keyword.arg not in _R17_GUARDED_LABELS and self._is_built_string(
+                    keyword.value
+                ):
+                    yield Violation(
+                        rule_id=self.rule_id,
+                        path=source.rel_path,
+                        line=keyword.value.lineno,
+                        message=(
+                            f"label '{keyword.arg}' value is built by string "
+                            f"interpolation — request-derived identifiers in "
+                            f"label position explode series cardinality; pass "
+                            f"a bounded enumeration value (or route through a "
+                            f"guarded label)"
+                        ),
+                    )
+
+    @staticmethod
+    def _is_built_string(value: ast.expr) -> bool:
+        """True for f-strings, ``%``/``+`` concatenation, and
+        ``.format``/``.join`` calls — the expression shapes that splice
+        runtime data into a label value."""
+        if isinstance(value, ast.JoinedStr):
+            return any(isinstance(part, ast.FormattedValue) for part in value.values)
+        if isinstance(value, ast.BinOp) and isinstance(value.op, (ast.Add, ast.Mod)):
+            return True
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in ("format", "join")
+        ):
+            return True
+        return False
+
+
+# --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
 
@@ -1176,13 +1315,14 @@ ALL_RULES: tuple[RuleProtocol, ...] = (
     *PROJECT_RULES,
     BackpressureBypassRule(),
     EpochBypassRule(),
+    LabelCardinalityRule(),
 )
 
 RULES_BY_ID: dict[str, RuleProtocol] = {rule.rule_id: rule for rule in ALL_RULES}
 
 
 def select_rules(ids: Sequence[str] | None = None) -> tuple[RuleProtocol, ...]:
-    """The rule objects for ``ids`` (all sixteen when None)."""
+    """The rule objects for ``ids`` (all seventeen when None)."""
     if ids is None:
         return ALL_RULES
     unknown = [rule_id for rule_id in ids if rule_id.upper() not in RULES_BY_ID]

@@ -25,6 +25,7 @@ from . import (
     perf_trajectory,
     resilience_report,
     serving_report,
+    slo_report,
 )
 from .harness import HarnessConfig
 
@@ -40,6 +41,7 @@ _DRIVERS: dict[str, Callable[[HarnessConfig], str]] = {
     "perf": perf_trajectory.main,
     "resilience": resilience_report.main,
     "serving": serving_report.main,
+    "slo": slo_report.main,
 }
 
 

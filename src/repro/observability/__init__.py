@@ -17,7 +17,15 @@ One substrate for what the five tiers previously accounted separately:
   ``EngineStats`` / ``ApiUsage`` / health / breaker / journal counters,
   plus exact reconciliation;
 * :mod:`.export` — Prometheus text exposition and canonical-JSON
-  snapshots, with validators for both.
+  snapshots, with validators for both;
+* :mod:`.windows` — sliding-window aggregation over registry series
+  (the rate substrate the SLO engine reads);
+* :mod:`.slo` — SLO objectives with multi-window multi-burn-rate
+  evaluation (SRE-workbook style);
+* :mod:`.alerts` — the pending→firing→resolved alert state machine
+  with a deterministic transition log;
+* :mod:`.sampling` — tail-based trace sampling (errors/deadline/
+  degraded always kept, top-K slowest, hash-sampled rest) + exemplars.
 
 See ``docs/observability.md`` for the metric catalog and span taxonomy.
 """
@@ -50,14 +58,40 @@ from .export import (
     render_json,
     render_prometheus,
 )
+from .alerts import STATE_CODES, AlertManager, AlertStatus
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    OVERFLOW_BUCKET,
+    OVERFLOW_COUNTER,
     MetricError,
     MetricFamily,
     MetricsRegistry,
+    histogram_quantile,
 )
-from .recorder import NOOP_TELEMETRY, Telemetry
+from .recorder import NOOP_TELEMETRY, TENANT_LABEL_LIMIT, Telemetry
+from .sampling import (
+    MUST_KEEP_REASONS,
+    SamplerStats,
+    SamplingPolicy,
+    TailSampler,
+    collect_exemplars,
+    hash_fraction,
+    retained_trace_ids,
+)
+from .slo import (
+    BURN_CAP,
+    DEFAULT_PAIRS,
+    BurnSignal,
+    BurnWindowPair,
+    EventRatioSLO,
+    LatencyBucketSLO,
+    ServiceLevelObjective,
+    SLOEngine,
+    ZeroEventSLO,
+    default_serving_slos,
+)
 from .tracing import NoopTracer, Span, SpanEvent, Tracer, trip_correlation_id
+from .windows import HistogramWindow, WindowedAggregator
 
 __all__ = [
     "Clock",
@@ -74,6 +108,32 @@ __all__ = [
     "MetricFamily",
     "MetricError",
     "DEFAULT_LATENCY_BUCKETS",
+    "OVERFLOW_BUCKET",
+    "OVERFLOW_COUNTER",
+    "histogram_quantile",
+    "TENANT_LABEL_LIMIT",
+    "WindowedAggregator",
+    "HistogramWindow",
+    "SLOEngine",
+    "ServiceLevelObjective",
+    "EventRatioSLO",
+    "LatencyBucketSLO",
+    "ZeroEventSLO",
+    "BurnSignal",
+    "BurnWindowPair",
+    "BURN_CAP",
+    "DEFAULT_PAIRS",
+    "default_serving_slos",
+    "AlertManager",
+    "AlertStatus",
+    "STATE_CODES",
+    "TailSampler",
+    "SamplingPolicy",
+    "SamplerStats",
+    "MUST_KEEP_REASONS",
+    "hash_fraction",
+    "retained_trace_ids",
+    "collect_exemplars",
     "Tracer",
     "NoopTracer",
     "Span",

@@ -1,0 +1,173 @@
+"""Alert state machine over burn-rate signals.
+
+Each (objective, severity) pair from the :class:`~.slo.SLOEngine` drives
+one alert through the Prometheus-style lifecycle:
+
+    inactive → pending → firing → resolved → pending → ...
+
+* **pending** — the burn condition is true but has not yet held for the
+  pair's ``for_s``; a single noisy tick never pages.
+* **firing** — the condition held continuously for ``for_s``.
+* **resolved** — the condition went false while firing; sticky until
+  the condition triggers again (so an artifact records that the alert
+  *did* fire and *did* clear, not just its final instantaneous state).
+* a pending alert whose condition goes false falls back to inactive
+  (or to resolved if it had fired before) without ever firing.
+
+Every transition appends to a deterministic log — same clock, same
+signals, byte-identical log — and the manager mirrors its state into
+the metrics registry (``ecocharge_alert_state`` gauge,
+``ecocharge_alert_transitions_total`` counter) so alerts ride the same
+Prometheus exposition as everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from .clock import Clock
+from .metrics import MetricsRegistry
+from .slo import BurnSignal
+
+#: Gauge encoding of alert states (exported per alertname/severity).
+STATE_CODES = {"inactive": 0, "pending": 1, "firing": 2, "resolved": 3}
+
+
+@dataclass(slots=True)
+class AlertStatus:
+    """Mutable state of one alert between evaluation ticks."""
+
+    name: str
+    severity: str
+    state: str = "inactive"
+    #: When the current pending stretch started (None outside pending).
+    pending_since_s: float | None = None
+    #: When the alert last entered firing (None if it never fired).
+    fired_at_s: float | None = None
+    #: Whether the alert has ever fired (drives resolved vs inactive).
+    ever_fired: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "severity": self.severity,
+            "state": self.state,
+            "ever_fired": self.ever_fired,
+        }
+
+
+class AlertManager:
+    """Walks every alert through the lifecycle, one tick at a time.
+
+    ``update(signals)`` must be called on every evaluation tick (the
+    SLO cadence): ``for_s`` maturation is judged on the injected clock,
+    and a gap in ticks would let a pending alert mature without the
+    condition being re-checked in between.
+    """
+
+    def __init__(self, clock: Clock, registry: MetricsRegistry | None = None) -> None:
+        self._clock = clock
+        self._alerts: dict[str, AlertStatus] = {}
+        self.transitions: list[dict[str, Any]] = []
+        self._state_family = None
+        self._transition_family = None
+        if registry is not None:
+            self._state_family = registry.gauge(
+                "ecocharge_alert_state",
+                "Alert lifecycle state (0 inactive, 1 pending, 2 firing, 3 resolved).",
+                labels=("alertname", "severity"),
+            )
+            self._transition_family = registry.counter(
+                "ecocharge_alert_transitions_total",
+                "Alert state transitions, by alert and target state.",
+                labels=("alertname", "to"),
+            )
+
+    def update(self, signals: Sequence[BurnSignal]) -> list[dict[str, Any]]:
+        """Advance every alert one tick; returns the new transitions."""
+        now_s = self._clock.monotonic()
+        new: list[dict[str, Any]] = []
+        for signal in signals:
+            status = self._alerts.get(signal.alert)
+            if status is None:
+                status = AlertStatus(name=signal.alert, severity=signal.severity)
+                self._alerts[signal.alert] = status
+            next_state = self._next_state(status, signal, now_s)
+            if next_state != status.state:
+                entry = {
+                    "t": now_s,
+                    "alert": status.name,
+                    "severity": status.severity,
+                    "from": status.state,
+                    "to": next_state,
+                    "burn_long": signal.burn_long,
+                    "burn_short": signal.burn_short,
+                }
+                self.transitions.append(entry)
+                new.append(entry)
+                if self._transition_family is not None:
+                    self._transition_family.labels(
+                        alertname=status.name, to=next_state
+                    ).inc()
+                status.state = next_state
+            if self._state_family is not None:
+                self._state_family.labels(
+                    alertname=status.name, severity=status.severity
+                ).set(STATE_CODES[status.state])
+        return new
+
+    def _next_state(
+        self, status: AlertStatus, signal: BurnSignal, now_s: float
+    ) -> str:
+        if signal.active:
+            if status.state in ("inactive", "resolved"):
+                status.pending_since_s = now_s
+                if signal.for_s <= 0:
+                    status.fired_at_s = now_s
+                    status.ever_fired = True
+                    return "firing"
+                return "pending"
+            if status.state == "pending":
+                # Explicit None check: a pending stretch that began at
+                # t=0.0 is falsy but perfectly real on a simulated clock.
+                since_s = status.pending_since_s
+                held_s = now_s - (since_s if since_s is not None else now_s)
+                if held_s >= signal.for_s:
+                    status.fired_at_s = now_s
+                    status.ever_fired = True
+                    return "firing"
+                return "pending"
+            return "firing"
+        # Condition false.
+        status.pending_since_s = None
+        if status.state == "firing":
+            return "resolved"
+        if status.state == "pending":
+            return "resolved" if status.ever_fired else "inactive"
+        return status.state
+
+    # -- accessors -----------------------------------------------------------
+
+    def firing(self) -> list[tuple[str, str]]:
+        """``(alertname, severity)`` of every currently-firing alert, in
+        first-seen order."""
+        return [
+            (status.name, status.severity)
+            for status in self._alerts.values()
+            if status.state == "firing"
+        ]
+
+    def states(self) -> dict[str, str]:
+        return {name: status.state for name, status in self._alerts.items()}
+
+    def statuses(self) -> Iterable[AlertStatus]:
+        return self._alerts.values()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "states": {
+                name: status.as_dict() for name, status in sorted(self._alerts.items())
+            },
+            "transitions": list(self.transitions),
+        }

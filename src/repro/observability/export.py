@@ -24,12 +24,10 @@ from .metrics import MetricsRegistry, format_float
 from .tracing import Span
 
 _EXPOSITION_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
-_SAMPLE_RE = re.compile(
-    rf"^(?P<name>{_EXPOSITION_NAME})"
-    r"(?:\{(?P<labels>[^{}]*)\})?"
-    r" (?P<value>[^ ]+)$"
+_NAME_RE = re.compile(rf"^{_EXPOSITION_NAME}$")
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\["\\n])*)"$'
 )
-_LABEL_PAIR_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
 _HELP_RE = re.compile(rf"^# HELP ({_EXPOSITION_NAME}) .*$")
 _TYPE_RE = re.compile(rf"^# TYPE ({_EXPOSITION_NAME}) (counter|gauge|histogram|untyped)$")
 
@@ -40,6 +38,33 @@ class ExpositionError(ValueError):
 
 def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def unescape_label(value: str) -> str:
+    """Invert :func:`_escape_label` — the decode half of the round-trip
+    the escaping tests assert (``\\\\`` → ``\\``, ``\\"`` → ``"``,
+    ``\\n`` → newline).  Rejects any other escape sequence."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(value):
+            raise ExpositionError(f"dangling escape at end of label value {value!r}")
+        nxt = value[i + 1]
+        if nxt == "\\":
+            out.append("\\")
+        elif nxt == '"':
+            out.append('"')
+        elif nxt == "n":
+            out.append("\n")
+        else:
+            raise ExpositionError(f"bad escape '\\{nxt}' in label value {value!r}")
+        i += 2
+    return "".join(out)
 
 
 def _render_labels(labels: dict[str, str]) -> str:
@@ -108,20 +133,11 @@ def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
             else:
                 raise ExpositionError(f"line {lineno}: malformed comment: {line!r}")
             continue
-        match = _SAMPLE_RE.match(line)
-        if not match:
-            raise ExpositionError(f"line {lineno}: malformed sample: {line!r}")
-        name = match.group("name")
+        name, _labels, value = parse_sample_line(line, lineno)
         base = re.sub(r"_(bucket|sum|count)$", "", name)
         family = families.get(name) or families.get(base)
         if family is None:
             raise ExpositionError(f"line {lineno}: sample {name!r} has no TYPE header")
-        raw_labels = match.group("labels")
-        if raw_labels:
-            for pair in _split_label_pairs(raw_labels, lineno):
-                if not _LABEL_PAIR_RE.match(pair):
-                    raise ExpositionError(f"line {lineno}: malformed label pair {pair!r}")
-        value = match.group("value")
         if value not in ("+Inf", "-Inf", "NaN"):
             try:
                 float(value)
@@ -131,6 +147,61 @@ def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
                 ) from error
         family["samples"] += 1
     return families
+
+
+def parse_sample_line(line: str, lineno: int = 0) -> tuple[str, dict[str, str], str]:
+    """One sample line → ``(name, decoded labels, raw value string)``.
+
+    A real tokenizer, not a regex: the label block ends at the first
+    ``}`` *outside* a quoted value, so label values containing ``{``,
+    ``}``, ``\\``, ``"`` or ``\\n`` escapes all round-trip (the
+    exposition-escaping regression this replaces — the old pattern
+    matched the label block with ``[^{}]*`` and rejected any brace
+    inside a quoted value).
+    """
+    brace = line.find("{")
+    if brace < 0:
+        name, sep, value = line.partition(" ")
+        if not sep or not value or " " in value or not _NAME_RE.match(name):
+            raise ExpositionError(f"line {lineno}: malformed sample: {line!r}")
+        return name, {}, value
+    name = line[:brace]
+    if not _NAME_RE.match(name):
+        raise ExpositionError(f"line {lineno}: malformed sample: {line!r}")
+    close = _find_close_brace(line, brace + 1, lineno)
+    raw_labels = line[brace + 1 : close]
+    rest = line[close + 1 :]
+    if not rest.startswith(" "):
+        raise ExpositionError(f"line {lineno}: malformed sample: {line!r}")
+    value = rest[1:]
+    if not value or " " in value:
+        raise ExpositionError(f"line {lineno}: malformed sample: {line!r}")
+    labels: dict[str, str] = {}
+    if raw_labels:
+        for pair in _split_label_pairs(raw_labels, lineno):
+            match = _LABEL_PAIR_RE.match(pair)
+            if not match:
+                raise ExpositionError(f"line {lineno}: malformed label pair {pair!r}")
+            labels[match.group("name")] = unescape_label(match.group("value"))
+    return name, labels, value
+
+
+def _find_close_brace(line: str, start: int, lineno: int) -> int:
+    """Index of the ``}`` that closes a label block opened before
+    ``start``, skipping quoted values (where ``}`` is literal)."""
+    in_quotes = False
+    escaped = False
+    for i in range(start, len(line)):
+        ch = line[i]
+        if escaped:
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == '"':
+            in_quotes = not in_quotes
+        elif ch == "}" and not in_quotes:
+            return i
+    raise ExpositionError(f"line {lineno}: unterminated label block: {line!r}")
 
 
 def _split_label_pairs(raw: str, lineno: int) -> list[str]:

@@ -22,10 +22,20 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Where over-limit label values land when a family's cardinality guard
+#: trips.  A reserved value (label *names* may not start with ``__``, so
+#: no legitimate series can collide with it) that keeps totals exact:
+#: the increment still happens, just against the shared bucket.
+OVERFLOW_BUCKET = "__other__"
+
+#: The registry-level meta-counter that counts cardinality-guard trips,
+#: one per ``labels()`` resolution routed into :data:`OVERFLOW_BUCKET`.
+OVERFLOW_COUNTER = "ecocharge_label_overflow_total"
 
 #: Default latency buckets (seconds): 100 us .. 10 s, roughly log-spaced.
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
@@ -86,22 +96,30 @@ class Histogram:
     slots and the Prometheus cumulative convention is computed at export.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "exemplars")
 
     def __init__(self, bounds: Sequence[float]) -> None:
         self.bounds = tuple(bounds)
         self.counts = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        #: Latest exemplar (e.g. a retained trace ID) per bucket index —
+        #: the link from a histogram bucket back to a trace that landed
+        #: in it.  Last-writer-wins keeps this O(buckets), not O(obs).
+        self.exemplars: dict[int, str] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         self.sum += value
         self.count += 1
         for i, bound in enumerate(self.bounds):
             if value <= bound:
                 self.counts[i] += 1
+                if exemplar is not None:
+                    self.exemplars[i] = exemplar
                 return
         self.counts[-1] += 1
+        if exemplar is not None:
+            self.exemplars[len(self.bounds)] = exemplar
 
     def cumulative(self) -> list[int]:
         """Per-bucket cumulative counts in ``le`` order (ending at +Inf)."""
@@ -119,7 +137,17 @@ _Instrument = Counter | Gauge | Histogram
 class MetricFamily:
     """One named metric with a fixed label schema and typed children."""
 
-    __slots__ = ("name", "kind", "help", "label_names", "_buckets", "_children")
+    __slots__ = (
+        "name",
+        "kind",
+        "help",
+        "label_names",
+        "_buckets",
+        "_children",
+        "_limits",
+        "_admitted",
+        "_on_overflow",
+    )
 
     def __init__(
         self,
@@ -128,6 +156,8 @@ class MetricFamily:
         help_text: str,
         label_names: tuple[str, ...],
         buckets: tuple[float, ...] | None = None,
+        limits: Mapping[str, int] | None = None,
+        on_overflow: Callable[[str, str], None] | None = None,
     ) -> None:
         self.name = name
         self.kind = kind
@@ -135,24 +165,73 @@ class MetricFamily:
         self.label_names = label_names
         self._buckets = buckets
         self._children: dict[tuple[str, ...], _Instrument] = {}
+        #: Hard cardinality caps per label name (the guard of
+        #: ``docs/observability.md``): the first ``limit`` distinct
+        #: values seen get their own series, everything after lands in
+        #: :data:`OVERFLOW_BUCKET` and counts one guard trip.
+        self._limits = dict(limits) if limits else {}
+        self._admitted: dict[str, set[str]] = {name: set() for name in self._limits}
+        self._on_overflow = on_overflow
 
     def labels(self, **labels: str) -> Any:
         """The child instrument for one label-value combination.
 
         Children are created on first use and cached; hot call sites
         should hold the returned child rather than re-resolve labels.
+        Guarded labels (see ``max_label_values`` at registration) are
+        capped: over-limit values are rewritten to
+        :data:`OVERFLOW_BUCKET` *before* the child lookup, so the total
+        across all series — overflow included — stays exact.
         """
         if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
             raise MetricError(
                 f"metric '{self.name}' takes labels {self.label_names}, "
                 f"got {tuple(sorted(labels))}"
             )
-        key = tuple(str(labels[name]) for name in self.label_names)
+        if self._limits:
+            key = tuple(
+                self._guard(name, str(labels[name])) for name in self.label_names
+            )
+        else:
+            key = tuple(str(labels[name]) for name in self.label_names)
         child = self._children.get(key)
         if child is None:
             child = self._new_child()
             self._children[key] = child
         return child
+
+    def _guard(self, label: str, value: str) -> str:
+        """Apply the cardinality cap for one label value."""
+        limit = self._limits.get(label)
+        if limit is None:
+            return value
+        admitted = self._admitted[label]
+        if value in admitted:
+            return value
+        if len(admitted) < limit:
+            admitted.add(value)
+            return value
+        if self._on_overflow is not None:
+            self._on_overflow(self.name, label)
+        return OVERFLOW_BUCKET
+
+    @property
+    def buckets(self) -> tuple[float, ...]:
+        """Histogram bucket bounds (empty for counters/gauges)."""
+        return self._buckets or ()
+
+    def children(self) -> Iterable[tuple[tuple[str, ...], "_Instrument"]]:
+        """``(label-value key, instrument)`` pairs in sorted key order —
+        the stable iteration the window aggregator snapshots."""
+        for key in sorted(self._children):
+            yield key, self._children[key]
+
+    def admitted_values(self, label: str) -> frozenset[str]:
+        """The distinct values a guarded label has admitted so far (for
+        exact-accounting assertions; raises on an unguarded label)."""
+        if label not in self._admitted:
+            raise MetricError(f"label '{label}' on '{self.name}' has no guard")
+        return frozenset(self._admitted[label])
 
     def _new_child(self) -> _Instrument:
         if self.kind == "counter":
@@ -192,14 +271,18 @@ class MetricFamily:
                 for bound, cum in zip(child.bounds, child.cumulative()):
                     buckets[format_float(bound)] = cum
                 buckets["+Inf"] = child.count
-                out.append(
-                    {
-                        "labels": labels,
-                        "buckets": buckets,
-                        "sum": child.sum,
-                        "count": child.count,
+                sample: dict[str, Any] = {
+                    "labels": labels,
+                    "buckets": buckets,
+                    "sum": child.sum,
+                    "count": child.count,
+                }
+                if child.exemplars:
+                    names = [format_float(b) for b in child.bounds] + ["+Inf"]
+                    sample["exemplars"] = {
+                        names[i]: child.exemplars[i] for i in sorted(child.exemplars)
                     }
-                )
+                out.append(sample)
             else:
                 out.append({"labels": labels, "value": child.value})
         return out
@@ -214,14 +297,22 @@ class MetricsRegistry:
         self._families: dict[str, MetricFamily] = {}
 
     def counter(
-        self, name: str, help_text: str, labels: Sequence[str] = ()
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        max_label_values: Mapping[str, int] | None = None,
     ) -> MetricFamily:
-        return self._register(name, "counter", help_text, labels, None)
+        return self._register(name, "counter", help_text, labels, None, max_label_values)
 
     def gauge(
-        self, name: str, help_text: str, labels: Sequence[str] = ()
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        max_label_values: Mapping[str, int] | None = None,
     ) -> MetricFamily:
-        return self._register(name, "gauge", help_text, labels, None)
+        return self._register(name, "gauge", help_text, labels, None, max_label_values)
 
     def histogram(
         self,
@@ -229,6 +320,7 @@ class MetricsRegistry:
         help_text: str,
         labels: Sequence[str] = (),
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        max_label_values: Mapping[str, int] | None = None,
     ) -> MetricFamily:
         bounds = tuple(buckets)
         if not bounds:
@@ -239,7 +331,7 @@ class MetricsRegistry:
             raise MetricError(
                 f"histogram '{name}' bounds must be finite and strictly increasing"
             )
-        return self._register(name, "histogram", help_text, labels, bounds)
+        return self._register(name, "histogram", help_text, labels, bounds, max_label_values)
 
     def _register(
         self,
@@ -248,6 +340,7 @@ class MetricsRegistry:
         help_text: str,
         labels: Sequence[str],
         buckets: tuple[float, ...] | None,
+        max_label_values: Mapping[str, int] | None = None,
     ) -> MetricFamily:
         if not _NAME_RE.match(name):
             raise MetricError(f"bad metric name {name!r}")
@@ -255,6 +348,16 @@ class MetricsRegistry:
         for label in label_names:
             if not _LABEL_RE.match(label) or label.startswith("__"):
                 raise MetricError(f"bad label name {label!r} on metric '{name}'")
+        if max_label_values:
+            for label, limit in max_label_values.items():
+                if label not in label_names:
+                    raise MetricError(
+                        f"guarded label '{label}' is not in '{name}' schema {label_names}"
+                    )
+                if limit < 1:
+                    raise MetricError(
+                        f"cardinality limit for '{label}' on '{name}' must be positive"
+                    )
         existing = self._families.get(name)
         if existing is not None:
             if existing.kind != kind or existing.label_names != label_names:
@@ -262,10 +365,40 @@ class MetricsRegistry:
                     f"metric '{name}' already registered as {existing.kind}"
                     f"{existing.label_names}; cannot re-register as {kind}{label_names}"
                 )
+            if max_label_values and dict(max_label_values) != existing._limits:
+                raise MetricError(
+                    f"metric '{name}' already registered with cardinality limits "
+                    f"{existing._limits}; cannot re-register with {dict(max_label_values)}"
+                )
             return existing
-        family = MetricFamily(name, kind, help_text, label_names, buckets)
+        on_overflow = self._count_overflow if max_label_values else None
+        family = MetricFamily(
+            name,
+            kind,
+            help_text,
+            label_names,
+            buckets,
+            limits=max_label_values,
+            on_overflow=on_overflow,
+        )
         self._families[name] = family
         return family
+
+    def _count_overflow(self, metric: str, label: str) -> None:
+        """One cardinality-guard trip: a label value was rewritten to
+        :data:`OVERFLOW_BUCKET`.  Counted in a registry-level meta-family
+        so overflow is *accounted*, never silent."""
+        family = self._families.get(OVERFLOW_COUNTER)
+        if family is None:
+            family = self._register(
+                OVERFLOW_COUNTER,
+                "counter",
+                "Cardinality-guard trips: label values bucketed into "
+                f"'{OVERFLOW_BUCKET}', by family and label.",
+                ("label", "metric"),
+                None,
+            )
+        family.labels(metric=metric, label=label).inc()
 
     def get(self, name: str) -> MetricFamily | None:
         return self._families.get(name)
@@ -298,6 +431,49 @@ class MetricsRegistry:
             if sample["labels"] == wanted and "value" in sample:
                 return float(sample["value"])
         return None
+
+
+def histogram_quantile(
+    bounds: Sequence[float], cumulative: Sequence[int], q: float
+) -> float:
+    """Bucket-interpolated quantile over cumulative histogram counts.
+
+    ``bounds`` are the finite upper bucket bounds and ``cumulative`` the
+    ``le``-ordered cumulative counts *including* the trailing ``+Inf``
+    entry (``len(bounds) + 1`` values — exactly what
+    :meth:`Histogram.cumulative` plus :attr:`Histogram.count` produce).
+    Deterministic by construction: the rank is the nearest-rank ceiling
+    (``max(1, ceil(q * total))``), located by scanning the cumulative
+    counts, then linearly interpolated inside its bucket — so when every
+    observation sits exactly on a bucket bound and no bucket holds more
+    than one, the result *equals* the nearest-rank percentile (the
+    property test against :func:`repro.simulation.percentile`).
+
+    The implicit lower bound of the first bucket is ``0.0`` and a rank
+    that lands in the ``+Inf`` bucket returns the last finite bound —
+    both Prometheus ``histogram_quantile`` conventions.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError("q must be in [0, 1]")
+    if len(cumulative) != len(bounds) + 1:
+        raise MetricError(
+            f"cumulative needs {len(bounds) + 1} entries (got {len(cumulative)})"
+        )
+    if any(b > c for b, c in zip(cumulative, cumulative[1:])):
+        raise MetricError("cumulative counts must be non-decreasing")
+    total = cumulative[-1]
+    if total <= 0:
+        return 0.0
+    rank = max(1, math.ceil(q * total))
+    for i, cum in enumerate(cumulative):
+        if cum >= rank:
+            if i == len(bounds):
+                return bounds[-1]
+            lower = bounds[i - 1] if i > 0 else 0.0
+            prev = cumulative[i - 1] if i > 0 else 0
+            fraction = (rank - prev) / (cum - prev)
+            return lower + fraction * (bounds[i] - lower)
+    raise MetricError("unreachable: rank exceeds total")  # pragma: no cover
 
 
 def format_float(value: float) -> str:

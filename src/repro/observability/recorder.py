@@ -30,7 +30,15 @@ from .metrics import (
     MetricFamily,
     MetricsRegistry,
 )
+from .sampling import TailSampler
 from .tracing import NoopTracer, Span, Tracer
+
+#: Hard cap on distinct ``tenant`` label values per family — the serving
+#: tier is multi-tenant with an unbounded tenant universe, so tenant is
+#: the one native label that *must* be guarded (docs/observability.md,
+#: repro-check rule R17).  Overflow lands in ``__other__`` with the trip
+#: counted in ``ecocharge_label_overflow_total``.
+TENANT_LABEL_LIMIT = 8
 
 
 class Telemetry:
@@ -43,13 +51,14 @@ class Telemetry:
         clock: Clock,
         enabled: bool = True,
         max_traces: int = 64,
+        sampler: TailSampler | None = None,
     ) -> None:
         self.enabled = enabled
         self.clock = clock
         self.registry = MetricsRegistry()
         self.tracer: Tracer | NoopTracer
         if enabled:
-            self.tracer = Tracer(clock, max_traces=max_traces)
+            self.tracer = Tracer(clock, max_traces=max_traces, sampler=sampler)
             self._declare_native_families()
         else:
             self.tracer = NoopTracer()
@@ -61,10 +70,19 @@ class Telemetry:
 
     @classmethod
     def simulated(
-        cls, start_s: float = 0.0, tick_s: float = 0.001, max_traces: int = 64
+        cls,
+        start_s: float = 0.0,
+        tick_s: float = 0.001,
+        max_traces: int = 64,
+        sampler: TailSampler | None = None,
     ) -> "Telemetry":
         """A recorder on a deterministic clock (tests, replay, chaos runs)."""
-        return cls(SimulatedClock(start_s, tick_s), enabled=True, max_traces=max_traces)
+        return cls(
+            SimulatedClock(start_s, tick_s),
+            enabled=True,
+            max_traces=max_traces,
+            sampler=sampler,
+        )
 
     def _declare_native_families(self) -> None:
         reg = self.registry
@@ -101,6 +119,31 @@ class Telemetry:
             "ecocharge_scheduler_latency_seconds",
             "Seconds from scheduler submission to resolution.",
             buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        reg.counter(
+            "ecocharge_tenant_requests_total",
+            "Serving-tier requests resolved, by tenant and final outcome "
+            f"(tenant capped at {TENANT_LABEL_LIMIT} distinct values by the "
+            "cardinality guard; overflow lands in '__other__').",
+            labels=("tenant", "outcome"),
+            max_label_values={"tenant": TENANT_LABEL_LIMIT},
+        )
+        reg.counter(
+            "ecocharge_shard_requests_total",
+            "Serving-tier requests resolved, by shard and final outcome.",
+            labels=("shard", "outcome"),
+        )
+        reg.histogram(
+            "ecocharge_served_latency_seconds",
+            "Seconds from submission to a *served* resolution (completed "
+            "or stale) — the latency-SLO histogram, with exemplar links "
+            "to retained traces.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        reg.counter(
+            "ecocharge_unsound_tables_total",
+            "Served offering tables that failed the interval-soundness "
+            "audit (the zero-budget SLO; any increment is an incident).",
         )
         reg.histogram(
             "ecocharge_segment_seconds",
@@ -153,11 +196,18 @@ class Telemetry:
             return
         self._family(name).labels(**labels).inc(amount)
 
-    def observe(self, name: str, value: float, **labels: str) -> None:
-        """Observe into a predeclared histogram; no-op when disabled."""
+    def observe(
+        self, name: str, value: float, exemplar: str | None = None, **labels: str
+    ) -> None:
+        """Observe into a predeclared histogram; no-op when disabled.
+
+        ``exemplar`` (typically a trip correlation ID) links the bucket
+        this observation lands in back to a trace — see
+        :func:`~.sampling.collect_exemplars`.
+        """
         if not self.enabled:
             return
-        self._family(name).labels(**labels).observe(value)
+        self._family(name).labels(**labels).observe(value, exemplar=exemplar)
 
     def _family(self, name: str) -> MetricFamily:
         family = self.registry.get(name)

@@ -27,9 +27,12 @@ from __future__ import annotations
 import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from .clock import Clock
+
+if TYPE_CHECKING:
+    from .sampling import TailSampler
 
 
 @dataclass(slots=True)
@@ -109,11 +112,19 @@ class Tracer:
     Single-threaded by design, like the serving stack it instruments:
     the active-span stack is a plain list and needs no context-var
     machinery.  Finished root spans accumulate in :attr:`traces`,
-    bounded by ``max_traces`` (oldest dropped first) so a long-running
-    server cannot grow without bound.
+    bounded by ``max_traces``.  With no ``sampler`` the bound is legacy
+    FIFO (oldest dropped first); with a tail sampler installed (see
+    :mod:`.sampling`) the sampler decides which finished traces to keep
+    and which residents to evict — and may exceed the bound rather than
+    evict a must-keep trace.
     """
 
-    def __init__(self, clock: Clock, max_traces: int = 64) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        max_traces: int = 64,
+        sampler: "TailSampler | None" = None,
+    ) -> None:
         if max_traces < 1:
             raise ValueError("max_traces must be positive")
         self._clock = clock
@@ -121,6 +132,7 @@ class Tracer:
         self._stack: list[Span] = []
         self._trace_seq = 0
         self._span_seq = 0
+        self.sampler = sampler
         self.traces: list[Span] = []
 
     @property
@@ -173,7 +185,11 @@ class Tracer:
                 parent.children.append(span)
             else:
                 self.traces.append(span)
-                if len(self.traces) > self._max_traces:
+                if self.sampler is not None:
+                    # Tail-based retention: the sampler keeps, drops, or
+                    # evicts now that the trace's outcome is known.
+                    self.sampler.admit(self.traces, span, self._max_traces)
+                elif len(self.traces) > self._max_traces:
                     del self.traces[0]
 
     def event(self, name: str, **attributes: Any) -> None:

@@ -1,0 +1,164 @@
+"""Sliding-window aggregation over the metrics registry.
+
+The SLO engine (:mod:`.slo`) needs *rates over windows* — "what
+fraction of requests failed in the last 5 minutes" — while the registry
+only holds monotone totals.  This module bridges the two: a
+:class:`WindowedAggregator` samples the registry on a fixed cadence
+into a time-indexed ring of snapshots, and a window delta is just
+``value(now) - value(now - window)`` looked up by binary search.
+
+Design constraints, matching the rest of the observability tier:
+
+* **injected clock** — every timestamp comes from the aggregator's
+  :class:`~.clock.Clock`, so a :class:`~.clock.SimulatedClock` makes
+  every window delta (and therefore every burn rate and alert
+  transition downstream) bit-reproducible;
+* **bounded memory** — samples older than the horizon are pruned, but
+  the newest sample at-or-before the horizon boundary is always kept so
+  the widest window can still subtract a baseline;
+* **zero before birth** — a lookup before the first sample reads 0.0.
+  Counters start at zero, so an aggregator created together with its
+  registry (the supported pattern) sees exact deltas from t=0.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any
+
+from .clock import Clock
+from .metrics import Histogram, MetricsRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramWindow:
+    """A histogram's delta over one window: cumulative bucket counts
+    (``le`` order, ``+Inf`` last), sum, and count — the shape
+    :func:`~.metrics.histogram_quantile` consumes directly."""
+
+    bounds: tuple[float, ...]
+    cumulative: tuple[int, ...]
+    sum: float
+    count: int
+
+
+class WindowedAggregator:
+    """Periodic registry snapshots + window-delta lookups.
+
+    Call :meth:`sample` on a fixed cadence (the SLO evaluation tick);
+    ``counter_delta``/``histogram_delta`` then answer "how much did this
+    series grow over the trailing ``window_s`` seconds".  Deltas are
+    exact differences of sampled totals — no decay, no approximation —
+    so two runs with the same clock and the same traffic produce
+    byte-identical window readings.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, clock: Clock, horizon_s: float = 3600.0
+    ) -> None:
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        self._registry = registry
+        self._clock = clock
+        self._horizon_s = horizon_s
+        self._times: list[float] = []
+        self._snapshots: list[dict[tuple[str, tuple[str, ...]], Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def sample(self) -> float:
+        """Record one snapshot of every registry series; returns its
+        timestamp.  Monotonic sampling is enforced — the ring is ordered
+        for binary search."""
+        now_s = self._clock.monotonic()
+        if self._times and now_s < self._times[-1]:
+            raise ValueError("aggregator samples must be taken in clock order")
+        snapshot: dict[tuple[str, tuple[str, ...]], Any] = {}
+        for family in self._registry.families():
+            for key, child in family.children():
+                series = (family.name, key)
+                if isinstance(child, Histogram):
+                    snapshot[series] = (
+                        tuple(child.cumulative()),
+                        child.sum,
+                        child.count,
+                    )
+                else:
+                    snapshot[series] = child.value
+        self._times.append(now_s)
+        self._snapshots.append(snapshot)
+        self._prune(now_s)
+        return now_s
+
+    def _prune(self, now_s: float) -> None:
+        cutoff = now_s - self._horizon_s
+        # Keep the newest sample at-or-before the cutoff: it is the
+        # baseline for a full-horizon window.
+        drop = 0
+        while drop + 1 < len(self._times) and self._times[drop + 1] <= cutoff:
+            drop += 1
+        if drop:
+            del self._times[:drop]
+            del self._snapshots[:drop]
+
+    def _series_key(self, name: str, labels: dict[str, str] | None) -> tuple:
+        family = self._registry.get(name)
+        if family is None:
+            raise ValueError(f"metric '{name}' is not registered")
+        wanted = labels or {}
+        key = tuple(str(wanted.get(label, "")) for label in family.label_names)
+        return (name, key)
+
+    def _value_at(self, series: tuple, at_s: float) -> Any:
+        """The series value from the newest sample taken at-or-before
+        ``at_s`` (None when no sample that old exists — i.e. zero)."""
+        idx = bisect_right(self._times, at_s) - 1
+        if idx < 0:
+            return None
+        return self._snapshots[idx].get(series)
+
+    def counter_delta(
+        self, name: str, labels: dict[str, str] | None, window_s: float
+    ) -> float:
+        """Growth of one counter/gauge series over the trailing window,
+        ending at the latest sample."""
+        if not self._times:
+            return 0.0
+        series = self._series_key(name, labels)
+        now_s = self._times[-1]
+        current = self._snapshots[-1].get(series)
+        past = self._value_at(series, now_s - window_s)
+        return float(current or 0.0) - float(past or 0.0)
+
+    def histogram_delta(
+        self, name: str, labels: dict[str, str] | None, window_s: float
+    ) -> HistogramWindow:
+        """A histogram series' bucket/sum/count delta over the trailing
+        window, ending at the latest sample."""
+        family = self._registry.get(name)
+        if family is None or family.kind != "histogram":
+            raise ValueError(f"metric '{name}' is not a registered histogram")
+        bounds = family.buckets
+        series = self._series_key(name, labels)
+        if not self._times:
+            return HistogramWindow(bounds, (0,) * (len(bounds) + 1), 0.0, 0)
+        now_s = self._times[-1]
+        current = self._snapshots[-1].get(series) or (
+            (0,) * (len(bounds) + 1),
+            0.0,
+            0,
+        )
+        past = self._value_at(series, now_s - window_s) or (
+            (0,) * (len(bounds) + 1),
+            0.0,
+            0,
+        )
+        cumulative = tuple(c - p for c, p in zip(current[0], past[0]))
+        return HistogramWindow(
+            bounds=bounds,
+            cumulative=cumulative,
+            sum=current[1] - past[1],
+            count=current[2] - past[2],
+        )

@@ -13,7 +13,12 @@ exact one-response-per-request accounting.
 """
 
 from .admission import AdmissionController, ConcurrencyLimiter, TokenBucket
-from .brownout import BrownoutController, BrownoutLevel, widen_table
+from .brownout import (
+    BrownoutController,
+    BrownoutLevel,
+    floor_for_alert_severities,
+    widen_table,
+)
 from .queueing import BoundedShardQueue
 from .requests import Outcome, Priority, RankRequest, RankResponse
 from .scheduler import SchedulerConfig, SchedulerStats, ShardedScheduler
@@ -23,6 +28,7 @@ __all__ = [
     "BoundedShardQueue",
     "BrownoutController",
     "BrownoutLevel",
+    "floor_for_alert_severities",
     "ConcurrencyLimiter",
     "Outcome",
     "Priority",

@@ -43,9 +43,15 @@ class BrownoutLevel(IntEnum):
 class BrownoutController:
     """Maps a shard's queue depth to a :class:`BrownoutLevel`.
 
-    ``level_for(depth, capacity)`` is a pure function of its arguments —
-    no hidden hysteresis state — which keeps the chaos tests' expected
-    trajectories derivable by hand.
+    ``level_for(depth, capacity)`` is a pure function of its arguments
+    *and* the controller's explicit alert floor — there is still no
+    hidden hysteresis, which keeps the chaos tests' expected
+    trajectories derivable by hand.  The floor (default NORMAL, i.e. no
+    effect) is the alert-driven degradation hook: when the scheduler's
+    ``alert_driven_brownout`` flag is on, firing SLO alerts raise the
+    floor via :meth:`set_alert_floor` and the served level is the *max*
+    of the queue-derived level and the floor — burn-rate evidence can
+    only deepen degradation, never mask queue pressure.
     """
 
     def __init__(
@@ -65,6 +71,11 @@ class BrownoutController:
         self.widen_at = widen_at
         self.shed_refresh_at = shed_refresh_at
         self.widen_factor = widen_factor
+        self.alert_floor = BrownoutLevel.NORMAL
+
+    def set_alert_floor(self, level: BrownoutLevel) -> None:
+        """Install the alert-driven minimum ladder level (NORMAL clears)."""
+        self.alert_floor = BrownoutLevel(level)
 
     def level_for(self, depth: int, capacity: int) -> BrownoutLevel:
         """The ladder level for a queue at ``depth`` of ``capacity``."""
@@ -72,12 +83,31 @@ class BrownoutController:
             raise ValueError("capacity must be positive")
         fill = depth / capacity
         if fill >= self.shed_refresh_at:
-            return BrownoutLevel.SHED_REFRESH
-        if fill >= self.widen_at:
-            return BrownoutLevel.WIDEN
-        if fill >= self.serve_stale_at:
-            return BrownoutLevel.SERVE_STALE
-        return BrownoutLevel.NORMAL
+            level = BrownoutLevel.SHED_REFRESH
+        elif fill >= self.widen_at:
+            level = BrownoutLevel.WIDEN
+        elif fill >= self.serve_stale_at:
+            level = BrownoutLevel.SERVE_STALE
+        else:
+            level = BrownoutLevel.NORMAL
+        return max(level, self.alert_floor)
+
+
+def floor_for_alert_severities(severities: "list[str] | tuple[str, ...]") -> BrownoutLevel:
+    """The brownout floor implied by the currently-firing alert set.
+
+    Deterministic mapping, deliberately conservative: a single firing
+    **page** (fast-burn) alert forces serve-stale — shed load by
+    answering from cache; two or more pages force interval widening on
+    top.  **Ticket** (slow-burn) alerts alone do not degrade serving —
+    they exist to open work items, not to change behaviour.
+    """
+    pages = sum(1 for severity in severities if severity == "page")
+    if pages >= 2:
+        return BrownoutLevel.WIDEN
+    if pages == 1:
+        return BrownoutLevel.SERVE_STALE
+    return BrownoutLevel.NORMAL
 
 
 def widen_table(table: OfferingTable, factor: float, weights: Weights) -> OfferingTable:

@@ -51,13 +51,20 @@ from ...observability.tracing import trip_correlation_id
 from ...resilience.errors import UpstreamError
 from ..cache import ResponseCache
 from .admission import AdmissionController
-from .brownout import BrownoutController, BrownoutLevel, widen_table, widen_table_for_epoch
+from .brownout import (
+    BrownoutController,
+    BrownoutLevel,
+    floor_for_alert_severities,
+    widen_table,
+    widen_table_for_epoch,
+)
 from .queueing import BoundedShardQueue
 from .requests import Outcome, Priority, RankRequest, RankResponse
 
 if TYPE_CHECKING:
     from ...core.ecocharge import EcoChargeConfig
     from ...core.environment import ChargingEnvironment
+    from ...observability.alerts import AlertManager
     from ...resilience.faults import FaultInjector
 
 
@@ -95,6 +102,10 @@ class SchedulerConfig:
     widen_factor: float = 0.5
     #: Worker queue-poll timeout in threaded mode (bounded, stoppable).
     poll_timeout_s: float = 0.05
+    #: When True, :meth:`ShardedScheduler.apply_alert_state` lets firing
+    #: SLO alerts raise the brownout floor (alert-driven degradation);
+    #: off by default so existing queue-depth-only behaviour is exact.
+    alert_driven_brownout: bool = False
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -372,6 +383,26 @@ class ShardedScheduler:
         """The live-graph epoch (0 when no manager is attached)."""
         return self.epochs.epoch if self.epochs is not None else 0
 
+    # -- alert-driven brownout ----------------------------------------------
+
+    def apply_alert_state(self, alerts: "AlertManager") -> BrownoutLevel:
+        """Let firing SLO alerts raise the brownout floor (flag-gated).
+
+        Called on the SLO evaluation cadence by the driver that owns the
+        alert manager; a no-op (floor unchanged at NORMAL) unless
+        ``SchedulerConfig.alert_driven_brownout`` is on.  The mapping
+        from firing severities to floor lives in
+        :func:`~.brownout.floor_for_alert_severities`; returns the floor
+        now in effect.
+        """
+        if not self.config.alert_driven_brownout:
+            return self.brownout.alert_floor
+        floor = floor_for_alert_severities(
+            [severity for _name, severity in alerts.firing()]
+        )
+        self.brownout.set_alert_floor(floor)
+        return floor
+
     # -- execution ----------------------------------------------------------
 
     def run_one(self, shard_id: int) -> bool:
@@ -405,17 +436,46 @@ class ShardedScheduler:
         worker thread, strand the admission slot, and break the exact
         accounting invariant — so unexpected errors resolve as FAILED
         instead of propagating.
+
+        With live telemetry the execution is wrapped in a
+        ``scheduler.request`` root span carrying the trip correlation ID
+        and tenant/shard/outcome attributes — the markers the tail
+        sampler (:mod:`repro.observability.sampling`) classifies on, and
+        the root the ranker/engine/gateway spans nest under.
         """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            response = self._guarded_execute(shard, request)
+        else:
+            with telemetry.span(
+                "scheduler.request",
+                tier="server",
+                trace_id=trip_correlation_id(request.trip),
+                tenant=request.tenant,
+                shard=shard.shard_id,
+                priority=request.priority.name,
+            ) as span:
+                response = self._guarded_execute(shard, request)
+                if span is not None:
+                    span.attributes["outcome"] = response.outcome.value
+                    span.attributes["brownout"] = response.brownout
+                    span.attributes["widened"] = response.widened
+                    span.attributes["epoch_degraded"] = response.epoch_degraded
+                    if response.outcome is Outcome.FAILED:
+                        span.status = "error"
+                        span.error = response.detail
+        self._finish(response, admitted=True)
+
+    def _guarded_execute(self, shard: _Shard, request: RankRequest) -> RankResponse:
         try:
-            response = self._execute(shard, request)
+            return self._execute(shard, request)
         except Exception as error:  # noqa: BLE001 — the shard must survive
-            response = self._response(
+            return self._response(
                 request,
                 Outcome.FAILED,
                 shard=shard.shard_id,
                 detail=f"unexpected {type(error).__name__}: {error}",
             )
-        self._finish(response, admitted=True)
 
     def _execute(self, shard: _Shard, request: RankRequest) -> RankResponse:
         deadline = request.deadline
@@ -649,6 +709,28 @@ class ShardedScheduler:
             self.telemetry.observe(
                 "ecocharge_scheduler_latency_seconds", response.latency_s
             )
+            if self.telemetry.enabled:
+                # Dimensional families: per-tenant (cardinality-guarded
+                # in the registry) and per-shard outcome counts, plus the
+                # served-latency histogram with an exemplar linking its
+                # bucket to this request's trace.
+                outcome = response.outcome.value
+                self.telemetry.inc(
+                    "ecocharge_tenant_requests_total",
+                    tenant=response.request.tenant,
+                    outcome=outcome,
+                )
+                self.telemetry.inc(
+                    "ecocharge_shard_requests_total",
+                    shard=str(response.shard),
+                    outcome=outcome,
+                )
+                if response.outcome.is_served:
+                    self.telemetry.observe(
+                        "ecocharge_served_latency_seconds",
+                        response.latency_s,
+                        exemplar=trip_correlation_id(response.request.trip),
+                    )
             self._completed.append(response)
         if admitted:
             self.admission.release()

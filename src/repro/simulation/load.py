@@ -29,6 +29,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from ..observability import mirror_scheduler_stats, reconcile
+from ..observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    histogram_quantile,
+)
 from ..server.scheduling import Outcome, Priority, RankResponse, ShardedScheduler
 
 if TYPE_CHECKING:
@@ -121,7 +126,14 @@ class LoadReport:
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic; no interpolation)."""
+    """Nearest-rank percentile (deterministic; no interpolation).
+
+    The exact-rank reference the bucket-interpolated
+    :func:`repro.observability.histogram_quantile` is property-tested
+    against; load reports now flow through the histogram path (one
+    percentile implementation serving-wide), while this stays the
+    raw-sample oracle for tests and ad-hoc analysis.
+    """
     if not 0.0 <= q <= 1.0:
         raise ValueError("q must be in [0, 1]")
     if not values:
@@ -129,6 +141,20 @@ def percentile(values: Sequence[float], q: float) -> float:
     ordered = sorted(values)
     rank = max(1, math.ceil(q * len(ordered)))
     return ordered[rank - 1]
+
+
+def _latency_quantiles(served_latencies: Sequence[float]) -> tuple[float, float]:
+    """(p50, p99) of served latencies via the shared histogram-quantile
+    path — the same math an operator's dashboard would run over the
+    ``ecocharge_scheduler_latency_seconds`` buckets."""
+    histogram = Histogram(DEFAULT_LATENCY_BUCKETS)
+    for latency_s in served_latencies:
+        histogram.observe(latency_s)
+    cumulative = histogram.cumulative()
+    return (
+        histogram_quantile(histogram.bounds, cumulative, 0.5),
+        histogram_quantile(histogram.bounds, cumulative, 0.99),
+    )
 
 
 def _priority_for(rng: random.Random, profile: LoadProfile) -> Priority:
@@ -264,12 +290,13 @@ def _report(
                     f"ecocharge_scheduler_requests_total{{outcome={outcome.value}}}: "
                     f"native={native} responses={expected}"
                 )
+    p50_latency_s, p99_latency_s = _latency_quantiles(served_latencies)
     return LoadReport(
         requests=scheduler.stats.submitted,
         elapsed_s=elapsed_s,
         outcomes=outcomes,
-        p50_latency_s=percentile(served_latencies, 0.5),
-        p99_latency_s=percentile(served_latencies, 0.99),
+        p50_latency_s=p50_latency_s,
+        p99_latency_s=p99_latency_s,
         served_per_s=served / elapsed_s if elapsed_s > 0 else 0.0,
         widened=scheduler.stats.widened,
         peak_depths=scheduler.peak_depths(),

@@ -1,4 +1,4 @@
-"""The ``repro.analysis`` subsystem: per-file rules R1-R10, R15, and R16,
+"""The ``repro.analysis`` subsystem: per-file rules R1-R10 and R15-R17,
 suppressions,
 CLI, and runtime contracts (the whole-program passes R11-R14, the
 baseline ratchet, and SARIF live in ``test_analysis_project.py``).
@@ -812,6 +812,107 @@ class TestR16EpochBypass:
 
 
 # ---------------------------------------------------------------------------
+# R17 — metric label cardinality
+# ---------------------------------------------------------------------------
+
+
+class TestR17LabelCardinality:
+    SERVER_PATH = "src/repro/server/example.py"
+    CORE_PATH = "src/repro/core/example.py"
+
+    def test_fires_on_unknown_label_name(self):
+        # `trip` is not a bounded enumeration and no guard covers it:
+        # every distinct trip id would allocate a series forever.
+        snippet = (
+            "def record(telemetry, trip_id):\n"
+            "    telemetry.inc('ecocharge_trips_total', trip=trip_id)\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R17"]
+
+    def test_fires_on_interpolated_label_value(self):
+        # A bounded label name with a request-derived f-string value is
+        # the same cardinality bomb wearing an allowed name.
+        snippet = (
+            "def record(telemetry, response):\n"
+            "    telemetry.inc(\n"
+            "        'ecocharge_scheduler_requests_total',\n"
+            "        outcome=f'outcome-{response.id}',\n"
+            "    )\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R17"]
+
+    def test_fires_on_concatenated_label_value(self):
+        snippet = (
+            "def record(family, shard_id):\n"
+            "    family.labels(shard='shard-' + shard_id).inc()\n"
+        )
+        assert rule_ids(check_source(snippet, self.CORE_PATH)) == ["R17"]
+
+    def test_fires_on_splatted_labels(self):
+        snippet = (
+            "def record(telemetry, labels):\n"
+            "    telemetry.inc('ecocharge_segments_total', **labels)\n"
+        )
+        assert rule_ids(check_source(snippet, self.SERVER_PATH)) == ["R17"]
+
+    def test_clean_on_bounded_enumeration_values(self):
+        snippet = (
+            "def record(telemetry, response, endpoint_name):\n"
+            "    telemetry.inc(\n"
+            "        'ecocharge_scheduler_requests_total',\n"
+            "        outcome=response.outcome.value,\n"
+            "    )\n"
+            "    telemetry.inc(\n"
+            "        'ecocharge_gateway_ladder_total',\n"
+            "        endpoint=endpoint_name, level='full',\n"
+            "    )\n"
+            "    telemetry.inc(\n"
+            "        'ecocharge_shard_requests_total',\n"
+            "        shard=str(response.shard), outcome='completed',\n"
+            "    )\n"
+        )
+        assert check_source(snippet, self.SERVER_PATH) == []
+
+    def test_clean_on_guarded_tenant_label(self):
+        # `tenant` is bounded by the registry's max_label_values guard,
+        # so arbitrary request-derived values are safe at the sink.
+        snippet = (
+            "def record(telemetry, request):\n"
+            "    telemetry.inc(\n"
+            "        'ecocharge_tenant_requests_total',\n"
+            "        tenant=request.tenant, outcome='completed',\n"
+            "    )\n"
+        )
+        assert check_source(snippet, self.SERVER_PATH) == []
+
+    def test_value_keywords_are_not_labels(self):
+        snippet = (
+            "def record(telemetry, latency_s, trace_id):\n"
+            "    telemetry.observe(\n"
+            "        'ecocharge_served_latency_seconds',\n"
+            "        latency_s, exemplar=trace_id,\n"
+            "    )\n"
+        )
+        assert check_source(snippet, self.SERVER_PATH) == []
+
+    def test_observability_tier_is_exempt(self):
+        # The recorder facade forwards **labels to the guarded registry;
+        # the guard itself lives there.
+        snippet = (
+            "def forward(family, labels):\n"
+            "    family.labels(**labels).inc()\n"
+        )
+        assert check_source(snippet, "src/repro/observability/recorder.py") == []
+
+    def test_tests_are_exempt_from_r17(self):
+        snippet = (
+            "def test_record(telemetry):\n"
+            "    telemetry.inc('ecocharge_trips_total', trip='t-1')\n"
+        )
+        assert check_source(snippet, "tests/test_example.py") == []
+
+
+# ---------------------------------------------------------------------------
 # engine / CLI
 # ---------------------------------------------------------------------------
 
@@ -822,10 +923,10 @@ class TestEngineAndCli:
         with pytest.raises(KeyError):
             select_rules(["R99"])
 
-    def test_all_sixteen_rules_registered(self):
+    def test_all_seventeen_rules_registered(self):
         assert [r.rule_id for r in ALL_RULES] == [
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-            "R11", "R12", "R13", "R14", "R15", "R16",
+            "R11", "R12", "R13", "R14", "R15", "R16", "R17",
         ]
 
     def test_cli_clean_tree_exits_zero(self, capsys):
@@ -859,14 +960,14 @@ class TestEngineAndCli:
         out = capsys.readouterr().out
         for rule_id in (
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-            "R11", "R12", "R13", "R14", "R15", "R16",
+            "R11", "R12", "R13", "R14", "R15", "R16", "R17",
         ):
             assert rule_id in out
 
     def test_cli_annotations_flag(self, tmp_path, capsys):
         unannotated = tmp_path / "loose.py"
         unannotated.write_text("def f(x):\n    return x\n")
-        assert main([str(unannotated)]) == 0  # R1-R16 clean
+        assert main([str(unannotated)]) == 0  # R1-R17 clean
         assert main(["--annotations", str(unannotated)]) == 1
         out = capsys.readouterr().out
         assert "TYP" in out
@@ -889,7 +990,7 @@ class TestRealTree:
         assert report.files_checked > 50
         assert report.rules_run == (
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-            "R11", "R12", "R13", "R14", "R15", "R16",
+            "R11", "R12", "R13", "R14", "R15", "R16", "R17",
         )
 
     def test_tests_tree_is_clean(self):

@@ -37,11 +37,11 @@ STRICT_TARGETS = (
 
 
 def test_repro_check_passes_on_src() -> None:
-    """All sixteen rules, zero violations, across the whole library tree."""
+    """All seventeen rules, zero violations, across the whole library tree."""
     report = check_paths([SRC])
     assert report.rules_run == (
         "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
-        "R11", "R12", "R13", "R14", "R15", "R16",
+        "R11", "R12", "R13", "R14", "R15", "R16", "R17",
     )
     assert report.ok, "repro-check violations:\n" + report.render_text()
 
